@@ -1,0 +1,51 @@
+"""Figure 1 — per-layer gradient orthogonality during training
+(ResNet proxy = Fig. 1a, MiniBERT = Fig. 1b)."""
+
+import numpy as np
+
+from benchmarks.conftest import announce
+from repro.experiments import run_fig1
+from repro.utils import format_table
+
+HEADERS = ["model", "early avg orthogonality", "late avg orthogonality", "layers"]
+
+
+def _check(result):
+    early, late = result.early_vs_late()
+    # Paper shape: gradients start more aligned and become more
+    # orthogonal as training proceeds.
+    assert late > early
+    assert 0.0 < early <= 1.5 and 0.0 < late <= 1.5
+    assert len(result.average) > 10
+    return early, late
+
+
+def test_fig1a_resnet(benchmark, save_result, fast):
+    result = benchmark.pedantic(
+        run_fig1, args=("resnet",), kwargs={"fast": fast}, rounds=1, iterations=1
+    )
+    early, late = _check(result)
+    rows = [("resnet-proxy", f"{early:.3f}", f"{late:.3f}", len(result.per_layer))]
+    announce("Figure 1a: ResNet per-layer orthogonality", format_table(HEADERS, rows))
+    save_result("fig1a_orthogonality_resnet", HEADERS, rows,
+                notes="paper shape: orthogonality rises over training")
+
+
+def test_fig1b_bert(benchmark, save_result, fast):
+    result = benchmark.pedantic(
+        run_fig1, args=("bert",), kwargs={"fast": fast}, rounds=1, iterations=1
+    )
+    early, late = _check(result)
+    rows = [("minibert", f"{early:.3f}", f"{late:.3f}", len(result.per_layer))]
+    announce("Figure 1b: BERT per-layer orthogonality", format_table(HEADERS, rows))
+    save_result("fig1b_orthogonality_bert", HEADERS, rows,
+                notes="paper shape: orthogonality rises over training")
+
+
+def test_fig1_per_layer_rates_differ(fast):
+    """Layers do not orthogonalize at the same rate (paper §3.6)."""
+    result = run_fig1("resnet", fast=fast)
+    finals = np.array([
+        vals[-max(len(vals) // 4, 1):].mean() for vals in result.per_layer.values()
+    ])
+    assert finals.std() > 0.02

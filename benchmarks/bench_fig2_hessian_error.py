@@ -1,0 +1,31 @@
+"""Figure 2 — Adasum vs synchronous-SGD error against the exact-Hessian
+sequential emulation, during a real training run."""
+
+import numpy as np
+
+from benchmarks.conftest import announce
+from repro.experiments import run_fig2
+from repro.utils import format_table
+
+HEADERS = ["metric", "Adasum", "Synchronous SGD"]
+
+
+def test_fig2_hessian_error(benchmark, save_result, fast):
+    result = benchmark.pedantic(run_fig2, kwargs={"fast": fast}, rounds=1, iterations=1)
+    mean_ada, mean_sync = result.mean_errors()
+    rows = [
+        ("mean relative error", f"{mean_ada:.4f}", f"{mean_sync:.4f}"),
+        ("max relative error", f"{max(result.err_adasum):.4f}",
+         f"{max(result.err_sync):.4f}"),
+        ("steps Adasum closer", f"{result.win_rate() * 100:.0f}%", "-"),
+    ]
+    announce("Figure 2: error vs exact-Hessian sequential emulation",
+             format_table(HEADERS, rows))
+    save_result("fig2_hessian_error", HEADERS, rows,
+                notes="paper shape: Adasum's error is lower than sync SGD's")
+
+    # Paper shape: Adasum tracks the Hessian-exact sequential emulation
+    # more closely than plain summation, on average and on most steps.
+    assert mean_ada < mean_sync
+    assert result.win_rate() > 0.5
+    assert np.isfinite(result.err_adasum).all()

@@ -1,0 +1,52 @@
+"""Figure 4 — AdasumRVH vs NCCL-sum allreduce latency vs message size.
+
+Regenerates the paper's latency sweep (64 ranks, 2¹⁰–2²⁸ bytes) from
+the α–β cost model, cross-validates the analytic AdasumRVH cost against
+the executed Algorithm 1, and benchmarks the executed allreduce.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import announce
+from repro.core import allreduce_adasum_cluster
+from repro.experiments import run_fig4, validate_rvh_simulation
+from repro.utils import format_table
+
+HEADERS = ["tensor (bytes)", "Adasum (ms)", "NCCL sum (ms)", "ratio"]
+
+
+def test_fig4_latency_sweep(benchmark, save_result):
+    result = benchmark.pedantic(run_fig4, rounds=1, iterations=1)
+    rows = result.rows()
+    announce("Figure 4: AdasumRVH vs NCCL sum latency (64 ranks)",
+             format_table(HEADERS, rows))
+    save_result("fig4_rvh_latency", HEADERS, rows,
+                notes="analytic α-β model; paper shape: roughly equal")
+
+    # Paper shape: "roughly equal" — same order of magnitude everywhere,
+    # converging at large message sizes.
+    ratios = [p.ratio for p in result.points]
+    assert all(1.0 <= r <= 3.0 for r in ratios)
+    assert ratios[-1] == pytest.approx(1.0, rel=0.2)
+    # Latency grows monotonically once bandwidth-bound.
+    lat = [p.adasum_ms for p in result.points]
+    assert all(a <= b * 1.001 for a, b in zip(lat, lat[1:]))
+
+
+def test_fig4_analytic_matches_execution(save_result):
+    simulated, analytic = validate_rvh_simulation(ranks=8, n_floats=16384)
+    assert simulated == pytest.approx(analytic, rel=0.5)
+
+
+def test_fig4_executed_allreduce_benchmark(benchmark):
+    """Time the actual Algorithm 1 execution (8 ranks, 64 KiB)."""
+    rng = np.random.default_rng(0)
+    grads = [rng.standard_normal(16384).astype(np.float32) for _ in range(8)]
+
+    def run():
+        out, _ = allreduce_adasum_cluster(grads)
+        return out
+
+    out = benchmark(run)
+    assert np.isfinite(out).all()

@@ -1,0 +1,58 @@
+"""Figure 6 + tuned-LR tables — LeNet-5 under the aggressive schedule
+at 4/8/16(/32) ranks, Sum vs Adasum, untuned and tuned LR."""
+
+from benchmarks.conftest import announce
+from repro.experiments import run_fig6
+from repro.utils import format_table
+
+HEADERS = ["method", "ranks", "LR mode", "max LR", "accuracy"]
+
+
+def test_fig6_lenet_scaling(benchmark, save_result, fast):
+    result = benchmark.pedantic(run_fig6, kwargs={"fast": fast}, rounds=1, iterations=1)
+    rows = result.rows()
+    announce(
+        f"Figure 6: LeNet-5 scaling (sequential baseline "
+        f"{result.sequential_accuracy:.4f}, {result.epochs} epochs)",
+        format_table(HEADERS, rows),
+    )
+    save_result("fig6_lenet", HEADERS, rows,
+                notes="paper shape: untuned Sum collapses at high rank "
+                      "counts; Adasum holds without tuning")
+
+    ranks = sorted({c.ranks for c in result.cells})
+    hi = ranks[-1]
+
+    # Paper shape 1: at the highest rank count, untuned Adasum beats
+    # untuned Sum (Sum fails to converge past 8 GPUs untuned).
+    assert (result.cell("adasum", hi, False).accuracy
+            > result.cell("sum", hi, False).accuracy)
+    # Paper shape 2: untuned Adasum stays near the sequential baseline
+    # even at the highest rank count.
+    assert result.cell("adasum", hi, False).accuracy > 0.8 * result.sequential_accuracy
+    # Paper shape 3: Sum degrades as ranks grow at a fixed LR.
+    sum_untuned = [result.cell("sum", r, False).accuracy for r in ranks]
+    assert sum_untuned[-1] < sum_untuned[0]
+    # Paper shape 4: tuning can only help (tuned >= untuned by search).
+    for method in ("sum", "adasum"):
+        for r in ranks:
+            assert (result.cell(method, r, True).accuracy
+                    >= result.cell(method, r, False).accuracy - 1e-9)
+
+
+def test_fig6_tuned_lr_trend(benchmark, save_result, fast):
+    """The paper's tuned-LR table: Sum's best LR shrinks as ranks grow,
+    while Adasum sustains higher LRs at scale."""
+    result = run_fig6(fast=fast)
+    table = result.tuned_lr_table()
+    ranks = sorted(table["sum"])
+    rows = [(m, *[f"{table[m][r]:.4f}" for r in ranks]) for m in ("adasum", "sum")]
+    announce("Tuned max LR per configuration",
+             format_table(["method"] + [f"{r} ranks" for r in ranks], rows))
+    save_result("fig6_tuned_lrs", ["method"] + [str(r) for r in ranks], rows,
+                notes="paper shape: Sum's tuned LR halves as ranks double; "
+                      "Adasum holds higher LRs")
+    hi = ranks[-1]
+    # At the highest rank count Adasum's tuned LR >= Sum's (paper:
+    # 0.0204 vs 0.0043 at 32 GPUs).
+    assert table["adasum"][hi] >= table["sum"][hi]

@@ -1,0 +1,63 @@
+"""Micro-benchmarks of the core kernels (operator, reductions, engine).
+
+Not a paper artifact — these track the reproduction's own performance so
+regressions in the NumPy kernels are visible.
+"""
+
+import numpy as np
+
+from repro.core import adasum, adasum_tree
+from repro.core.reduction import AdasumReducer, SumReducer
+from repro.models import LeNet5
+from repro import nn
+from repro.train.trainer import compute_grads
+
+
+def test_pairwise_adasum_1m(benchmark):
+    rng = np.random.default_rng(0)
+    g1 = rng.standard_normal(1 << 20).astype(np.float32)
+    g2 = rng.standard_normal(1 << 20).astype(np.float32)
+    out = benchmark(adasum, g1, g2)
+    assert out.shape == g1.shape
+
+
+def test_tree_reduction_16_ranks(benchmark):
+    rng = np.random.default_rng(0)
+    grads = [rng.standard_normal(1 << 16).astype(np.float32) for _ in range(16)]
+    out = benchmark(adasum_tree, grads)
+    assert np.isfinite(out).all()
+
+
+def test_per_layer_reducer_lenet_sized(benchmark):
+    rng = np.random.default_rng(0)
+    model = LeNet5(rng=rng)
+    dicts = [
+        {n: rng.standard_normal(p.shape).astype(np.float32)
+         for n, p in model.named_parameters()}
+        for _ in range(8)
+    ]
+    reducer = AdasumReducer()
+    out = benchmark(reducer.reduce, dicts)
+    assert set(out) == set(dicts[0])
+
+
+def test_sum_reducer_lenet_sized(benchmark):
+    rng = np.random.default_rng(0)
+    model = LeNet5(rng=rng)
+    dicts = [
+        {n: rng.standard_normal(p.shape).astype(np.float32)
+         for n, p in model.named_parameters()}
+        for _ in range(8)
+    ]
+    out = benchmark(SumReducer().reduce, dicts)
+    assert set(out) == set(dicts[0])
+
+
+def test_lenet_forward_backward(benchmark):
+    rng = np.random.default_rng(0)
+    model = LeNet5(rng=rng)
+    loss_fn = nn.CrossEntropyLoss()
+    x = rng.standard_normal((16, 1, 28, 28)).astype(np.float32)
+    y = rng.integers(0, 10, 16)
+    loss, grads = benchmark(compute_grads, model, loss_fn, x, y)
+    assert np.isfinite(loss)

@@ -1,0 +1,55 @@
+"""Table 2 — TF ResNet on slow TCP: 16 local steps vs 1 before
+communicating (gradient accumulation with delta-based Adasum)."""
+
+import math
+
+from benchmarks.conftest import announce
+from repro.experiments import run_table2
+from repro.experiments.table2_local_steps import (
+    paper_scale_minutes_per_epoch,
+    tta_crossover_allreduce_seconds,
+)
+from repro.utils import format_table
+
+HEADERS = ["local steps", "effective batch", "min/epoch", "epochs", "TTA (min)"]
+
+
+def test_table2_local_steps(benchmark, save_result):
+    result = benchmark.pedantic(run_table2, rounds=1, iterations=1)
+    rows = result.rows()
+    announce(f"Table 2: local steps on slow TCP (target {result.target})",
+             format_table(HEADERS, rows))
+
+    by_k = {o.local_steps: o for o in result.outcomes}
+    # Paper shape: both configurations converge...
+    assert by_k[16].epochs_to_target is not None
+    assert by_k[1].epochs_to_target is not None
+    # ...local steps cost algorithmic efficiency (more epochs, 68->84)...
+    assert by_k[16].epochs_to_target >= by_k[1].epochs_to_target
+    # ...but buy system efficiency (fewer minutes per epoch, 2.58->1.98).
+    assert by_k[16].minutes_per_epoch < by_k[1].minutes_per_epoch
+
+    crossover = tta_crossover_allreduce_seconds(
+        by_k[16].epochs_to_target, by_k[1].epochs_to_target
+    )
+    save_result(
+        "table2_local_steps", HEADERS, rows,
+        notes=f"local steps win TTA once the per-round allreduce exceeds "
+              f"{crossover:.2f}s (paper's regime); see EXPERIMENTS.md",
+    )
+    assert crossover == crossover  # not NaN; inf allowed when epochs equal
+
+
+def test_table2_epoch_times_match_paper():
+    """Modeled min/epoch lands near the paper's 2.58 (k=1) / 1.98 (k=16)."""
+    assert 2.0 < paper_scale_minutes_per_epoch(1) < 3.2
+    assert 1.5 < paper_scale_minutes_per_epoch(16) < 2.5
+    ratio = paper_scale_minutes_per_epoch(1) / paper_scale_minutes_per_epoch(16)
+    assert 1.1 < ratio < 1.6  # paper: 2.58 / 1.98 = 1.30
+
+
+def test_table2_crossover_is_finite_for_modest_penalty():
+    """With the paper's epoch counts (84 vs 68) the crossover is low."""
+    crossover = tta_crossover_allreduce_seconds(84, 68)
+    assert math.isfinite(crossover)
+    assert crossover < 1.0

@@ -1,0 +1,34 @@
+"""Table 3 — BERT pre-training: iterations to target per phase for
+Baseline-Adam / Baseline-LAMB / Adasum-Adam / Adasum-LAMB."""
+
+from benchmarks.conftest import announce
+from repro.experiments import run_table3
+from repro.utils import format_table
+
+HEADERS = ["variant", "phase 1 iters", "phase 2 iters", "best MLM acc"]
+
+
+def test_table3_bert_algorithmic_efficiency(benchmark, save_result):
+    result = benchmark.pedantic(run_table3, rounds=1, iterations=1)
+    rows = result.rows()
+    announce(
+        f"Table 3: BERT algorithmic efficiency (targets {result.targets})",
+        format_table(HEADERS, rows),
+    )
+    save_result("table3_bert_alg", HEADERS, rows,
+                notes="paper shape: Adam fails at large batch; Adasum-Adam "
+                      "converges; Adasum-LAMB beats Baseline-LAMB by 20-30%")
+
+    o = result.outcomes
+    # Paper shape 1: Baseline-Adam does not converge at the large batch.
+    assert not o["baseline-adam"].converged
+    # Paper shape 2: Baseline-LAMB converges (the LAMB fix works).
+    assert o["baseline-lamb"].converged
+    # Paper shape 3: Adasum rescues Adam at the same large batch, with
+    # the small-batch hyperparameters, in <= the LAMB baseline's steps.
+    assert o["adasum-adam"].converged
+    assert o["adasum-adam"].phase1_iters <= o["baseline-lamb"].phase1_iters
+    # Paper shape 4: Adasum-LAMB needs fewer phase-1 iterations than
+    # Baseline-LAMB (paper: ~20% fewer; 7039 -> 5639).
+    assert o["adasum-lamb"].converged
+    assert o["adasum-lamb"].phase1_iters < o["baseline-lamb"].phase1_iters

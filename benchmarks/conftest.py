@@ -1,0 +1,53 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper: it runs
+the experiment once (timed via pytest-benchmark's pedantic mode),
+prints the paper-style rows, writes them to ``results/`` as JSON, and
+asserts the qualitative *shape* the paper reports (who wins, what
+fails, which direction the trend goes).
+"""
+
+import json
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_result(results_dir):
+    """Persist an experiment's rows under results/<name>.json."""
+
+    def _save(name: str, headers, rows, notes: str = "") -> None:
+        payload = {
+            "headers": list(headers),
+            "rows": [list(map(str, r)) for r in rows],
+            "notes": notes,
+        }
+        (results_dir / f"{name}.json").write_text(json.dumps(payload, indent=2))
+
+    return _save
+
+
+def fast_profile() -> bool:
+    """Full-scale runs are opted into with REPRO_FULL=1."""
+    return os.environ.get("REPRO_FULL", "0") != "1"
+
+
+@pytest.fixture
+def fast() -> bool:
+    return fast_profile()
+
+
+def announce(title: str, table: str) -> None:
+    """Print a paper-style table (visible with pytest -s or on failure)."""
+    bar = "=" * max(len(title), 20)
+    print(f"\n{bar}\n{title}\n{bar}\n{table}\n")

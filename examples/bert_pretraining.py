@@ -1,0 +1,72 @@
+"""BERT-style pre-training with LAMB + Adasum (paper Section 5.3).
+
+Pre-trains MiniBERT on the synthetic masked-LM corpus with the LAMB
+optimizer, comparing the gradient-averaging baseline against the
+post-optimizer Adasum combination of Figure 3 (per-rank optimizer
+steps, Adasum of the model deltas).  Prints held-out masked-LM accuracy
+over training for both — Adasum-LAMB should reach the bar in fewer
+steps (the paper's 20-30% claim).
+
+Run:  python examples/bert_pretraining.py
+"""
+
+import numpy as np
+
+from repro import nn
+from repro.core import DistributedOptimizer, ReduceOpType
+from repro.data import SyntheticTextCorpus, mask_tokens
+from repro.models import BertConfig, MiniBERT
+from repro.optim import LAMB, PolynomialDecay
+from repro.train.metrics import masked_lm_accuracy
+from repro.utils import grads_to_dict
+
+VOCAB = 48
+RANKS = 4
+MICROBATCH = 32
+SEQ_LEN = 12
+STEPS = 120
+TARGET = 0.55
+
+
+def pretrain(op: ReduceOpType, label: str) -> None:
+    corpus = SyntheticTextCorpus(vocab_size=VOCAB, seed=0)
+    rng = np.random.default_rng(7)
+    eval_toks = corpus.sample_batch(128, SEQ_LEN, np.random.default_rng(100))
+    eval_inp, eval_tgt = mask_tokens(
+        eval_toks, np.random.default_rng(100), vocab_size=VOCAB
+    )
+
+    cfg = BertConfig(vocab_size=VOCAB, hidden=32, layers=2, heads=4, max_seq_len=SEQ_LEN)
+    model = MiniBERT(cfg, rng=np.random.default_rng(0))
+    schedule = PolynomialDecay(0.02, total_steps=STEPS, warmup_frac=0.1)
+    dist_opt = DistributedOptimizer(
+        model, lambda ps: LAMB(ps, schedule, weight_decay=0.0), num_ranks=RANKS, op=op
+    )
+    loss_fn = nn.CrossEntropyLoss(ignore_index=-100)
+
+    print(f"--- {label} ---")
+    reached = None
+    for step in range(1, STEPS + 1):
+        grad_dicts = []
+        for _ in range(RANKS):
+            toks = corpus.sample_batch(MICROBATCH, SEQ_LEN, rng)
+            inp, tgt = mask_tokens(toks, rng, vocab_size=VOCAB)
+            model.zero_grad()
+            loss_fn(model(inp), tgt).backward()
+            grad_dicts.append(grads_to_dict(model))
+        dist_opt.step(grad_dicts)
+        if step % 20 == 0:
+            acc = masked_lm_accuracy(model, eval_inp, eval_tgt)
+            print(f"  step {step:4d}: masked-LM accuracy {acc:.3f}")
+            if reached is None and acc >= TARGET:
+                reached = step
+    print(f"  steps to {TARGET:.2f}: {reached if reached else 'not reached'}\n")
+
+
+def main() -> None:
+    pretrain(ReduceOpType.ADASUM, "Adasum-LAMB (Figure 3: post-optimizer deltas)")
+    pretrain(ReduceOpType.AVERAGE, "Baseline-LAMB (gradient averaging)")
+
+
+if __name__ == "__main__":
+    main()

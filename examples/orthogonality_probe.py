@@ -1,0 +1,46 @@
+"""Per-layer gradient-orthogonality instrumentation (paper §3.6, Fig. 1).
+
+Trains the ResNet proxy with 8 simulated ranks while recording the
+paper's orthogonality metric ‖Adasum(g₁..gₙ)‖² / Σ‖gᵢ‖² per layer, and
+prints an ASCII rendering of the average curve with the LR-schedule
+drops marked — the gradients start aligned and become orthogonal, with
+dips at the LR drops.
+
+Run:  python examples/orthogonality_probe.py
+"""
+
+import numpy as np
+
+from repro.experiments import run_fig1
+
+
+def sparkline(values: np.ndarray, width: int = 60) -> str:
+    """Render a curve as a row of block characters."""
+    blocks = " ▁▂▃▄▅▆▇█"
+    if len(values) > width:
+        idx = np.linspace(0, len(values) - 1, width).astype(int)
+        values = values[idx]
+    lo, hi = float(values.min()), float(values.max())
+    span = max(hi - lo, 1e-9)
+    return "".join(blocks[int((v - lo) / span * (len(blocks) - 1))] for v in values)
+
+
+def main() -> None:
+    print("training ResNet proxy on 8 simulated ranks, probing orthogonality...")
+    result = run_fig1("resnet")
+    early, late = result.early_vs_late()
+    print(f"\naverage orthogonality: early {early:.3f} -> late {late:.3f}")
+    print(f"(1 = fully orthogonal gradients; 1/8 = parallel; the paper's")
+    print(f" Figure 1 shows the same early-to-late rise)\n")
+    print("average curve:", sparkline(result.average))
+    print(f"LR drops at probe steps {result.lr_drop_steps}")
+    print("\nper-layer late/early ratios (weight layers):")
+    for name, vals in sorted(result.per_layer.items()):
+        if "weight" in name and vals.size >= 8:
+            k = max(len(vals) // 4, 1)
+            e, l = float(np.mean(vals[:k])), float(np.mean(vals[-k:]))
+            print(f"  {name:35s} {e:.3f} -> {l:.3f}")
+
+
+if __name__ == "__main__":
+    main()

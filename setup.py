@@ -1,0 +1,13 @@
+"""Legacy setup shim so ``pip install -e .`` works without the ``wheel``
+package (this environment is offline); metadata lives in pyproject.toml."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy>=1.21", "scipy>=1.7"],
+)

@@ -1,0 +1,36 @@
+"""repro — a from-scratch reproduction of *Scaling Distributed Training
+with Adaptive Summation* (Adasum, MLSys 2021).
+
+The package is organised as a small deep-learning stack plus the
+paper's contribution on top:
+
+``repro.tensor``
+    NumPy reverse-mode autograd engine.
+``repro.nn``
+    Neural-network modules (layers, losses, initializers).
+``repro.models``
+    LeNet-5, a scaled-down ResNet, and a mini-BERT transformer.
+``repro.optim``
+    SGD/Momentum, Adam, LARS, LAMB and learning-rate schedules.
+``repro.comm``
+    A simulated message-passing cluster: transports, collectives
+    (ring, recursive halving/doubling, hierarchical) and an α–β
+    network cost model.
+``repro.core``
+    The Adasum operator, AdasumRVH (Algorithm 1), the distributed
+    optimizer wrappers, precision/fusion/partitioning machinery and
+    the instrumentation used by the paper's analysis figures.
+``repro.data``
+    Deterministic synthetic datasets standing in for MNIST / ImageNet /
+    Wikipedia+BookCorpus.
+``repro.train``
+    The data-parallel training simulator and convergence harness.
+``repro.experiments``
+    One module per paper table/figure; used by ``benchmarks/``.
+"""
+
+__version__ = "1.0.0"
+
+from repro.tensor import Tensor, tensor, no_grad
+
+__all__ = ["Tensor", "tensor", "no_grad", "__version__"]

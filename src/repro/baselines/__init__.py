@@ -1,0 +1,26 @@
+"""Related-work baselines the paper positions Adasum against (§6).
+
+* :mod:`repro.baselines.async_sgd` — asynchronous SGD with stale
+  gradients (Hogwild/parameter-server style) and the DC-ASGD delay
+  compensation of Zheng et al., which uses the same ``g·gᵀ`` Hessian
+  approximation as Adasum but only its diagonal, plus a tuned λ.
+* :mod:`repro.baselines.compression` — gradient-compression baselines:
+  1-bit SGD with error feedback (Seide et al.) and top-k
+  sparsification, the "lossy compression presents another potential
+  source for loss of convergence" comparison point.
+"""
+
+from repro.baselines.async_sgd import AsyncSGDSimulator, dc_asgd_compensate
+from repro.baselines.compression import (
+    OneBitCompressor,
+    TopKCompressor,
+    NoCompression,
+)
+
+__all__ = [
+    "AsyncSGDSimulator",
+    "dc_asgd_compensate",
+    "OneBitCompressor",
+    "TopKCompressor",
+    "NoCompression",
+]

@@ -1,0 +1,126 @@
+"""Asynchronous SGD with stale gradients, and DC-ASGD compensation.
+
+The paper's §6 contrasts Adasum with asynchronous approaches: async SGD
+avoids synchronization but suffers stale gradients; DC-ASGD (Zheng et
+al. 2016) compensates staleness with the *diagonal* of the same
+``g·gᵀ`` Hessian approximation Adasum uses in full, at the cost of an
+extra hyperparameter λ "which requires a careful tuning over time".
+
+:class:`AsyncSGDSimulator` models a parameter server with ``n_workers``
+round-robin workers: a worker's gradient is computed on the weights as
+they were ``n_workers − 1`` updates ago (the classic constant-staleness
+model), optionally compensated::
+
+    g̃ = g(w_old) + λ · g ⊙ g ⊙ (w_now − w_old)
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, Mapping, Optional
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.optim.optimizer import Optimizer
+
+
+def dc_asgd_compensate(
+    grad: Mapping[str, np.ndarray],
+    w_old: Mapping[str, np.ndarray],
+    w_now: Mapping[str, np.ndarray],
+    lam: float,
+) -> Dict[str, np.ndarray]:
+    """Delay-compensate a stale gradient (DC-ASGD update rule).
+
+    ``g̃ = g + λ · g ⊙ g ⊙ (w_now − w_old)`` — the diagonal
+    outer-product approximation of the Hessian correction that Adasum's
+    derivation (paper Appendix A.1) applies in full.
+    """
+    if lam < 0:
+        raise ValueError("lambda must be non-negative")
+    return {
+        n: g + lam * g * g * (w_now[n] - w_old[n]) for n, g in grad.items()
+    }
+
+
+class AsyncSGDSimulator:
+    """Round-robin constant-staleness parameter-server simulation.
+
+    Parameters
+    ----------
+    model:
+        The (single) global model the server owns.
+    optimizer:
+        Applied to each (possibly compensated) incoming gradient.
+    n_workers:
+        Number of asynchronous workers; gradients arrive with staleness
+        ``n_workers − 1`` updates.
+    dc_lambda:
+        DC-ASGD compensation strength; ``None`` disables compensation
+        (plain async SGD).
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        optimizer: Optimizer,
+        n_workers: int,
+        dc_lambda: Optional[float] = None,
+    ):
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        self.model = model
+        self.optimizer = optimizer
+        self.n_workers = n_workers
+        self.dc_lambda = dc_lambda
+        self.params = dict(model.named_parameters())
+        # Snapshots of the weights each in-flight gradient was computed on.
+        self._snapshots: deque = deque()
+        self.updates_applied = 0
+
+    def _snapshot(self) -> Dict[str, np.ndarray]:
+        return {n: p.data.copy() for n, p in self.params.items()}
+
+    def step(
+        self,
+        compute_grad: Callable[[Module], Dict[str, np.ndarray]],
+    ) -> None:
+        """One scheduler tick: dispatch a worker, apply the oldest result.
+
+        ``compute_grad(model)`` is invoked with the model holding the
+        weights the worker reads (the server's current weights at
+        dispatch time); the resulting gradient is applied only after the
+        other ``n_workers − 1`` in-flight gradients land — i.e. against
+        weights that have moved on, exactly the staleness async SGD
+        suffers.
+        """
+        # Dispatch: the worker reads the CURRENT weights.
+        w_read = self._snapshot()
+        grad = compute_grad(self.model)
+        self._snapshots.append((w_read, grad))
+        if len(self._snapshots) < self.n_workers:
+            return  # pipeline still filling
+        w_old, stale_grad = self._snapshots.popleft()
+        if self.dc_lambda is not None:
+            w_now = {n: p.data for n, p in self.params.items()}
+            stale_grad = dc_asgd_compensate(stale_grad, w_old, w_now, self.dc_lambda)
+        for n, p in self.params.items():
+            p.grad = np.asarray(stale_grad[n])
+        self.optimizer.step()
+        self.model.zero_grad()
+        self.updates_applied += 1
+
+    def drain(self) -> None:
+        """Apply all in-flight gradients (end of training)."""
+        while self._snapshots:
+            w_old, stale_grad = self._snapshots.popleft()
+            if self.dc_lambda is not None:
+                w_now = {n: p.data for n, p in self.params.items()}
+                stale_grad = dc_asgd_compensate(
+                    stale_grad, w_old, w_now, self.dc_lambda
+                )
+            for n, p in self.params.items():
+                p.grad = np.asarray(stale_grad[n])
+            self.optimizer.step()
+            self.updates_applied += 1

@@ -1,0 +1,99 @@
+"""Gradient-compression baselines (paper §6 related work).
+
+Lossy compressors that reduce communication *volume* where Adasum and
+large-batch methods reduce communication *frequency*:
+
+* :class:`OneBitCompressor` — 1-bit SGD (Seide et al. 2014): transmit
+  the sign per element plus one scale, feeding the quantization error
+  back into the next gradient (error feedback is what makes it
+  converge).
+* :class:`TopKCompressor` — magnitude top-k sparsification with error
+  feedback.
+* :class:`NoCompression` — identity, for baseline plumbing.
+
+All follow a common interface: ``compress(name, grad) -> payload`` and
+``decompress(payload) -> grad`` with per-tensor error memory, so they
+drop into a reduction pipeline before the allreduce.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+
+class NoCompression:
+    """Identity compressor."""
+
+    def compress(self, name: str, grad: np.ndarray):
+        return grad
+
+    def decompress(self, payload) -> np.ndarray:
+        return payload
+
+    def compressed_bytes(self, grad: np.ndarray) -> int:
+        return grad.nbytes
+
+    def roundtrip(self, name: str, grad: np.ndarray) -> np.ndarray:
+        return self.decompress(self.compress(name, grad))
+
+
+class OneBitCompressor(NoCompression):
+    """1-bit quantization with error feedback.
+
+    Each tensor is sent as its sign pattern plus the mean magnitude of
+    positive and negative parts; the quantization residual is added to
+    the next gradient for the same tensor.
+    """
+
+    def __init__(self):
+        self._error: Dict[str, np.ndarray] = {}
+
+    def compress(self, name: str, grad: np.ndarray) -> Tuple:
+        grad = np.asarray(grad, dtype=np.float32)
+        adjusted = grad + self._error.get(name, 0.0)
+        pos = adjusted > 0
+        pos_mean = float(adjusted[pos].mean()) if pos.any() else 0.0
+        neg_mean = float(adjusted[~pos].mean()) if (~pos).any() else 0.0
+        reconstructed = np.where(pos, pos_mean, neg_mean).astype(np.float32)
+        self._error[name] = adjusted - reconstructed
+        return pos, pos_mean, neg_mean
+
+    def decompress(self, payload) -> np.ndarray:
+        pos, pos_mean, neg_mean = payload
+        return np.where(pos, pos_mean, neg_mean).astype(np.float32)
+
+    def compressed_bytes(self, grad: np.ndarray) -> int:
+        return grad.size // 8 + 8  # one bit per element + two scales
+
+
+class TopKCompressor(NoCompression):
+    """Keep the k largest-magnitude elements, error-feed the rest."""
+
+    def __init__(self, ratio: float = 0.05):
+        if not 0 < ratio <= 1:
+            raise ValueError("ratio must be in (0, 1]")
+        self.ratio = ratio
+        self._error: Dict[str, np.ndarray] = {}
+
+    def compress(self, name: str, grad: np.ndarray) -> Tuple:
+        grad = np.asarray(grad, dtype=np.float32)
+        adjusted = (grad + self._error.get(name, 0.0)).reshape(-1)
+        k = max(int(round(adjusted.size * self.ratio)), 1)
+        idx = np.argpartition(np.abs(adjusted), -k)[-k:]
+        values = adjusted[idx]
+        sparse = np.zeros_like(adjusted)
+        sparse[idx] = values
+        self._error[name] = (adjusted - sparse).reshape(grad.shape)
+        return idx, values, grad.shape
+
+    def decompress(self, payload) -> np.ndarray:
+        idx, values, shape = payload
+        out = np.zeros(int(np.prod(shape)), dtype=np.float32)
+        out[idx] = values
+        return out.reshape(shape)
+
+    def compressed_bytes(self, grad: np.ndarray) -> int:
+        k = max(int(round(grad.size * self.ratio)), 1)
+        return k * 8  # index (int32) + value (float32) per kept element

@@ -1,0 +1,136 @@
+"""Command-line experiment runner: ``python -m repro <experiment>``.
+
+Runs one of the paper's experiments and prints its table/figure data.
+``python -m repro list`` shows what's available; ``--full`` switches to
+the larger (slower) profile, mirroring ``REPRO_FULL=1`` for the
+benchmark suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, Tuple
+
+from repro import experiments
+from repro.utils import format_table
+
+
+def _fig1(fast: bool) -> str:
+    out = []
+    for model, tag in (("resnet", "1a"), ("bert", "1b")):
+        r = experiments.run_fig1(model, fast=fast)
+        early, late = r.early_vs_late()
+        out.append(f"Figure {tag} ({model}): average orthogonality "
+                   f"{early:.3f} (early) -> {late:.3f} (late), "
+                   f"{len(r.per_layer)} layers, LR drops at {r.lr_drop_steps}")
+    return "\n".join(out)
+
+
+def _fig2(fast: bool) -> str:
+    r = experiments.run_fig2(fast=fast)
+    a, s = r.mean_errors()
+    rows = [("mean relative error", f"{a:.4f}", f"{s:.4f}"),
+            ("steps Adasum closer", f"{r.win_rate() * 100:.0f}%", "-")]
+    return format_table(["metric", "Adasum", "Sync SGD"], rows)
+
+
+def _fig4(fast: bool) -> str:
+    r = experiments.run_fig4()
+    return format_table(["tensor (bytes)", "Adasum (ms)", "NCCL (ms)", "ratio"],
+                        r.rows())
+
+
+def _fig5(fast: bool) -> str:
+    r = experiments.run_fig5(fast=fast)
+    return format_table(
+        ["config", "eff. batch", "epochs", "best acc", "min/epoch", "TTA (min)"],
+        r.rows(),
+    )
+
+
+def _fig6(fast: bool) -> str:
+    r = experiments.run_fig6(fast=fast)
+    header = f"sequential baseline: {r.sequential_accuracy:.4f}\n"
+    return header + format_table(
+        ["method", "ranks", "LR mode", "max LR", "accuracy"], r.rows()
+    )
+
+
+def _table1(fast: bool) -> str:
+    r = experiments.run_table1(fast=fast)
+    return format_table(["metric", "without", "with"], r.rows())
+
+
+def _table2(fast: bool) -> str:
+    r = experiments.run_table2(fast=fast)
+    return format_table(
+        ["local steps", "eff. batch", "min/epoch", "epochs", "TTA (min)"], r.rows()
+    )
+
+
+def _table3(fast: bool) -> str:
+    r = experiments.run_table3(fast=fast)
+    return format_table(["variant", "phase 1", "phase 2", "best MLM acc"], r.rows())
+
+
+def _table4(fast: bool) -> str:
+    r = experiments.run_table4(fast=fast)
+    return format_table(
+        ["GPUs", "Sum p1", "Ada p1", "Sum p2", "Ada p2", "Sum min", "Ada min"],
+        r.rows(),
+    )
+
+
+def _production(fast: bool) -> str:
+    r = experiments.run_production_proxy(fast=fast)
+    return format_table(["configuration", "accuracy"], r.rows())
+
+
+EXPERIMENTS: Dict[str, Tuple[Callable[[bool], str], str]] = {
+    "fig1": (_fig1, "per-layer gradient orthogonality (ResNet + BERT)"),
+    "fig2": (_fig2, "error vs exact-Hessian sequential emulation"),
+    "fig4": (_fig4, "AdasumRVH vs NCCL allreduce latency sweep"),
+    "fig5": (_fig5, "ResNet Sum vs Adasum at small/large batch"),
+    "fig6": (_fig6, "LeNet-5 scaling under the aggressive LR schedule"),
+    "table1": (_table1, "Adasum computation parallelization (§4.3)"),
+    "table2": (_table2, "local steps on slow TCP"),
+    "table3": (_table3, "BERT algorithmic efficiency (4 variants)"),
+    "table4": (_table4, "BERT system efficiency at 64/256/512 GPUs"),
+    "production": (_production, "§5.5 production LSTM proxy"),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduce a table/figure from the Adasum paper.",
+    )
+    parser.add_argument("experiment",
+                        help="experiment id (or 'list' / 'all')")
+    parser.add_argument("--full", action="store_true",
+                        help="run the larger (slower) profile")
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name, (_, desc) in EXPERIMENTS.items():
+            print(f"  {name:12s} {desc}")
+        return 0
+
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s) {unknown}; try 'list'", file=sys.stderr)
+        return 2
+    for name in names:
+        fn, desc = EXPERIMENTS[name]
+        print(f"=== {name}: {desc} ===")
+        t0 = time.time()
+        print(fn(not args.full))
+        print(f"[{time.time() - t0:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,64 @@
+"""Simulated message-passing cluster.
+
+This package replaces MPI/NCCL for the reproduction.  It provides:
+
+* :class:`Cluster` / :class:`Comm` — N simulated ranks running as
+  threads with blocking point-to-point ``send``/``recv`` and per-rank
+  simulated clocks (:mod:`repro.comm.transport`);
+* collectives — ring allreduce, recursive doubling, recursive vector
+  halving (reduce-scatter + allgather), broadcast, and a two-level
+  hierarchical allreduce (:mod:`repro.comm.collectives`);
+* an α–β network cost model with presets for the paper's hardware
+  (NVLink/NCCL, InfiniBand, PCIe, slow TCP) plus analytic latency
+  formulas for each collective (:mod:`repro.comm.netmodel`);
+* the tensor-fusion buffer with per-tensor boundary bookkeeping that
+  Adasum needs for per-layer dot products (:mod:`repro.comm.fusion`).
+"""
+
+from repro.comm.netmodel import (
+    NetworkModel,
+    ring_allreduce_cost,
+    rvh_allreduce_cost,
+    adasum_rvh_cost,
+    nccl_allreduce_cost,
+    hierarchical_allreduce_cost,
+)
+from repro.comm.transport import Cluster, Comm, CommError, GroupComm
+from repro.comm.hierarchical import (
+    hierarchical_allreduce,
+    hierarchical_adasum_allreduce,
+    cross_node_peers,
+)
+from repro.comm.collectives import (
+    allreduce_ring,
+    allreduce_recursive_doubling,
+    reduce_scatter_halving,
+    allgather_doubling,
+    broadcast,
+    allreduce_group,
+)
+from repro.comm.fusion import FusionBuffer, FusedTensorLayout
+
+__all__ = [
+    "NetworkModel",
+    "Cluster",
+    "Comm",
+    "CommError",
+    "GroupComm",
+    "hierarchical_allreduce",
+    "hierarchical_adasum_allreduce",
+    "cross_node_peers",
+    "allreduce_ring",
+    "allreduce_recursive_doubling",
+    "reduce_scatter_halving",
+    "allgather_doubling",
+    "broadcast",
+    "allreduce_group",
+    "FusionBuffer",
+    "FusedTensorLayout",
+    "ring_allreduce_cost",
+    "rvh_allreduce_cost",
+    "adasum_rvh_cost",
+    "nccl_allreduce_cost",
+    "hierarchical_allreduce_cost",
+]

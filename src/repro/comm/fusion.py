@@ -1,0 +1,136 @@
+"""Tensor fusion with per-tensor boundary bookkeeping (paper §4.4.3).
+
+Horovod fuses many small per-layer tensors into one buffer before
+calling allreduce, amortizing per-message latency.  Plain summation can
+ignore tensor boundaries, but Adasum needs them: dot products and norms
+must be computed *per layer* (paper §3.6).  :class:`FusionBuffer`
+implements the copy-in / reduce / copy-out cycle and records the layout
+(:class:`FusedTensorLayout`) that the Adasum reduction consults.
+
+Because every rank fuses the same set of tensors with the same layer
+sizes, the layout is identical everywhere and never needs to be
+communicated (the "bookkeeping is stored locally and does not increase
+communication overheads" property of the paper).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclasses.dataclass(frozen=True)
+class FusedTensorLayout:
+    """Immutable layout of a fused buffer.
+
+    Attributes
+    ----------
+    names:
+        Tensor names in fusion order.
+    slices:
+        ``(start, stop)`` index ranges of each tensor in the flat buffer.
+    shapes:
+        Original shapes used to unflatten on copy-out.
+    """
+
+    names: Tuple[str, ...]
+    slices: Tuple[Tuple[int, int], ...]
+    shapes: Tuple[Tuple[int, ...], ...]
+
+    @property
+    def total_size(self) -> int:
+        return self.slices[-1][1] if self.slices else 0
+
+    def boundaries(self) -> List[int]:
+        """Flat-buffer offsets delimiting tensors (len = #tensors + 1)."""
+        if not self.slices:
+            return [0]
+        return [s for s, _ in self.slices] + [self.slices[-1][1]]
+
+    def slices_within(self, start: int, stop: int) -> List[Tuple[str, int, int]]:
+        """Per-tensor sub-ranges intersecting the buffer range [start, stop).
+
+        This is what a rank holding a *slice* of the fused buffer (after
+        a reduce-scatter phase) uses to compute per-layer dot products of
+        only the layers it owns.  Returned offsets are absolute.
+        """
+        out = []
+        for name, (lo, hi) in zip(self.names, self.slices):
+            a, b = max(lo, start), min(hi, stop)
+            if a < b:
+                out.append((name, a, b))
+        return out
+
+
+class FusionBuffer:
+    """Reusable fusion buffer with a byte-size threshold.
+
+    Mirrors ``HOROVOD_FUSION_THRESHOLD``: tensors are greedily packed in
+    arrival order until adding the next one would exceed the threshold;
+    each full (or flushed) buffer forms one fusion *group* that is
+    reduced with a single collective call.
+    """
+
+    def __init__(self, threshold_bytes: int = 2 * 1024 * 1024, dtype=np.float32):
+        if threshold_bytes <= 0:
+            raise ValueError("fusion threshold must be positive")
+        self.threshold_bytes = threshold_bytes
+        self.dtype = np.dtype(dtype)
+
+    def plan(self, tensors: Sequence[Tuple[str, np.ndarray]]) -> List[FusedTensorLayout]:
+        """Split named tensors into fusion groups under the threshold.
+
+        A single tensor larger than the threshold gets its own group
+        (it is never split).
+        """
+        groups: List[List[Tuple[str, np.ndarray]]] = []
+        current: List[Tuple[str, np.ndarray]] = []
+        current_bytes = 0
+        for name, arr in tensors:
+            nbytes = arr.size * self.dtype.itemsize
+            if current and current_bytes + nbytes > self.threshold_bytes:
+                groups.append(current)
+                current, current_bytes = [], 0
+            current.append((name, arr))
+            current_bytes += nbytes
+        if current:
+            groups.append(current)
+
+        layouts = []
+        for group in groups:
+            names, slices, shapes = [], [], []
+            offset = 0
+            for name, arr in group:
+                names.append(name)
+                shapes.append(arr.shape)
+                slices.append((offset, offset + arr.size))
+                offset += arr.size
+            layouts.append(
+                FusedTensorLayout(tuple(names), tuple(slices), tuple(shapes))
+            )
+        return layouts
+
+    def pack(
+        self, layout: FusedTensorLayout, tensors: Dict[str, np.ndarray]
+    ) -> np.ndarray:
+        """Copy named tensors into one flat buffer per ``layout``."""
+        buf = np.empty(layout.total_size, dtype=self.dtype)
+        for name, (lo, hi), shape in zip(layout.names, layout.slices, layout.shapes):
+            arr = tensors[name]
+            if arr.shape != shape:
+                raise ValueError(f"tensor {name!r} shape {arr.shape} != layout {shape}")
+            buf[lo:hi] = arr.reshape(-1)
+        return buf
+
+    def unpack(
+        self, layout: FusedTensorLayout, buf: np.ndarray
+    ) -> Dict[str, np.ndarray]:
+        """Split a reduced flat buffer back into named, shaped tensors."""
+        if buf.size != layout.total_size:
+            raise ValueError(f"buffer size {buf.size} != layout {layout.total_size}")
+        return {
+            name: buf[lo:hi].reshape(shape).copy()
+            for name, (lo, hi), shape in zip(layout.names, layout.slices, layout.shapes)
+        }

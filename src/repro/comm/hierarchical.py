@@ -1,0 +1,154 @@
+"""Executed two-level hierarchical allreduce (paper §4.2.2).
+
+When ``HOROVOD_HIERARCHICAL_ALLREDUCE`` is set, Horovod brackets the
+cross-node reduction with an intra-node NCCL reduce-scatter and
+allgather: each GPU ends the local reduce-scatter holding the node-sum
+of one slice, participates in a cross-node reduction of that slice with
+its peers in other nodes, then the slices are allgathered locally.
+
+With a plain sum the result equals a flat allreduce.  With Adasum the
+semantics intentionally differ: microbatches *within* a node are summed
+(they act as one larger batch) and Adasum is applied *across* nodes —
+"we use the GPUs available in a single node to accumulate local
+gradients and use the Adasum operation across nodes" (§4.3).  The
+reference semantics are therefore::
+
+    adasum_tree([sum(node 0 grads), sum(node 1 grads), ...])
+
+which the equivalence tests assert.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.comm.fusion import FusedTensorLayout
+from repro.comm.transport import Comm
+
+
+def _node_group(rank: int, gpus_per_node: int):
+    node = rank // gpus_per_node
+    base = node * gpus_per_node
+    return node, list(range(base, base + gpus_per_node))
+
+
+def _local_reduce_scatter(comm: Comm, x: np.ndarray, group) -> tuple:
+    """Ring reduce-scatter within ``group``; returns (slice, (lo, hi)).
+
+    The vector is split into ``len(group)`` chunks; member ``i`` of the
+    group ends up owning the fully summed chunk ``(i + 1) % g``.
+    """
+    g = len(group)
+    pos = group.index(comm.rank)
+    flat = x.reshape(-1).astype(np.float64).copy()
+    chunks = np.array_split(np.arange(flat.size), g)
+    right = group[(pos + 1) % g]
+    left = group[(pos - 1) % g]
+    for step in range(g - 1):
+        send_idx = (pos - step) % g
+        recv_idx = (pos - step - 1) % g
+        comm.send(flat[chunks[send_idx]], right)
+        incoming = comm.recv(left)
+        comm.compute(incoming.nbytes)
+        flat[chunks[recv_idx]] += incoming
+    own_idx = (pos + 1) % g
+    lo = int(chunks[own_idx][0]) if len(chunks[own_idx]) else 0
+    hi = int(chunks[own_idx][-1]) + 1 if len(chunks[own_idx]) else lo
+    return flat[lo:hi], (lo, hi)
+
+
+def _local_allgather(comm: Comm, piece: np.ndarray, slice_range, group, total: int,
+                     dtype) -> np.ndarray:
+    """Ring allgather of per-member slices within ``group``."""
+    g = len(group)
+    pos = group.index(comm.rank)
+    right = group[(pos + 1) % g]
+    left = group[(pos - 1) % g]
+    out = np.empty(total, dtype=np.float64)
+    lo, hi = slice_range
+    out[lo:hi] = piece
+    # Circulate (slice, lo, hi) tuples around the ring g-1 times.
+    cur = (piece, lo, hi)
+    for _ in range(g - 1):
+        payload = np.concatenate([[cur[1], cur[2]], cur[0]])
+        comm.send(payload, right)
+        incoming = comm.recv(left)
+        ilo, ihi = int(incoming[0]), int(incoming[1])
+        data = incoming[2:]
+        out[ilo:ihi] = data
+        cur = (data, ilo, ihi)
+    return out.astype(dtype)
+
+
+def hierarchical_allreduce(
+    comm: Comm,
+    x: np.ndarray,
+    gpus_per_node: int,
+    cross_node: Callable[["Comm", np.ndarray], np.ndarray],
+    layout: Optional[FusedTensorLayout] = None,
+) -> np.ndarray:
+    """Two-level allreduce: intra-node sum, cross-node ``cross_node`` op.
+
+    ``cross_node(group_comm, slice)`` runs over a :class:`GroupComm`
+    spanning the ranks that hold this slice position on every node, so
+    any single-level allreduce (AdasumRVH, recursive doubling, ...)
+    plugs in unmodified.  Requires ``comm.size % gpus_per_node == 0``.
+
+    ``layout`` (fused layer boundaries) is forwarded to cross-node ops
+    that accept one via a two-argument call signature — the slice's
+    offset within the fused buffer is the slice range start, which the
+    caller encodes by closing over it; see
+    :func:`hierarchical_adasum_allreduce` for the packaged version.
+    """
+    from repro.comm.transport import GroupComm
+
+    if comm.size % gpus_per_node:
+        raise ValueError(
+            f"world size {comm.size} not divisible by gpus_per_node {gpus_per_node}"
+        )
+    _, group = _node_group(comm.rank, gpus_per_node)
+    flat = np.ascontiguousarray(x).reshape(-1)
+    if gpus_per_node == 1:
+        piece, slice_range = flat.astype(np.float64), (0, flat.size)
+    else:
+        piece, slice_range = _local_reduce_scatter(comm, flat, group)
+
+    # Cross-node stage: ranks occupying the same local position on every
+    # node hold the same slice indices.
+    peers = cross_node_peers(comm.rank, comm.size, gpus_per_node)
+    sub = GroupComm(comm, peers)
+    reduced = cross_node(sub, piece.astype(flat.dtype))
+
+    if gpus_per_node == 1:
+        return reduced
+    return _local_allgather(
+        comm, reduced.astype(np.float64), slice_range, group, flat.size, flat.dtype
+    )
+
+
+def hierarchical_adasum_allreduce(
+    comm: Comm, x: np.ndarray, gpus_per_node: int
+) -> np.ndarray:
+    """§4.2.2 packaged: intra-node NCCL-style sum + cross-node AdasumRVH.
+
+    Semantics: node-local gradients are *summed* (acting as one larger
+    microbatch per node) and Adasum combines the node sums — but, as in
+    the Horovod implementation, each local GPU reduces its slice
+    *independently*, so the Adasum dot products are computed per slice
+    (the slice plays the role of a "layer"; with tensor fusion the
+    slices are further subdivided at layer boundaries).  The tests
+    assert equality with per-slice ``adasum_tree`` over the node sums.
+    """
+    from repro.core.adasum_rvh import adasum_rvh
+
+    return hierarchical_allreduce(
+        comm, x, gpus_per_node, cross_node=lambda sub, piece: adasum_rvh(sub, piece)
+    )
+
+
+def cross_node_peers(rank: int, size: int, gpus_per_node: int):
+    """Ranks holding this rank's slice position on every node."""
+    local = rank % gpus_per_node
+    return [n * gpus_per_node + local for n in range(size // gpus_per_node)]

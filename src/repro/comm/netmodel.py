@@ -1,0 +1,181 @@
+"""α–β network cost model and analytic collective latencies.
+
+The standard model from the collective-communication literature the
+paper builds on (Chan et al. 2007 [10]; van de Geijn 1994 [35]): a
+message of ``n`` bytes between two ranks costs ``α + β·n`` seconds,
+where α is per-message latency and β inverse bandwidth.  Reductions add
+``γ·n`` per byte combined.
+
+The presets below model the paper's platforms:
+
+* ``nccl_nvlink`` — DGX-2-class NVSwitch fabric (Section 5.3).
+* ``infiniband`` — 100 Gb/s IB between nodes, as in the Figure 4 and
+  ResNet-50 experiments (Section 4.2.3, 5.1).
+* ``pcie`` — intra-node PCIe gen3 interconnect.
+* ``slow_tcp`` — the 40 GbE TCP network of Section 5.2, with the high
+  per-message software latency that motivates gradient accumulation.
+
+Absolute constants are order-of-magnitude calibrated, not measured; the
+benchmarks reproduce latency *shapes* and *ratios* (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+
+@dataclasses.dataclass(frozen=True)
+class NetworkModel:
+    """α–β(–γ) cost model for one link class.
+
+    Attributes
+    ----------
+    alpha:
+        Per-message latency in seconds.
+    beta:
+        Seconds per byte transferred (inverse bandwidth).
+    gamma:
+        Seconds per byte of local reduction arithmetic.
+    name:
+        Human-readable label used in benchmark tables.
+    """
+
+    alpha: float
+    beta: float
+    gamma: float = 0.0
+    name: str = "custom"
+
+    def send_cost(self, nbytes: int) -> float:
+        """Cost of one point-to-point message of ``nbytes``."""
+        return self.alpha + self.beta * nbytes
+
+    def reduce_cost(self, nbytes: int) -> float:
+        """Cost of locally combining ``nbytes`` of data."""
+        return self.gamma * nbytes
+
+    # ------------------------------------------------------------------
+    # Presets
+    # ------------------------------------------------------------------
+    @staticmethod
+    def nccl_nvlink() -> "NetworkModel":
+        """NVSwitch-class fabric: ~1.5 µs latency, ~120 GB/s effective."""
+        return NetworkModel(alpha=1.5e-6, beta=1.0 / 120e9, gamma=1.0 / 600e9, name="nccl-nvlink")
+
+    @staticmethod
+    def infiniband() -> "NetworkModel":
+        """100 Gb/s InfiniBand: ~2 µs latency, ~11 GB/s effective."""
+        return NetworkModel(alpha=2.0e-6, beta=1.0 / 11e9, gamma=1.0 / 200e9, name="infiniband")
+
+    @staticmethod
+    def pcie() -> "NetworkModel":
+        """PCIe gen3 x16 intra-node: ~5 µs, ~12 GB/s."""
+        return NetworkModel(alpha=5.0e-6, beta=1.0 / 12e9, gamma=1.0 / 200e9, name="pcie")
+
+    @staticmethod
+    def slow_tcp() -> "NetworkModel":
+        """40 GbE TCP: ~50 µs software latency, ~3.5 GB/s effective."""
+        return NetworkModel(alpha=5.0e-5, beta=1.0 / 3.5e9, gamma=1.0 / 200e9, name="slow-tcp")
+
+
+# ----------------------------------------------------------------------
+# Analytic collective latencies (validated against the executed
+# simulation in tests/comm/test_cost_model.py)
+# ----------------------------------------------------------------------
+def ring_allreduce_cost(nbytes: int, p: int, net: NetworkModel) -> float:
+    """Latency of a ring allreduce of ``nbytes`` over ``p`` ranks.
+
+    2(p-1) steps, each moving ``n/p`` bytes; the reduce-scatter half also
+    pays the reduction cost.  This models NCCL's default large-message
+    algorithm (the "NCCL" baseline of the paper's Figure 4).
+    """
+    if p == 1:
+        return 0.0
+    chunk = nbytes / p
+    step = net.send_cost(chunk)
+    return (p - 1) * (step + net.reduce_cost(chunk)) + (p - 1) * step
+
+
+def rvh_allreduce_cost(nbytes: int, p: int, net: NetworkModel) -> float:
+    """Latency of recursive-vector-halving allreduce (elementwise op).
+
+    log p reduce-scatter rounds exchanging n/2, n/4, ... bytes, then
+    log p allgather rounds with the same sizes — the latency-and-
+    bandwidth-optimal algorithm of [10, 35] on hypercubes.
+    """
+    if p == 1:
+        return 0.0
+    rounds = int(math.log2(p))
+    total = 0.0
+    size = nbytes
+    for _ in range(rounds):
+        half = size / 2
+        total += net.send_cost(half) + net.reduce_cost(half)  # reduce-scatter round
+        total += net.send_cost(half)  # matching allgather round
+        size = half
+    return total
+
+
+def nccl_allreduce_cost(nbytes: int, p: int, net: NetworkModel) -> float:
+    """Modeled NCCL sum baseline for Figure 4.
+
+    NCCL selects its algorithm by message size (tree/latency-optimal for
+    small messages, ring/bandwidth-optimal for large); the envelope of
+    the two analytic costs models that adaptivity.
+    """
+    return min(ring_allreduce_cost(nbytes, p, net), rvh_allreduce_cost(nbytes, p, net))
+
+
+def adasum_rvh_cost(nbytes: int, p: int, net: NetworkModel) -> float:
+    """Latency of Algorithm 1 (AdasumRVH).
+
+    Equals the RVH cost plus, per recursion level, the small allreduce
+    of the three partial dot products (3 doubles) within a group of
+    ``2^level`` ranks (recursive doubling: ``level`` rounds of 24-byte
+    messages), plus the extra arithmetic of the dot products and scaled
+    combination (≈3× the work of a plain sum).
+    """
+    if p == 1:
+        return 0.0
+    rounds = int(math.log2(p))
+    total = 0.0
+    size = nbytes
+    for level in range(1, rounds + 1):
+        half = size / 2
+        total += net.send_cost(half)
+        # Dot products + scaled combination over the local half.
+        total += 3 * net.reduce_cost(half)
+        # Allreduce of v = [a·b, a·a, b·b] among the 2^level group.
+        total += level * net.send_cost(24)
+        total += net.send_cost(half)  # allgather round
+        size = half
+    return total
+
+
+def hierarchical_allreduce_cost(
+    nbytes: int,
+    nodes: int,
+    gpus_per_node: int,
+    intra: NetworkModel,
+    inter: NetworkModel,
+    cross_node_adasum: bool = False,
+) -> float:
+    """Two-level allreduce: intra-node reduce-scatter/allgather (NCCL)
+    bracketing a cross-node reduction (Section 4.2.2).
+
+    Each GPU ends the local reduce-scatter holding ``n / g`` bytes and
+    participates in a cross-node allreduce of that slice (RVH or
+    AdasumRVH), followed by the local allgather.
+    """
+    g = gpus_per_node
+    local = 0.0
+    if g > 1:
+        chunk = nbytes / g
+        local += (g - 1) * (intra.send_cost(chunk) + intra.reduce_cost(chunk))  # reduce-scatter
+        local += (g - 1) * intra.send_cost(chunk)  # allgather
+    slice_bytes = nbytes / g if g > 1 else nbytes
+    if cross_node_adasum:
+        cross = adasum_rvh_cost(int(slice_bytes), nodes, inter)
+    else:
+        cross = rvh_allreduce_cost(int(slice_bytes), nodes, inter)
+    return local + cross

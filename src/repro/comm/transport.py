@@ -1,0 +1,244 @@
+"""In-process simulated cluster: threads + blocking queues + virtual clocks.
+
+Each simulated rank runs a user function in its own thread and talks to
+peers through a :class:`Comm` handle offering blocking ``send``/``recv``
+(the SEND/RECV primitives of the paper's Algorithm 1).  Every rank
+carries a virtual clock advanced by the α–β :class:`NetworkModel`; a
+receive synchronizes the receiver's clock with the message's arrival
+time, so ``max(clock)`` after a collective is its simulated latency.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.comm.netmodel import NetworkModel
+
+
+class CommError(RuntimeError):
+    """Raised when a simulated rank fails (original traceback attached)."""
+
+
+class _Message:
+    """Envelope carrying a payload plus its simulated arrival time."""
+
+    __slots__ = ("payload", "arrival", "nbytes")
+
+    def __init__(self, payload: Any, arrival: float, nbytes: int):
+        self.payload = payload
+        self.arrival = arrival
+        self.nbytes = nbytes
+
+
+class Comm:
+    """Per-rank communicator handle.
+
+    Attributes
+    ----------
+    rank, size:
+        This rank's index and the cluster size.
+    clock:
+        Simulated elapsed seconds on this rank.
+    bytes_sent:
+        Total payload bytes this rank has transmitted.
+    """
+
+    def __init__(self, rank: int, size: int, cluster: "Cluster"):
+        self.rank = rank
+        self.size = size
+        self._cluster = cluster
+        self.clock: float = 0.0
+        self.bytes_sent: int = 0
+        self.messages_sent: int = 0
+
+    # ------------------------------------------------------------------
+    # Point-to-point
+    # ------------------------------------------------------------------
+    def send(self, payload: np.ndarray, dst: int, nbytes: Optional[int] = None) -> None:
+        """Send ``payload`` to rank ``dst`` (non-blocking, buffered).
+
+        ``nbytes`` overrides the costed message size (used to model
+        large transfers while shipping small placeholder arrays).
+        """
+        if not 0 <= dst < self.size or dst == self.rank:
+            raise ValueError(f"rank {self.rank}: invalid destination {dst}")
+        size_bytes = int(nbytes) if nbytes is not None else int(np.asarray(payload).nbytes)
+        net = self._cluster.network
+        self.clock += net.send_cost(size_bytes)
+        self.bytes_sent += size_bytes
+        self.messages_sent += 1
+        self._cluster._mailbox(self.rank, dst).put(
+            _Message(payload, arrival=self.clock, nbytes=size_bytes)
+        )
+
+    def recv(self, src: int) -> np.ndarray:
+        """Blocking receive from rank ``src``; advances the clock."""
+        if not 0 <= src < self.size or src == self.rank:
+            raise ValueError(f"rank {self.rank}: invalid source {src}")
+        msg: _Message = self._cluster._mailbox(src, self.rank).get(
+            timeout=self._cluster.timeout
+        )
+        self.clock = max(self.clock, msg.arrival)
+        return msg.payload
+
+    def sendrecv(self, payload: np.ndarray, peer: int, nbytes: Optional[int] = None) -> np.ndarray:
+        """Exchange with ``peer`` (send then receive)."""
+        self.send(payload, peer, nbytes=nbytes)
+        return self.recv(peer)
+
+    # ------------------------------------------------------------------
+    # Local cost accounting
+    # ------------------------------------------------------------------
+    def compute(self, nbytes: int) -> None:
+        """Charge local reduction arithmetic over ``nbytes`` to the clock."""
+        self.clock += self._cluster.network.reduce_cost(int(nbytes))
+
+    def advance(self, seconds: float) -> None:
+        """Advance the clock by an externally-modeled cost (e.g. compute)."""
+        self.clock += seconds
+
+    def barrier(self) -> None:
+        """Synchronize all ranks (clocks advance to the global max)."""
+        self._cluster._barrier_sync(self)
+
+
+class GroupComm:
+    """A sub-communicator view over a subset of ranks.
+
+    Presents the :class:`Comm` interface with ``rank``/``size`` local to
+    ``group`` (a sorted list of global ranks), translating peers to
+    global ranks underneath.  This is what lets single-level collectives
+    (ring, RVH, AdasumRVH) run unmodified inside the cross-node stage of
+    a hierarchical allreduce.
+    """
+
+    def __init__(self, base: Comm, group):
+        group = sorted(group)
+        if base.rank not in group:
+            raise ValueError(f"rank {base.rank} not in group {group}")
+        self._base = base
+        self._group = group
+        self.rank = group.index(base.rank)
+        self.size = len(group)
+
+    @property
+    def clock(self) -> float:
+        return self._base.clock
+
+    def send(self, payload, dst: int, nbytes=None) -> None:
+        self._base.send(payload, self._group[dst], nbytes=nbytes)
+
+    def recv(self, src: int):
+        return self._base.recv(self._group[src])
+
+    def sendrecv(self, payload, peer: int, nbytes=None):
+        self.send(payload, peer, nbytes=nbytes)
+        return self.recv(peer)
+
+    def compute(self, nbytes: int) -> None:
+        self._base.compute(nbytes)
+
+    def advance(self, seconds: float) -> None:
+        self._base.advance(seconds)
+
+
+class Cluster:
+    """A simulated cluster of ``size`` ranks.
+
+    Parameters
+    ----------
+    size:
+        Number of ranks.
+    network:
+        α–β model used to cost every message; defaults to zero-cost
+        (pure functional execution).
+    timeout:
+        Seconds a blocking receive waits before declaring deadlock.
+    """
+
+    def __init__(self, size: int, network: Optional[NetworkModel] = None, timeout: float = 60.0):
+        if size < 1:
+            raise ValueError("cluster size must be >= 1")
+        self.size = size
+        self.network = network or NetworkModel(alpha=0.0, beta=0.0, gamma=0.0, name="free")
+        self.timeout = timeout
+        self._queues: Dict[Tuple[int, int], queue.Queue] = {}
+        self._queues_lock = threading.Lock()
+        self._barrier = threading.Barrier(size)
+        self._barrier_lock = threading.Lock()
+        self._barrier_clocks: List[float] = []
+
+    def _mailbox(self, src: int, dst: int) -> queue.Queue:
+        key = (src, dst)
+        q = self._queues.get(key)
+        if q is None:
+            with self._queues_lock:
+                q = self._queues.setdefault(key, queue.Queue())
+        return q
+
+    def _barrier_sync(self, comm: Comm) -> None:
+        with self._barrier_lock:
+            self._barrier_clocks.append(comm.clock)
+        self._barrier.wait()
+        with self._barrier_lock:
+            max_clock = max(self._barrier_clocks)
+        comm.clock = max_clock
+        # Second phase so the list can be reset safely once all read it.
+        if self._barrier.wait() == 0:
+            with self._barrier_lock:
+                self._barrier_clocks.clear()
+        self._barrier.wait()
+
+    def run(
+        self,
+        fn: Callable[..., Any],
+        rank_args: Optional[Sequence[tuple]] = None,
+    ) -> List[Any]:
+        """Run ``fn(comm, *args)`` on every rank; return per-rank results.
+
+        ``rank_args[r]`` supplies extra positional arguments for rank
+        ``r``.  Exceptions on any rank are re-raised as
+        :class:`CommError` after all threads have been joined.
+        """
+        if rank_args is None:
+            rank_args = [()] * self.size
+        if len(rank_args) != self.size:
+            raise ValueError(f"need {self.size} argument tuples, got {len(rank_args)}")
+        self._queues.clear()
+        results: List[Any] = [None] * self.size
+        errors: List[Tuple[int, BaseException]] = []
+        self.comms = [Comm(r, self.size, self) for r in range(self.size)]
+
+        def runner(rank: int) -> None:
+            try:
+                results[rank] = fn(self.comms[rank], *rank_args[rank])
+            except BaseException as exc:  # noqa: BLE001 - reported to caller
+                errors.append((rank, exc))
+
+        if self.size == 1:
+            runner(0)
+        else:
+            threads = [
+                threading.Thread(target=runner, args=(r,), daemon=True, name=f"rank-{r}")
+                for r in range(self.size)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=self.timeout + 10)
+        if errors:
+            rank, exc = errors[0]
+            raise CommError(f"rank {rank} failed: {exc!r}") from exc
+        return results
+
+    def max_clock(self) -> float:
+        """Simulated latency of the last :meth:`run` (max over ranks)."""
+        return max(c.clock for c in self.comms)
+
+    def total_bytes(self) -> int:
+        """Total bytes moved during the last :meth:`run`."""
+        return sum(c.bytes_sent for c in self.comms)

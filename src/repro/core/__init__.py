@@ -1,0 +1,104 @@
+"""The paper's contribution: the Adasum operator and its system machinery.
+
+Modules
+-------
+``operator``
+    The pairwise Adasum combiner and its recursive (tree / linear)
+    application, whole-model and per-layer.
+``reduction``
+    ``GradientReducer`` strategy objects (Sum / Average / Adasum) that
+    the training simulator plugs in.
+``adasum_rvh``
+    Algorithm 1 — recursive vector halving with Adasum — executed
+    verbatim over the simulated message-passing cluster.
+``distributed_optimizer``
+    The Horovod-style ``DistributedOptimizer`` wrapper implementing the
+    pre-/post-optimizer application subtlety of Figure 3.
+``local_sgd``
+    Gradient accumulation via local steps with delta-from-start
+    effective gradients (the TensorFlow variant of Section 5.2).
+``precision``
+    fp16 emulation with fp64 scalar accumulation and dynamic loss
+    scaling (Section 4.4.1).
+``parallelize``
+    Optimizer-state and effective-gradient partitioning across local
+    GPUs (Section 4.3, Marian-style).
+``orthogonality``
+    The per-layer gradient-orthogonality metric of Section 3.6/Figure 1.
+``hessian``
+    Exact sequential-SGD emulation with Hessian-vector products
+    (Section 3.7 / Figure 2).
+"""
+
+from repro.core.operator import (
+    adasum,
+    adasum_scale_factors,
+    adasum_tree,
+    adasum_linear,
+    adasum_per_layer,
+    orthogonality_ratio,
+)
+from repro.core.reduction import (
+    GradientReducer,
+    SumReducer,
+    AverageReducer,
+    AdasumReducer,
+)
+from repro.core.adasum_rvh import adasum_rvh, allreduce_adasum_cluster
+from repro.core.adasum_ring import (
+    adasum_ring,
+    adasum_ring_cost,
+    allreduce_adasum_ring_cluster,
+)
+from repro.core.distributed_optimizer import DistributedOptimizer, ReduceOpType
+from repro.core.local_sgd import LocalStepWorker
+from repro.core.precision import DynamicScaler, Float16Codec
+from repro.core.parallelize import PartitionedAdasumEngine, partition_layers
+from repro.core.hessian import (
+    hessian_vector_product,
+    exact_hessian,
+    sequential_emulation_update,
+    hessian_pair_combine,
+    hessian_tree_combine,
+)
+from repro.core.orthogonality import OrthogonalityProbe
+from repro.core.clipping import clip_grad_norm, clip_grad_value, global_grad_norm
+from repro.core.local_sgd import LocalSGDCluster
+from repro.core.distributed_optimizer import allreduce, make_reducer
+
+__all__ = [
+    "adasum",
+    "adasum_scale_factors",
+    "adasum_tree",
+    "adasum_linear",
+    "adasum_per_layer",
+    "orthogonality_ratio",
+    "GradientReducer",
+    "SumReducer",
+    "AverageReducer",
+    "AdasumReducer",
+    "adasum_rvh",
+    "allreduce_adasum_cluster",
+    "adasum_ring",
+    "adasum_ring_cost",
+    "allreduce_adasum_ring_cluster",
+    "DistributedOptimizer",
+    "ReduceOpType",
+    "LocalStepWorker",
+    "DynamicScaler",
+    "Float16Codec",
+    "PartitionedAdasumEngine",
+    "partition_layers",
+    "hessian_vector_product",
+    "exact_hessian",
+    "sequential_emulation_update",
+    "hessian_pair_combine",
+    "hessian_tree_combine",
+    "OrthogonalityProbe",
+    "LocalSGDCluster",
+    "allreduce",
+    "make_reducer",
+    "clip_grad_norm",
+    "clip_grad_value",
+    "global_grad_norm",
+]

@@ -1,0 +1,46 @@
+"""Gradient clipping for the fine-grained ``allreduce`` flow (§4.1).
+
+The paper exposes the raw ``hvd.allreduce(op=hvd.Adasum)`` for "users
+[who] want to perform additional operations such as gradient clipping
+beyond those implemented in a DistributedOptimizer".  These helpers are
+that workflow's standard pieces: clip per rank, then combine.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+import numpy as np
+
+
+def global_grad_norm(grads: Mapping[str, np.ndarray]) -> float:
+    """L2 norm of the concatenation of all gradients (float64)."""
+    total = 0.0
+    for g in grads.values():
+        flat = np.asarray(g, dtype=np.float64).reshape(-1)
+        total += float(flat @ flat)
+    return float(np.sqrt(total))
+
+
+def clip_grad_norm(
+    grads: Mapping[str, np.ndarray], max_norm: float
+) -> Dict[str, np.ndarray]:
+    """Scale all gradients so their global norm is at most ``max_norm``.
+
+    Returns new arrays (inputs untouched); a no-op copy when already
+    within the bound.  Mirrors ``torch.nn.utils.clip_grad_norm_``.
+    """
+    if max_norm <= 0:
+        raise ValueError("max_norm must be positive")
+    norm = global_grad_norm(grads)
+    scale = min(1.0, max_norm / max(norm, 1e-12))
+    return {n: np.asarray(g) * scale for n, g in grads.items()}
+
+
+def clip_grad_value(
+    grads: Mapping[str, np.ndarray], max_value: float
+) -> Dict[str, np.ndarray]:
+    """Elementwise clamp to ``[-max_value, max_value]``."""
+    if max_value <= 0:
+        raise ValueError("max_value must be positive")
+    return {n: np.clip(np.asarray(g), -max_value, max_value) for n, g in grads.items()}

@@ -1,0 +1,146 @@
+"""Exact sequential-SGD emulation via Hessian corrections (paper §3.7, Fig. 2).
+
+The paper validates Adasum by comparing it, step by step, against a
+*sequential emulation* that removes gradient staleness with the exact
+Hessian (Equation 2)::
+
+    g2(w1) ≈ g2(w0) − α · H2(w0) · g1(w0)
+
+and, averaging both visit orders (Section 3.3)::
+
+    combine(g1, g2) = g1 + g2 − (α/2)·H2·g1 − (α/2)·H1·g2
+
+applied recursively over a binary tree exactly like Adasum.  Adasum is
+this combiner with the Fisher approximation ``H ≈ g·gᵀ`` and the
+optimal-step assumption ``α = 1/‖g‖²``; Figure 2 measures how far
+Adasum (and plain summation) land from the Hessian-exact combination.
+
+Hessian-vector products use central finite differences of the analytic
+gradient — exact to O(ε²) and validated against dense Hessians on tiny
+models (``tests/core/test_hessian.py``); see the DESIGN.md substitution
+table (the paper used ``torch.autograd`` double backward).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple
+
+import numpy as np
+
+#: ``grad_fn(w) -> gradient`` — both flat float64 vectors.
+GradFn = Callable[[np.ndarray], np.ndarray]
+
+
+def hessian_vector_product(
+    grad_fn: GradFn, w: np.ndarray, v: np.ndarray, eps: float = 1e-4
+) -> np.ndarray:
+    """``H(w) · v`` by central differences of ``grad_fn``.
+
+    The probe is normalized so the finite-difference step has magnitude
+    ``eps`` regardless of ``‖v‖`` (important when v is a tiny gradient).
+    """
+    v = np.asarray(v, dtype=np.float64)
+    vnorm = float(np.linalg.norm(v))
+    if vnorm == 0.0:
+        return np.zeros_like(v)
+    unit = v / vnorm
+    gp = grad_fn(w + eps * unit)
+    gm = grad_fn(w - eps * unit)
+    return (gp - gm) * (vnorm / (2.0 * eps))
+
+
+def exact_hessian(grad_fn: GradFn, w: np.ndarray, eps: float = 1e-4) -> np.ndarray:
+    """Dense Hessian column by column (tiny models only; O(d) grad evals)."""
+    d = w.size
+    H = np.empty((d, d), dtype=np.float64)
+    for j in range(d):
+        e = np.zeros(d)
+        e[j] = 1.0
+        H[:, j] = hessian_vector_product(grad_fn, w, e, eps=eps)
+    # Symmetrize away finite-difference noise.
+    return 0.5 * (H + H.T)
+
+
+def sequential_emulation_update(
+    grad_fns: Sequence[GradFn],
+    w0: np.ndarray,
+    alpha: float,
+    eps: float = 1e-4,
+) -> np.ndarray:
+    """Effective gradient of one *ordered* sequential pass (Equation 1+2).
+
+    Emulates running minibatch ``i``'s SGD step after minibatches
+    ``0..i-1``, correcting each gradient's staleness to first order with
+    the exact (finite-difference) Hessian:
+    ``e_i = g_i(w0) − α·H_i(w0)·(Σ_{j<i} e_j)``.  Returns ``Σ_i e_i``
+    so the emulated final model is ``w0 − α · result``.
+    """
+    w0 = np.asarray(w0, dtype=np.float64)
+    total = np.zeros_like(w0)
+    for fn in grad_fns:
+        g = fn(w0)
+        correction = (
+            alpha * hessian_vector_product(fn, w0, total, eps=eps)
+            if np.any(total)
+            else 0.0
+        )
+        e = g - correction
+        total = total + e
+    return total
+
+
+def hessian_pair_combine(
+    ga: np.ndarray,
+    gb: np.ndarray,
+    fn_a: GradFn,
+    fn_b: GradFn,
+    w0: np.ndarray,
+    alpha: float,
+    eps: float = 1e-4,
+) -> np.ndarray:
+    """Both-orders averaged pairwise combination with exact Hessians.
+
+    The Hessian-exact analogue of ``Adasum(ga, gb)`` (Section 3.3)::
+
+        ga + gb − (α/2)·H_b·ga − (α/2)·H_a·gb
+    """
+    hb_ga = hessian_vector_product(fn_b, w0, ga, eps=eps)
+    ha_gb = hessian_vector_product(fn_a, w0, gb, eps=eps)
+    return ga + gb - 0.5 * alpha * hb_ga - 0.5 * alpha * ha_gb
+
+
+def hessian_tree_combine(
+    grad_fns: Sequence[GradFn],
+    w0: np.ndarray,
+    alpha: float,
+    eps: float = 1e-4,
+) -> np.ndarray:
+    """Recursive-tree Hessian-exact combination of ``n`` minibatches.
+
+    Mirrors Adasum's recursion (Section 3.4): combine the left and right
+    halves, then combine the two effective gradients treating each half
+    as a single loss whose Hessian is the mean of its members' — the
+    reference signal for Figure 2.  Requires power-of-two counts.
+    """
+    n = len(grad_fns)
+    if n & (n - 1):
+        raise ValueError(f"hessian_tree_combine needs power-of-two inputs, got {n}")
+    w0 = np.asarray(w0, dtype=np.float64)
+
+    def mean_fn(fns: List[GradFn]) -> GradFn:
+        def fn(w: np.ndarray) -> np.ndarray:
+            return np.mean([f(w) for f in fns], axis=0)
+
+        return fn
+
+    def recurse(fns: List[GradFn]) -> Tuple[np.ndarray, GradFn]:
+        if len(fns) == 1:
+            return fns[0](w0), fns[0]
+        mid = len(fns) // 2
+        ga, fa = recurse(fns[:mid])
+        gb, fb = recurse(fns[mid:])
+        combined = hessian_pair_combine(ga, gb, fa, fb, w0, alpha, eps=eps)
+        return combined, mean_fn([fa, fb])
+
+    result, _ = recurse(list(grad_fns))
+    return result

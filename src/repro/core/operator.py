@@ -1,0 +1,119 @@
+"""The Adasum operator (paper Section 3).
+
+For gradients ``g1``, ``g2``::
+
+    Adasum(g1, g2) = (1 - g1·g2 / (2‖g1‖²)) g1 + (1 - g1·g2 / (2‖g2‖²)) g2
+
+Key properties (tested in ``tests/core/test_operator.py``):
+
+* orthogonal gradients  → exact sum ``g1 + g2``;
+* parallel gradients of equal norm → exact average ``(g1 + g2) / 2``;
+* the operator is symmetric and scale-covariant under joint scaling;
+* dot products and norms accumulate in float64 even for fp16/fp32
+  inputs (paper Section 4.4.1 — "crucial for improved convergence").
+
+The recursive applications below mirror Section 3.4: the *tree*
+(recursive halving) form used by AdasumRVH, and the *linear* form that
+the paper's "ring" implementation corresponds to.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+#: Norms below this are treated as zero to avoid division blow-ups.
+_EPS = 1e-30
+
+
+def adasum_scale_factors(g1: np.ndarray, g2: np.ndarray) -> Tuple[float, float]:
+    """Scalars ``(s1, s2)`` such that ``Adasum(g1, g2) = s1·g1 + s2·g2``.
+
+    Dot products and squared norms accumulate in float64 regardless of
+    input dtype.  Degenerate inputs (either gradient ~0) fall back to a
+    plain sum, which is the correct limit.
+    """
+    f1 = g1.reshape(-1).astype(np.float64, copy=False)
+    f2 = g2.reshape(-1).astype(np.float64, copy=False)
+    dot = float(f1 @ f2)
+    n1 = float(f1 @ f1)
+    n2 = float(f2 @ f2)
+    s1 = 1.0 - dot / (2.0 * n1) if n1 > _EPS else 1.0
+    s2 = 1.0 - dot / (2.0 * n2) if n2 > _EPS else 1.0
+    return s1, s2
+
+
+def adasum(g1: np.ndarray, g2: np.ndarray) -> np.ndarray:
+    """Pairwise Adasum of two same-shaped gradients."""
+    if g1.shape != g2.shape:
+        raise ValueError(f"shape mismatch: {g1.shape} vs {g2.shape}")
+    s1, s2 = adasum_scale_factors(g1, g2)
+    out = s1 * g1.astype(np.float64, copy=False) + s2 * g2.astype(np.float64, copy=False)
+    return out.astype(g1.dtype, copy=False)
+
+
+def adasum_tree(grads: Sequence[np.ndarray]) -> np.ndarray:
+    """Recursive binary-tree application (paper Section 3.4).
+
+    ``Adasum(g[0:n]) = Adasum(Adasum(g[0:n/2]), Adasum(g[n/2:n]))`` —
+    the bandwidth-optimal recursion AdasumRVH implements.  Requires a
+    power-of-two count; emulates exponentially many SGD paths.
+    """
+    n = len(grads)
+    if n == 0:
+        raise ValueError("adasum_tree needs at least one gradient")
+    if n & (n - 1):
+        raise ValueError(f"adasum_tree requires a power-of-two count, got {n}")
+    level: List[np.ndarray] = list(grads)
+    while len(level) > 1:
+        level = [adasum(level[i], level[i + 1]) for i in range(0, len(level), 2)]
+    return level[0]
+
+
+def adasum_linear(grads: Sequence[np.ndarray]) -> np.ndarray:
+    """Linear (left-fold) application — the "ring" variant of §4.2.3.
+
+    ``Adasum(g[0,n+1]) = Adasum(Adasum(g[0,n]), g[n+1])``.  Any count.
+    """
+    if not grads:
+        raise ValueError("adasum_linear needs at least one gradient")
+    acc = grads[0]
+    for g in grads[1:]:
+        acc = adasum(acc, g)
+    return acc
+
+
+def adasum_per_layer(
+    grad_dicts: Sequence[Mapping[str, np.ndarray]], tree: bool = True
+) -> Dict[str, np.ndarray]:
+    """Apply Adasum independently per layer (paper Section 3.6).
+
+    ``grad_dicts[r]`` maps layer name → gradient on rank ``r``.  The
+    per-layer application adapts to each layer's own orthogonality
+    instead of the whole flattened model's.
+    """
+    if not grad_dicts:
+        raise ValueError("need at least one rank's gradients")
+    names = list(grad_dicts[0].keys())
+    for d in grad_dicts[1:]:
+        if list(d.keys()) != names:
+            raise ValueError("ranks disagree on layer names/order")
+    combine = adasum_tree if tree else adasum_linear
+    return {name: combine([d[name] for d in grad_dicts]) for name in names}
+
+
+def orthogonality_ratio(grads: Sequence[np.ndarray], tree: bool = True) -> float:
+    """Section 3.6 orthogonality metric: ``‖Adasum(g[1,n])‖² / Σᵢ ‖gᵢ‖²``.
+
+    Equals 1 when all gradients are mutually orthogonal and reaches its
+    minimum ``1/n`` when they are parallel with equal norms.
+    """
+    combine = adasum_tree if tree else adasum_linear
+    combined = combine(list(grads)).astype(np.float64, copy=False)
+    num = float(combined @ combined)
+    den = sum(float(g.reshape(-1).astype(np.float64) @ g.reshape(-1).astype(np.float64))
+              for g in grads)
+    if den <= _EPS:
+        return 1.0
+    return num / den

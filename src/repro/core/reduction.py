@@ -1,0 +1,130 @@
+"""Gradient-reduction strategies plugged into the training simulator.
+
+The paper compares three ways to combine per-rank gradients:
+
+* ``SumReducer`` — Horovod's default ``Sum`` (synchronous SGD; the
+  learning rate implicitly scales with the rank count);
+* ``AverageReducer`` — the mean, equivalent to Sum with a 1/N LR;
+* ``AdasumReducer`` — the paper's operator, per layer by default
+  (Section 3.6) with a whole-model ablation switch, and tree or linear
+  recursion (Section 3.4 / 4.2.3).
+
+Reducers consume ``grad_dicts`` — one ``{layer_name: gradient}`` mapping
+per rank — and produce the combined update, so the same trainer code
+drives every experiment in Section 5.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.operator import adasum_linear, adasum_per_layer, adasum_tree
+
+
+def _check_consistent(grad_dicts: Sequence[Mapping[str, np.ndarray]]) -> List[str]:
+    if not grad_dicts:
+        raise ValueError("need at least one rank's gradients")
+    names = list(grad_dicts[0].keys())
+    for i, d in enumerate(grad_dicts[1:], start=1):
+        if list(d.keys()) != names:
+            raise ValueError(f"rank {i} layer names differ from rank 0")
+    return names
+
+
+class GradientReducer:
+    """Strategy interface: combine one gradient dict per rank into one.
+
+    ``post_optimizer`` tells the distributed optimizer *where* to apply
+    the reduction: synchronous SGD reduces raw gradients before the
+    optimizer step, while Adasum with stateful optimizers (Adam/LAMB)
+    reduces the post-optimizer model delta (paper Figure 3).
+    """
+
+    name: str = "base"
+    post_optimizer: bool = False
+
+    def reduce(
+        self, grad_dicts: Sequence[Mapping[str, np.ndarray]]
+    ) -> Dict[str, np.ndarray]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class SumReducer(GradientReducer):
+    """Plain sum across ranks (Horovod's default op for synchronous SGD)."""
+
+    name = "sum"
+
+    def reduce(self, grad_dicts):
+        names = _check_consistent(grad_dicts)
+        return {
+            n: np.sum([d[n] for d in grad_dicts], axis=0, dtype=np.float64).astype(
+                grad_dicts[0][n].dtype
+            )
+            for n in names
+        }
+
+
+class AverageReducer(GradientReducer):
+    """Mean across ranks (Sum with an implicit 1/N learning-rate factor)."""
+
+    name = "average"
+
+    def reduce(self, grad_dicts):
+        names = _check_consistent(grad_dicts)
+        n_ranks = len(grad_dicts)
+        return {
+            n: (
+                np.sum([d[n] for d in grad_dicts], axis=0, dtype=np.float64) / n_ranks
+            ).astype(grad_dicts[0][n].dtype)
+            for n in names
+        }
+
+
+class AdasumReducer(GradientReducer):
+    """The paper's adaptive-sum reduction.
+
+    Parameters
+    ----------
+    per_layer:
+        Apply Adasum independently per layer (paper default, §3.6).
+        ``False`` flattens the whole model into one vector (ablation).
+    tree:
+        Binary-tree recursion (AdasumRVH order); ``False`` uses the
+        linear/"ring" order (§4.2.3 ablation).
+    """
+
+    name = "adasum"
+    post_optimizer = True
+
+    def __init__(self, per_layer: bool = True, tree: bool = True):
+        self.per_layer = per_layer
+        self.tree = tree
+
+    def reduce(self, grad_dicts):
+        names = _check_consistent(grad_dicts)
+        n = len(grad_dicts)
+        if self.tree and n & (n - 1):
+            raise ValueError(f"tree Adasum needs power-of-two ranks, got {n}")
+        if self.per_layer:
+            return adasum_per_layer(grad_dicts, tree=self.tree)
+        # Whole-model: flatten, combine, unflatten.
+        shapes = {name: grad_dicts[0][name].shape for name in names}
+        sizes = {name: grad_dicts[0][name].size for name in names}
+        flats = [
+            np.concatenate([d[name].reshape(-1) for name in names]) for d in grad_dicts
+        ]
+        combined = adasum_tree(flats) if self.tree else adasum_linear(flats)
+        out: Dict[str, np.ndarray] = {}
+        offset = 0
+        for name in names:
+            out[name] = combined[offset : offset + sizes[name]].reshape(shapes[name])
+            offset += sizes[name]
+        return out
+
+    def __repr__(self) -> str:
+        return f"AdasumReducer(per_layer={self.per_layer}, tree={self.tree})"

@@ -1,0 +1,62 @@
+"""Per-rank data partitioning and batch iteration.
+
+Horovod leaves data partitioning to the user ("the user is responsible
+for partitioning data across nodes", paper §4.1); these helpers are the
+reproduction's standard way to do it: each rank owns a disjoint shard,
+re-shuffled per epoch from a shared seed so runs are deterministic and
+rank-count-comparable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+
+class ShardedSampler:
+    """Deterministic epoch-shuffled sharding of ``n`` samples over ranks.
+
+    Every epoch the full index set is permuted with ``seed + epoch`` and
+    dealt round-robin, so each rank sees a different disjoint shard per
+    epoch (matching ``DistributedSampler`` semantics).
+    """
+
+    def __init__(self, n_samples: int, num_ranks: int, seed: int = 0):
+        if num_ranks < 1 or n_samples < num_ranks:
+            raise ValueError(f"cannot shard {n_samples} samples over {num_ranks} ranks")
+        self.n_samples = n_samples
+        self.num_ranks = num_ranks
+        self.seed = seed
+
+    def epoch_shards(self, epoch: int) -> List[np.ndarray]:
+        """Per-rank index arrays for ``epoch`` (equal length, disjoint)."""
+        rng = np.random.default_rng(self.seed + epoch)
+        order = rng.permutation(self.n_samples)
+        usable = (self.n_samples // self.num_ranks) * self.num_ranks
+        return [order[r:usable:self.num_ranks] for r in range(self.num_ranks)]
+
+
+class BatchIterator:
+    """Iterate aligned per-rank microbatches for one epoch.
+
+    Yields ``(step, [rank_0_indices, ..., rank_{R-1}_indices])`` where
+    each rank's index array has ``microbatch`` entries.
+    """
+
+    def __init__(self, sampler: ShardedSampler, microbatch: int):
+        if microbatch < 1:
+            raise ValueError("microbatch must be >= 1")
+        self.sampler = sampler
+        self.microbatch = microbatch
+
+    def steps_per_epoch(self) -> int:
+        shard_len = self.sampler.n_samples // self.sampler.num_ranks
+        return shard_len // self.microbatch
+
+    def epoch(self, epoch: int) -> Iterator[Tuple[int, List[np.ndarray]]]:
+        shards = self.sampler.epoch_shards(epoch)
+        steps = self.steps_per_epoch()
+        for step in range(steps):
+            lo, hi = step * self.microbatch, (step + 1) * self.microbatch
+            yield step, [shard[lo:hi] for shard in shards]

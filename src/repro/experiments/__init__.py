@@ -1,0 +1,33 @@
+"""One module per paper table/figure (see DESIGN.md §4 for the index).
+
+Every experiment exposes a ``run_*(fast=True)`` entry point returning a
+plain result object, and the benchmark under ``benchmarks/`` that both
+times the kernel and prints the paper-style rows.  ``fast=True`` is the
+CI-scale profile; ``fast=False`` enlarges models/datasets/worker counts
+toward the paper's shape (still CPU-tractable).
+"""
+
+from repro.experiments.fig1_orthogonality import run_fig1
+from repro.experiments.fig2_hessian import run_fig2
+from repro.experiments.fig4_latency import run_fig4, validate_rvh_simulation
+from repro.experiments.fig5_resnet import run_fig5
+from repro.experiments.fig6_lenet import run_fig6
+from repro.experiments.table1_parallelize import run_table1
+from repro.experiments.table2_local_steps import run_table2
+from repro.experiments.table3_bert import run_table3
+from repro.experiments.table4_bert_system import run_table4
+from repro.experiments.production import run_production_proxy
+
+__all__ = [
+    "run_fig1",
+    "run_fig2",
+    "run_fig4",
+    "validate_rvh_simulation",
+    "run_fig5",
+    "run_fig6",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "run_production_proxy",
+]

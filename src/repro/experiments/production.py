@@ -1,0 +1,92 @@
+"""Section 5.5 — production-model case-study proxy.
+
+The paper summarizes three years of internal deployments; the
+quantified one is an LSTM next-command model that used Adasum to train
+on 4× the data (per allreduce) and gained ~6% downstream accuracy.
+
+Proxy: the :class:`TinyLSTMClassifier` on synthetic command sequences.
+The baseline consumes the standard data rate (4 ranks, Sum); the Adasum
+run consumes 4× the examples per allreduce (16 ranks) with no
+hyperparameter change, within the same wall-clock-equivalent step
+budget.  The reproduced claim is the *ordering*: Adasum-at-4×-data ≥
+baseline accuracy, with scaling that plain Sum at 16 ranks does not
+deliver.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Tuple
+
+import numpy as np
+
+from repro import nn
+from repro.core import DistributedOptimizer, ReduceOpType
+from repro.data import make_command_sequences, train_test_split
+from repro.models import TinyLSTMClassifier
+from repro.optim import SGD
+from repro.train import ParallelTrainer, accuracy
+
+
+@dataclasses.dataclass
+class ProductionResult:
+    baseline_accuracy: float
+    adasum_4x_accuracy: float
+    sum_4x_accuracy: float
+
+    @property
+    def improvement(self) -> float:
+        """Relative downstream-accuracy gain of Adasum at 4× data."""
+        return self.adasum_4x_accuracy / max(self.baseline_accuracy, 1e-9) - 1.0
+
+    def rows(self) -> List[Tuple]:
+        return [
+            ("baseline (Sum, 4 ranks)", f"{self.baseline_accuracy:.3f}"),
+            ("Adasum, 16 ranks (4x data)", f"{self.adasum_4x_accuracy:.3f}"),
+            ("Sum, 16 ranks (4x data)", f"{self.sum_4x_accuracy:.3f}"),
+            ("Adasum improvement", f"{self.improvement * 100:.1f}%"),
+        ]
+
+
+def _train(method: str, ranks: int, lr: float, steps: int, microbatch: int,
+           x_tr, y_tr, x_te, y_te, seed: int) -> float:
+    model = TinyLSTMClassifier(rng=np.random.default_rng(seed))
+    op = ReduceOpType.SUM if method == "sum" else ReduceOpType.ADASUM
+    dopt = DistributedOptimizer(
+        model, lambda ps: SGD(ps, lr, momentum=0.9), num_ranks=ranks, op=op,
+        adasum_pre_optimizer=method != "sum",
+    )
+    trainer = ParallelTrainer(
+        model, nn.CrossEntropyLoss(), dopt, x_tr, y_tr, microbatch=microbatch, seed=seed
+    )
+    done = 0
+    epoch = 0
+    while done < steps:
+        take = min(steps - done, trainer.steps_per_epoch())
+        trainer.train_epoch(epoch, max_steps=take)
+        done += take
+        epoch += 1
+    return accuracy(model, x_te, y_te)
+
+
+def run_production_proxy(
+    steps: int = 120,
+    microbatch: int = 8,
+    lr: float = 0.2,
+    dataset: int = 4096,
+    seed: int = 0,
+    fast: bool = True,
+) -> ProductionResult:
+    """Run the three §5.5 proxy configurations."""
+    if not fast:
+        steps *= 2
+    x, y = make_command_sequences(dataset, noise=0.2, seed=seed)
+    x_tr, y_tr, x_te, y_te = train_test_split(x, y, 0.25, seed=seed + 1)
+    baseline = _train("sum", 4, lr, steps, microbatch, x_tr, y_tr, x_te, y_te, seed)
+    adasum4x = _train("adasum", 16, lr, steps, microbatch, x_tr, y_tr, x_te, y_te, seed)
+    sum4x = _train("sum", 16, lr, steps, microbatch, x_tr, y_tr, x_te, y_te, seed)
+    return ProductionResult(
+        baseline_accuracy=baseline,
+        adasum_4x_accuracy=adasum4x,
+        sum_4x_accuracy=sum4x,
+    )

@@ -1,0 +1,28 @@
+"""Case-study models from the paper, at reproduction scale.
+
+* :class:`MLP` — generic multilayer perceptron (Figure 2 Hessian study).
+* :class:`LeNet5` — faithful LeNet-5 (Section 5.4 scaling case study).
+* :class:`ResNetCIFAR` — scaled-down residual network standing in for
+  ResNet-50 (Sections 5.1/5.2).
+* :class:`MiniBERT` — small BERT-style masked-LM transformer standing in
+  for BERT-Large (Section 5.3).
+* :class:`TinyLSTMClassifier` — recurrent proxy for the production
+  LSTM case study (Section 5.5).
+"""
+
+from repro.models.mlp import MLP
+from repro.models.lenet import LeNet5
+from repro.models.resnet import ResNetCIFAR, BasicBlock
+from repro.models.transformer import MiniBERT, TransformerEncoderLayer, BertConfig
+from repro.models.lstm import TinyLSTMClassifier
+
+__all__ = [
+    "MLP",
+    "LeNet5",
+    "ResNetCIFAR",
+    "BasicBlock",
+    "MiniBERT",
+    "TransformerEncoderLayer",
+    "BertConfig",
+    "TinyLSTMClassifier",
+]

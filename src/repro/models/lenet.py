@@ -1,0 +1,44 @@
+"""LeNet-5, as used in the paper's Section 5.4 case study.
+
+Matches the classic architecture used by the Horovod PyTorch MNIST
+example the paper modified: two conv+pool stages followed by three
+fully-connected layers, for 28×28 single-channel inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro import nn
+from repro.tensor import Tensor
+
+
+class LeNet5(nn.Module):
+    """LeNet-5 for 28×28 grayscale images, ``num_classes`` outputs."""
+
+    def __init__(self, num_classes: int = 10, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.features = nn.Sequential(
+            nn.Conv2d(1, 6, kernel_size=5, padding=2, rng=rng),
+            nn.ReLU(),
+            nn.MaxPool2d(2),
+            nn.Conv2d(6, 16, kernel_size=5, rng=rng),
+            nn.ReLU(),
+            nn.MaxPool2d(2),
+        )
+        self.classifier = nn.Sequential(
+            nn.Flatten(),
+            nn.Linear(16 * 5 * 5, 120, rng=rng),
+            nn.ReLU(),
+            nn.Linear(120, 84, rng=rng),
+            nn.ReLU(),
+            nn.Linear(84, num_classes, rng=rng),
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not isinstance(x, Tensor):
+            x = Tensor(x)
+        return self.classifier(self.features(x))

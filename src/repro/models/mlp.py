@@ -1,0 +1,54 @@
+"""Plain multilayer perceptron.
+
+Small enough for the exact-Hessian sequential-emulation study of the
+paper's Figure 2 (the dense Hessian of a tiny MLP is tractable).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro import nn
+from repro.tensor import Tensor
+
+
+class MLP(nn.Module):
+    """Fully connected classifier ``in -> hidden... -> out`` with tanh/ReLU.
+
+    Parameters
+    ----------
+    sizes:
+        Layer widths including input and output, e.g. ``(64, 32, 10)``.
+    activation:
+        ``"relu"`` or ``"tanh"``.  The Hessian experiments use tanh for
+        smoothness (finite-difference HVPs dislike ReLU kinks).
+    """
+
+    def __init__(
+        self,
+        sizes: Sequence[int],
+        activation: str = "relu",
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        if len(sizes) < 2:
+            raise ValueError("MLP needs at least input and output sizes")
+        rng = rng or np.random.default_rng(0)
+        acts = {"relu": nn.ReLU, "tanh": nn.Tanh}
+        if activation not in acts:
+            raise ValueError(f"unknown activation {activation!r}")
+        layers = []
+        for i, (a, b) in enumerate(zip(sizes[:-1], sizes[1:])):
+            layers.append(nn.Linear(a, b, rng=rng))
+            if i < len(sizes) - 2:
+                layers.append(acts[activation]())
+        self.net = nn.Sequential(*layers)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not isinstance(x, Tensor):
+            x = Tensor(x)
+        if x.ndim > 2:
+            x = x.flatten(start_dim=1)
+        return self.net(x)

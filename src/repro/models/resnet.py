@@ -1,0 +1,94 @@
+"""Residual network, CIFAR-style, standing in for ResNet-50.
+
+The paper's ResNet-50/ImageNet experiments probe how Sum vs Adasum
+behave as the effective batch grows; that phenomenon reproduces on a
+scaled-down residual CNN (see DESIGN.md substitution table).  The
+architecture follows the classic CIFAR ResNet family (He et al. 2016,
+Section 4.2): a 3×3 stem, three stages of ``n`` basic blocks with
+channel widths ``(w, 2w, 4w)``, global average pooling and a linear
+classifier.  ``ResNetCIFAR(n=1, width=8)`` is an 8-layer net small
+enough to train many replicas of in CI.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro import nn
+from repro.tensor import Tensor, functional as F
+
+
+class BasicBlock(nn.Module):
+    """Two 3×3 convs with identity (or 1×1 projection) shortcut."""
+
+    def __init__(
+        self,
+        in_ch: int,
+        out_ch: int,
+        stride: int = 1,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.conv1 = nn.Conv2d(in_ch, out_ch, 3, stride=stride, padding=1, bias=False, rng=rng)
+        self.bn1 = nn.BatchNorm2d(out_ch)
+        self.conv2 = nn.Conv2d(out_ch, out_ch, 3, stride=1, padding=1, bias=False, rng=rng)
+        self.bn2 = nn.BatchNorm2d(out_ch)
+        if stride != 1 or in_ch != out_ch:
+            self.shortcut: nn.Module = nn.Sequential(
+                nn.Conv2d(in_ch, out_ch, 1, stride=stride, bias=False, rng=rng),
+                nn.BatchNorm2d(out_ch),
+            )
+        else:
+            self.shortcut = nn.Identity()
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.bn1(self.conv1(x)).relu()
+        out = self.bn2(self.conv2(out))
+        return (out + self.shortcut(x)).relu()
+
+
+class ResNetCIFAR(nn.Module):
+    """CIFAR-style ResNet with ``6n + 2`` layers.
+
+    Parameters
+    ----------
+    n:
+        Blocks per stage (1 → ResNet-8, 3 → ResNet-20).
+    width:
+        Channels in the first stage (16 for the classic CIFAR net).
+    num_classes, in_channels, rng:
+        Task shape and deterministic initialization.
+    """
+
+    def __init__(
+        self,
+        n: int = 1,
+        width: int = 8,
+        num_classes: int = 10,
+        in_channels: int = 3,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.stem = nn.Conv2d(in_channels, width, 3, padding=1, bias=False, rng=rng)
+        self.bn = nn.BatchNorm2d(width)
+        blocks = []
+        in_ch = width
+        for stage, ch in enumerate((width, 2 * width, 4 * width)):
+            for b in range(n):
+                stride = 2 if (stage > 0 and b == 0) else 1
+                blocks.append(BasicBlock(in_ch, ch, stride=stride, rng=rng))
+                in_ch = ch
+        self.blocks = nn.Sequential(*blocks)
+        self.fc = nn.Linear(in_ch, num_classes, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not isinstance(x, Tensor):
+            x = Tensor(x)
+        out = self.bn(self.stem(x)).relu()
+        out = self.blocks(out)
+        out = F.global_avg_pool2d(out)
+        return self.fc(out)

@@ -1,0 +1,58 @@
+"""Weight initializers.
+
+All initializers take an explicit ``numpy.random.Generator`` so every
+simulated rank can deterministically construct the *same* initial model,
+matching the paper's requirement that "the user is responsible for ...
+initializing the model correctly in all nodes" (Section 4.1).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def _fan_in_out(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    if len(shape) == 2:  # Linear: (out, in)
+        fan_out, fan_in = shape
+    elif len(shape) == 4:  # Conv: (out, in, kh, kw)
+        receptive = shape[2] * shape[3]
+        fan_in = shape[1] * receptive
+        fan_out = shape[0] * receptive
+    else:
+        fan_in = fan_out = int(np.prod(shape))
+    return fan_in, fan_out
+
+
+def kaiming_uniform(shape, rng: np.random.Generator, gain: float = np.sqrt(2.0)) -> np.ndarray:
+    """He-uniform initialization (default for ReLU networks)."""
+    fan_in, _ = _fan_in_out(tuple(shape))
+    bound = gain * np.sqrt(3.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def xavier_uniform(shape, rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    """Glorot-uniform initialization (default for tanh/linear layers)."""
+    fan_in, fan_out = _fan_in_out(tuple(shape))
+    bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def normal(shape, rng: np.random.Generator, std: float = 0.02) -> np.ndarray:
+    """Truncated-free normal initialization (BERT-style, std=0.02)."""
+    return (rng.standard_normal(size=shape) * std).astype(np.float32)
+
+
+def zeros(shape) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float32)
+
+
+def ones(shape) -> np.ndarray:
+    return np.ones(shape, dtype=np.float32)
+
+
+def uniform_bias(shape, fan_in: int, rng: np.random.Generator) -> np.ndarray:
+    """PyTorch-style bias init: U(-1/sqrt(fan_in), 1/sqrt(fan_in))."""
+    bound = 1.0 / np.sqrt(max(fan_in, 1))
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)

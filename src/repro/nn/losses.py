@@ -1,0 +1,38 @@
+"""Loss modules.
+
+The paper's Hessian approximation (Appendix A.1) assumes negative
+log-likelihood losses, which is what every case-study model here uses
+(cross-entropy over logits).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.tensor import Tensor, functional as F
+
+
+class CrossEntropyLoss(Module):
+    """Mean cross-entropy over integer class targets.
+
+    Accepts ``(N, C)`` logits or ``(N, S, C)`` sequence logits (flattened
+    internally).  ``ignore_index`` positions contribute nothing — used by
+    the masked-LM objective where only masked tokens are scored.
+    """
+
+    def __init__(self, ignore_index: Optional[int] = None):
+        super().__init__()
+        self.ignore_index = ignore_index
+
+    def forward(self, logits: Tensor, targets: np.ndarray) -> Tensor:
+        return F.cross_entropy(logits, targets, ignore_index=self.ignore_index)
+
+
+class MSELoss(Module):
+    """Mean squared error against a constant target."""
+
+    def forward(self, pred: Tensor, target: np.ndarray) -> Tensor:
+        return F.mse_loss(pred, target)

@@ -1,0 +1,39 @@
+"""Optimizers and learning-rate schedules.
+
+Implements the optimizers the paper scales with Adasum — Momentum-SGD
+(ResNet-50, LeNet-5), Adam and LAMB (BERT-Large) — plus LARS, which LAMB
+extends.  All optimizers follow the conventions the paper relies on:
+
+* ``step()`` consumes ``param.grad`` and updates ``param.data`` in place;
+* optimizer *state* (momentum buffers, Adam moments) is addressable
+  per-parameter, which the optimizer-state partitioning of Section 4.3
+  (:mod:`repro.core.parallelize`) exploits;
+* the learning rate is supplied by a schedule object evaluated per step.
+"""
+
+from repro.optim.optimizer import Optimizer
+from repro.optim.sgd import SGD
+from repro.optim.adam import Adam, AdamW
+from repro.optim.lars import LARS
+from repro.optim.lamb import LAMB
+from repro.optim.lr_schedules import (
+    ConstantLR,
+    LinearWarmupDecay,
+    StepDecay,
+    PolynomialDecay,
+    LRSchedule,
+)
+
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "AdamW",
+    "LARS",
+    "LAMB",
+    "LRSchedule",
+    "ConstantLR",
+    "LinearWarmupDecay",
+    "StepDecay",
+    "PolynomialDecay",
+]

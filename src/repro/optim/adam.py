@@ -1,0 +1,63 @@
+"""Adam and AdamW.
+
+Adam is the optimizer the paper shows stops scaling at 16K batch for
+BERT under plain summation, but reaches 64K under Adasum (Table 3).
+Moments are stored in fp32 regardless of parameter dtype, mirroring the
+mixed-precision practice of Section 4.4.1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Parameter
+from repro.optim.optimizer import Optimizer
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2015) with bias correction."""
+
+    def __init__(
+        self,
+        params,
+        lr,
+        betas=(0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(params, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+
+    def _adam_direction(self, index: int, p: Parameter, grad: np.ndarray) -> np.ndarray:
+        """Bias-corrected Adam step direction m̂ / (sqrt(v̂) + eps)."""
+        st = self.state_for(index)
+        if "m" not in st:
+            st["m"] = np.zeros_like(p.data, dtype=np.float32)
+            st["v"] = np.zeros_like(p.data, dtype=np.float32)
+            st["t"] = np.zeros(1, dtype=np.int64)
+        grad32 = grad.astype(np.float32)
+        st["m"] = self.beta1 * st["m"] + (1 - self.beta1) * grad32
+        st["v"] = self.beta2 * st["v"] + (1 - self.beta2) * grad32 * grad32
+        st["t"] += 1
+        t = int(st["t"][0])
+        mhat = st["m"] / (1 - self.beta1 ** t)
+        vhat = st["v"] / (1 - self.beta2 ** t)
+        return mhat / (np.sqrt(vhat) + self.eps)
+
+    def _update_param(self, index: int, p: Parameter, grad: np.ndarray, lr: float) -> None:
+        if self.weight_decay:
+            grad = grad + self.weight_decay * p.data
+        direction = self._adam_direction(index, p, grad)
+        p.data -= (lr * direction).astype(p.data.dtype)
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay (Loshchilov & Hutter)."""
+
+    def _update_param(self, index: int, p: Parameter, grad: np.ndarray, lr: float) -> None:
+        direction = self._adam_direction(index, p, grad)
+        if self.weight_decay:
+            p.data -= (lr * self.weight_decay) * p.data
+        p.data -= (lr * direction).astype(p.data.dtype)

@@ -1,0 +1,40 @@
+"""LAMB — layer-wise adaptive moments (You et al. 2019).
+
+The state-of-the-art large-batch optimizer for BERT that the paper's
+Table 3 baselines against and combines with Adasum (Adasum-LAMB
+converges in ~20-30% fewer iterations).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Parameter
+from repro.optim.adam import Adam
+from repro.optim.lars import trust_ratio
+
+
+class LAMB(Adam):
+    """LAMB = Adam step direction rescaled by the per-layer trust ratio."""
+
+    def __init__(
+        self,
+        params,
+        lr,
+        betas=(0.9, 0.999),
+        eps: float = 1e-6,
+        weight_decay: float = 0.01,
+        clamp_trust: float = 10.0,
+    ):
+        super().__init__(params, lr, betas=betas, eps=eps, weight_decay=0.0)
+        self.lamb_weight_decay = weight_decay
+        self.clamp_trust = clamp_trust
+
+    def _update_param(self, index: int, p: Parameter, grad: np.ndarray, lr: float) -> None:
+        direction = self._adam_direction(index, p, grad)
+        if self.lamb_weight_decay:
+            direction = direction + self.lamb_weight_decay * p.data
+        w_norm = float(np.linalg.norm(p.data))
+        u_norm = float(np.linalg.norm(direction))
+        ratio = min(trust_ratio(w_norm, u_norm), self.clamp_trust)
+        p.data -= (lr * ratio * direction).astype(p.data.dtype)

@@ -1,0 +1,59 @@
+"""LARS — layer-wise adaptive rate scaling (You, Gitman & Ginsburg 2017).
+
+Included both as a baseline in its own right and as the building block
+of LAMB.  The trust ratio ``‖w‖ / ‖g + λw‖`` rescales each layer's step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Parameter
+from repro.optim.optimizer import Optimizer
+
+
+def trust_ratio(w_norm: float, g_norm: float, eps: float = 1e-9) -> float:
+    """LARS/LAMB trust ratio with the customary guard rails.
+
+    Falls back to 1.0 whenever either norm vanishes (e.g. a
+    freshly-zero-initialized bias), matching reference implementations.
+    """
+    if w_norm > eps and g_norm > eps:
+        return w_norm / g_norm
+    return 1.0
+
+
+class LARS(Optimizer):
+    """LARS on top of momentum SGD."""
+
+    def __init__(
+        self,
+        params,
+        lr,
+        momentum: float = 0.9,
+        weight_decay: float = 0.0,
+        trust_coefficient: float = 0.001,
+    ):
+        super().__init__(params, lr)
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.trust_coefficient = trust_coefficient
+
+    def _update_param(self, index: int, p: Parameter, grad: np.ndarray, lr: float) -> None:
+        grad = grad.astype(np.float32)
+        if self.weight_decay:
+            grad = grad + self.weight_decay * p.data
+        w_norm = float(np.linalg.norm(p.data))
+        g_norm = float(np.linalg.norm(grad))
+        ratio = self.trust_coefficient * trust_ratio(w_norm, g_norm)
+        if w_norm <= 1e-9 or g_norm <= 1e-9:
+            ratio = 1.0
+        st = self.state_for(index)
+        buf = st.get("momentum")
+        update = ratio * lr * grad
+        if buf is None:
+            buf = update.copy()
+        else:
+            buf = self.momentum * buf + update
+        st["momentum"] = buf
+        p.data -= buf.astype(p.data.dtype)

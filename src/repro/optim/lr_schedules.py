@@ -1,0 +1,116 @@
+"""Learning-rate schedules.
+
+The LeNet-5 case study (Section 5.4) uses an aggressive *linear warmup
+then linear decay, zero to zero* schedule over a fixed number of steps;
+BERT pre-training uses polynomial decay with warmup; ResNet-50 uses
+step decay.  All are implemented here as callables ``schedule(step) ->
+lr`` so optimizers stay schedule-agnostic.
+"""
+
+from __future__ import annotations
+
+
+class LRSchedule:
+    """Base class: maps a 0-based step index to a learning rate."""
+
+    def __call__(self, step: int) -> float:
+        raise NotImplementedError
+
+    def scaled(self, factor: float) -> "ScaledLR":
+        """Return this schedule multiplied by ``factor``.
+
+        Used for the paper's "only additional tuning is a search for a
+        suitable base learning rate" — the LR grid searches in the
+        LeNet-5 and MLPerf case studies scale a base schedule.
+        """
+        return ScaledLR(self, factor)
+
+
+class ScaledLR(LRSchedule):
+    """A schedule multiplied by a constant factor."""
+
+    def __init__(self, base: LRSchedule, factor: float):
+        self.base = base
+        self.factor = factor
+
+    def __call__(self, step: int) -> float:
+        return self.factor * self.base(step)
+
+
+class ConstantLR(LRSchedule):
+    """Fixed learning rate."""
+
+    def __init__(self, lr: float):
+        self.base_lr = float(lr)
+
+    def __call__(self, step: int) -> float:
+        return self.base_lr
+
+
+class LinearWarmupDecay(LRSchedule):
+    """Linear warmup from 0 to ``max_lr`` then linear decay back to 0.
+
+    This is the "linear warmup and decay from zero to zero" schedule of
+    the paper's LeNet-5 study, parameterized by the total step budget
+    and the warmup fraction (the paper found 17% optimal).
+    """
+
+    def __init__(self, max_lr: float, total_steps: int, warmup_frac: float = 0.17):
+        if not 0.0 <= warmup_frac <= 1.0:
+            raise ValueError(f"warmup_frac must be in [0, 1], got {warmup_frac}")
+        self.max_lr = float(max_lr)
+        self.total_steps = int(total_steps)
+        self.warmup_steps = max(int(round(total_steps * warmup_frac)), 1)
+
+    def __call__(self, step: int) -> float:
+        if step < self.warmup_steps:
+            return self.max_lr * (step + 1) / self.warmup_steps
+        remaining = max(self.total_steps - step, 0)
+        decay_steps = max(self.total_steps - self.warmup_steps, 1)
+        return self.max_lr * remaining / decay_steps
+
+
+class StepDecay(LRSchedule):
+    """Piecewise-constant decay: multiply by ``gamma`` at each milestone.
+
+    The classic ResNet-50 schedule (the LR drops that produce the
+    orthogonality dips in Figure 1 of the paper).
+    """
+
+    def __init__(self, base_lr: float, milestones, gamma: float = 0.1, warmup_steps: int = 0):
+        self.base_lr = float(base_lr)
+        self.milestones = sorted(milestones)
+        self.gamma = gamma
+        self.warmup_steps = warmup_steps
+
+    def __call__(self, step: int) -> float:
+        if self.warmup_steps and step < self.warmup_steps:
+            return self.base_lr * (step + 1) / self.warmup_steps
+        lr = self.base_lr
+        for m in self.milestones:
+            if step >= m:
+                lr *= self.gamma
+        return lr
+
+
+class PolynomialDecay(LRSchedule):
+    """BERT-style schedule: linear warmup then polynomial decay to zero."""
+
+    def __init__(
+        self,
+        max_lr: float,
+        total_steps: int,
+        warmup_frac: float = 0.1,
+        power: float = 1.0,
+    ):
+        self.max_lr = float(max_lr)
+        self.total_steps = int(total_steps)
+        self.warmup_steps = max(int(round(total_steps * warmup_frac)), 1)
+        self.power = power
+
+    def __call__(self, step: int) -> float:
+        if step < self.warmup_steps:
+            return self.max_lr * (step + 1) / self.warmup_steps
+        progress = min(step, self.total_steps) - self.warmup_steps
+        span = max(self.total_steps - self.warmup_steps, 1)
+        return self.max_lr * (1.0 - progress / span) ** self.power

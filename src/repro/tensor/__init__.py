@@ -1,0 +1,35 @@
+"""Reverse-mode automatic differentiation on NumPy arrays.
+
+This package provides the minimal-but-complete autograd engine that the
+rest of the reproduction is built on.  It deliberately mirrors the parts
+of the PyTorch tensor API that the Adasum paper's training code relies
+on (``backward``, ``detach``, ``no_grad``, elementwise ops, ``matmul``,
+convolution and normalization primitives) while staying pure NumPy.
+
+Public API
+----------
+``Tensor``
+    The differentiable array type.
+``tensor(data, requires_grad=False)``
+    Convenience constructor.
+``no_grad()``
+    Context manager disabling graph construction.
+``functional``
+    Higher-level differentiable functions (conv2d, softmax, ...).
+``gradcheck``
+    Numerical gradient checking used throughout the test-suite.
+"""
+
+from repro.tensor.tensor import Tensor, tensor, no_grad, is_grad_enabled
+from repro.tensor import functional
+from repro.tensor.gradcheck import gradcheck, numerical_gradient
+
+__all__ = [
+    "Tensor",
+    "tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "functional",
+    "gradcheck",
+    "numerical_gradient",
+]

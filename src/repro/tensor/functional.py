@@ -1,0 +1,367 @@
+"""Higher-level differentiable functions built on :class:`repro.tensor.Tensor`.
+
+These are the compute kernels behind :mod:`repro.nn`.  Convolution and
+pooling are implemented with im2col-style reshuffles so the heavy
+arithmetic stays inside BLAS calls, following the vectorization idiom of
+the project's coding guide.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor, _unbroadcast
+
+
+# ----------------------------------------------------------------------
+# im2col helpers
+# ----------------------------------------------------------------------
+def _im2col_indices(
+    x_shape: Tuple[int, int, int, int], kh: int, kw: int, stride: int, padding: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int, int]:
+    """Compute gather indices for im2col on an NCHW tensor."""
+    n, c, h, w = x_shape
+    out_h = (h + 2 * padding - kh) // stride + 1
+    out_w = (w + 2 * padding - kw) // stride + 1
+
+    i0 = np.repeat(np.arange(kh), kw)
+    i0 = np.tile(i0, c)
+    i1 = stride * np.repeat(np.arange(out_h), out_w)
+    j0 = np.tile(np.arange(kw), kh * c)
+    j1 = stride * np.tile(np.arange(out_w), out_h)
+    i = i0.reshape(-1, 1) + i1.reshape(1, -1)
+    j = j0.reshape(-1, 1) + j1.reshape(1, -1)
+    k = np.repeat(np.arange(c), kh * kw).reshape(-1, 1)
+    return k, i, j, out_h, out_w
+
+
+def _im2col(x: np.ndarray, kh: int, kw: int, stride: int, padding: int):
+    n, c, h, w = x.shape
+    if padding > 0:
+        xp = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    else:
+        xp = x
+    k, i, j, out_h, out_w = _im2col_indices(x.shape, kh, kw, stride, padding)
+    cols = xp[:, k, i, j]  # (n, c*kh*kw, out_h*out_w)
+    return cols, out_h, out_w
+
+
+def _col2im(
+    cols: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    kh: int,
+    kw: int,
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    n, c, h, w = x_shape
+    k, i, j, _, _ = _im2col_indices(x_shape, kh, kw, stride, padding)
+    xp = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=cols.dtype)
+    np.add.at(xp, (slice(None), k, i, j), cols)
+    if padding > 0:
+        return xp[:, :, padding:-padding, padding:-padding]
+    return xp
+
+
+# ----------------------------------------------------------------------
+# Convolution / pooling
+# ----------------------------------------------------------------------
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> Tensor:
+    """2D convolution on NCHW input.
+
+    ``weight`` has shape ``(out_channels, in_channels, kh, kw)``.
+    """
+    n, c, h, w = x.shape
+    oc, ic, kh, kw = weight.shape
+    if ic != c:
+        raise ValueError(f"conv2d channel mismatch: input {c}, weight {ic}")
+    cols, out_h, out_w = _im2col(x.data, kh, kw, stride, padding)
+    w2 = weight.data.reshape(oc, -1)
+    out = np.einsum("of,nfl->nol", w2, cols, optimize=True)
+    out = out.reshape(n, oc, out_h, out_w)
+    if bias is not None:
+        out = out + bias.data.reshape(1, oc, 1, 1)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(g: np.ndarray) -> None:
+        g2 = g.reshape(n, oc, -1)
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(g2.sum(axis=(0, 2)))
+        if weight.requires_grad:
+            gw = np.einsum("nol,nfl->of", g2, cols, optimize=True)
+            weight._accumulate(gw.reshape(weight.shape))
+        if x.requires_grad:
+            gcols = np.einsum("of,nol->nfl", w2, g2, optimize=True)
+            gx = _col2im(gcols, x.shape, kh, kw, stride, padding)
+            x._accumulate(gx)
+
+    return Tensor._make(out.astype(x.dtype), parents, backward)
+
+
+def max_pool2d(x: Tensor, kernel_size: int, stride: Optional[int] = None) -> Tensor:
+    """Max pooling on NCHW input with square window."""
+    stride = stride or kernel_size
+    n, c, h, w = x.shape
+    k = kernel_size
+    if h % stride or w % stride or k != stride:
+        # General (overlapping / padded) case via im2col.
+        cols, out_h, out_w = _im2col(
+            x.data.reshape(n * c, 1, h, w), k, k, stride, 0
+        )  # (n*c, k*k, L)
+        idx = cols.argmax(axis=1)
+        out = np.take_along_axis(cols, idx[:, None, :], axis=1)[:, 0, :]
+        out = out.reshape(n, c, out_h, out_w)
+
+        def backward(g: np.ndarray) -> None:
+            gcols = np.zeros_like(cols)
+            np.put_along_axis(
+                gcols, idx[:, None, :], g.reshape(n * c, 1, -1), axis=1
+            )
+            gx = _col2im(gcols, (n * c, 1, h, w), k, k, stride, 0)
+            x._accumulate(gx.reshape(x.shape))
+
+        return Tensor._make(out.astype(x.dtype), (x,), backward)
+
+    # Fast non-overlapping path.
+    out_h, out_w = h // k, w // k
+    xr = x.data.reshape(n, c, out_h, k, out_w, k)
+    out = xr.max(axis=(3, 5))
+    mask = xr == out[:, :, :, None, :, None]
+
+    def backward(g: np.ndarray) -> None:
+        counts = mask.sum(axis=(3, 5), keepdims=True)
+        gx = mask * (g[:, :, :, None, :, None] / np.maximum(counts, 1))
+        x._accumulate(gx.reshape(x.shape).astype(x.dtype))
+
+    return Tensor._make(out.astype(x.dtype), (x,), backward)
+
+
+def avg_pool2d(x: Tensor, kernel_size: int, stride: Optional[int] = None) -> Tensor:
+    """Average pooling on NCHW input with square non-overlapping window."""
+    stride = stride or kernel_size
+    if stride != kernel_size:
+        raise NotImplementedError("avg_pool2d supports non-overlapping windows only")
+    n, c, h, w = x.shape
+    k = kernel_size
+    out_h, out_w = h // k, w // k
+    xr = x.data[:, :, : out_h * k, : out_w * k].reshape(n, c, out_h, k, out_w, k)
+    out = xr.mean(axis=(3, 5))
+
+    def backward(g: np.ndarray) -> None:
+        gx = np.zeros_like(x.data)
+        tile = np.broadcast_to(
+            g[:, :, :, None, :, None] / (k * k), (n, c, out_h, k, out_w, k)
+        )
+        gx[:, :, : out_h * k, : out_w * k] = tile.reshape(n, c, out_h * k, out_w * k)
+        x._accumulate(gx)
+
+    return Tensor._make(out.astype(x.dtype), (x,), backward)
+
+
+def global_avg_pool2d(x: Tensor) -> Tensor:
+    """Mean over spatial dimensions of an NCHW tensor -> (N, C)."""
+    return x.mean(axis=(2, 3))
+
+
+# ----------------------------------------------------------------------
+# Softmax family
+# ----------------------------------------------------------------------
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    out = e / e.sum(axis=axis, keepdims=True)
+
+    def backward(g: np.ndarray) -> None:
+        dot = (g * out).sum(axis=axis, keepdims=True)
+        x._accumulate(out * (g - dot))
+
+    return Tensor._make(out.astype(x.dtype), (x,), backward)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    lse = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out = shifted - lse
+    soft = np.exp(out)
+
+    def backward(g: np.ndarray) -> None:
+        x._accumulate(g - soft * g.sum(axis=axis, keepdims=True))
+
+    return Tensor._make(out.astype(x.dtype), (x,), backward)
+
+
+def cross_entropy(
+    logits: Tensor, targets: np.ndarray, ignore_index: Optional[int] = None
+) -> Tensor:
+    """Mean cross-entropy between ``logits`` (N, C) and integer ``targets`` (N,).
+
+    ``ignore_index`` positions contribute zero loss and zero gradient
+    (used for masked-LM objectives where only masked positions count).
+    """
+    targets = np.asarray(targets)
+    if logits.ndim > 2:
+        logits = logits.reshape(-1, logits.shape[-1])
+        targets = targets.reshape(-1)
+    n, c = logits.shape
+    shifted = logits.data - logits.data.max(axis=1, keepdims=True)
+    lse = np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+    logp = shifted - lse
+
+    if ignore_index is not None:
+        valid = targets != ignore_index
+        count = max(int(valid.sum()), 1)
+        safe_targets = np.where(valid, targets, 0)
+    else:
+        valid = np.ones(n, dtype=bool)
+        count = n
+        safe_targets = targets
+
+    picked = logp[np.arange(n), safe_targets]
+    loss_val = -(picked * valid).sum() / count
+    src = logits
+
+    def backward(g: np.ndarray) -> None:
+        soft = np.exp(logp)
+        grad = soft.copy()
+        grad[np.arange(n), safe_targets] -= 1.0
+        grad *= valid[:, None]
+        grad *= float(g) / count
+        src._accumulate(grad.astype(src.dtype))
+
+    return Tensor._make(np.asarray(loss_val, dtype=logits.dtype), (logits,), backward)
+
+
+def mse_loss(pred: Tensor, target: np.ndarray) -> Tensor:
+    """Mean squared error against a constant target array."""
+    target = np.asarray(target, dtype=pred.dtype)
+    diff = pred - Tensor(target)
+    return (diff * diff).mean()
+
+
+def nll_loss(logp: Tensor, targets: np.ndarray) -> Tensor:
+    """Negative log likelihood on log-probabilities (N, C)."""
+    targets = np.asarray(targets)
+    n = logp.shape[0]
+    picked = logp[np.arange(n), targets]
+    return -picked.mean()
+
+
+# ----------------------------------------------------------------------
+# Normalization
+# ----------------------------------------------------------------------
+def layer_norm(x: Tensor, gamma: Tensor, beta: Tensor, eps: float = 1e-5) -> Tensor:
+    """Layer normalization over the last dimension."""
+    mu = x.data.mean(axis=-1, keepdims=True)
+    var = x.data.var(axis=-1, keepdims=True)
+    inv = 1.0 / np.sqrt(var + eps)
+    xhat = (x.data - mu) * inv
+    out = xhat * gamma.data + beta.data
+    d = x.shape[-1]
+
+    def backward(g: np.ndarray) -> None:
+        if beta.requires_grad:
+            beta._accumulate(_unbroadcast(g, beta.shape))
+        if gamma.requires_grad:
+            gamma._accumulate(_unbroadcast(g * xhat, gamma.shape))
+        if x.requires_grad:
+            gxhat = g * gamma.data
+            gx = (
+                gxhat
+                - gxhat.mean(axis=-1, keepdims=True)
+                - xhat * (gxhat * xhat).mean(axis=-1, keepdims=True)
+            ) * inv
+            x._accumulate(gx.astype(x.dtype))
+
+    return Tensor._make(out.astype(x.dtype), (x, gamma, beta), backward)
+
+
+def batch_norm2d(
+    x: Tensor,
+    gamma: Tensor,
+    beta: Tensor,
+    running_mean: np.ndarray,
+    running_var: np.ndarray,
+    training: bool,
+    momentum: float = 0.1,
+    eps: float = 1e-5,
+) -> Tensor:
+    """Batch normalization over (N, H, W) per channel of an NCHW tensor.
+
+    ``running_mean``/``running_var`` are updated in place when training.
+    """
+    axes = (0, 2, 3)
+    if training:
+        mu = x.data.mean(axis=axes)
+        var = x.data.var(axis=axes)
+        n_elem = x.data.size / x.shape[1]
+        unbiased = var * n_elem / max(n_elem - 1, 1)
+        running_mean *= 1 - momentum
+        running_mean += momentum * mu
+        running_var *= 1 - momentum
+        running_var += momentum * unbiased
+    else:
+        mu, var = running_mean, running_var
+    shape = (1, -1, 1, 1)
+    inv = 1.0 / np.sqrt(var + eps)
+    xhat = (x.data - mu.reshape(shape)) * inv.reshape(shape)
+    out = xhat * gamma.data.reshape(shape) + beta.data.reshape(shape)
+
+    def backward(g: np.ndarray) -> None:
+        if beta.requires_grad:
+            beta._accumulate(g.sum(axis=axes))
+        if gamma.requires_grad:
+            gamma._accumulate((g * xhat).sum(axis=axes))
+        if x.requires_grad:
+            gxhat = g * gamma.data.reshape(shape)
+            if training:
+                m = x.data.size / x.shape[1]
+                gx = (
+                    gxhat
+                    - gxhat.mean(axis=axes, keepdims=True)
+                    - xhat * (gxhat * xhat).mean(axis=axes, keepdims=True)
+                ) * inv.reshape(shape)
+            else:
+                gx = gxhat * inv.reshape(shape)
+            x._accumulate(gx.astype(x.dtype))
+
+    return Tensor._make(out.astype(x.dtype), (x, gamma, beta), backward)
+
+
+# ----------------------------------------------------------------------
+# Embedding / dropout
+# ----------------------------------------------------------------------
+def embedding(weight: Tensor, indices: np.ndarray) -> Tensor:
+    """Gather rows of ``weight`` (V, D) at integer ``indices`` (...)."""
+    indices = np.asarray(indices)
+    out = weight.data[indices]
+
+    def backward(g: np.ndarray) -> None:
+        gw = np.zeros_like(weight.data)
+        np.add.at(gw, indices.reshape(-1), g.reshape(-1, weight.shape[-1]))
+        weight._accumulate(gw)
+
+    return Tensor._make(out, (weight,), backward)
+
+
+def dropout(x: Tensor, p: float, training: bool, rng: np.random.Generator) -> Tensor:
+    """Inverted dropout with keep-prob scaling."""
+    if not training or p <= 0.0:
+        return x
+    mask = (rng.random(x.shape) >= p).astype(x.dtype) / (1.0 - p)
+    out = x.data * mask
+
+    def backward(g: np.ndarray) -> None:
+        x._accumulate(g * mask)
+
+    return Tensor._make(out, (x,), backward)

@@ -1,0 +1,19 @@
+"""Data-parallel training simulator and convergence harness."""
+
+from repro.train.trainer import ParallelTrainer, compute_grads
+from repro.train.metrics import accuracy, Meter
+from repro.train.convergence import run_to_accuracy, ConvergenceResult
+from repro.train.simclock import TrainingTimeModel
+from repro.train.checkpoint import save_checkpoint, load_checkpoint
+
+__all__ = [
+    "save_checkpoint",
+    "load_checkpoint",
+    "ParallelTrainer",
+    "compute_grads",
+    "accuracy",
+    "Meter",
+    "run_to_accuracy",
+    "ConvergenceResult",
+    "TrainingTimeModel",
+]

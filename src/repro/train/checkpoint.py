@@ -1,0 +1,126 @@
+"""Training-state checkpointing.
+
+Serializes everything needed to resume a distributed run bit-exactly:
+model parameters and buffers, optimizer state (including per-rank
+optimizer states of a post-optimizer-mode DistributedOptimizer), step
+counters, and the dynamic-scaling state of the fp16 path.  Storage is a
+single ``.npz`` (arrays) + embedded JSON (scalars), no pickle.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, Union
+
+import numpy as np
+
+from repro.core.distributed_optimizer import DistributedOptimizer
+from repro.nn.module import Module
+from repro.optim.optimizer import Optimizer
+
+PathLike = Union[str, pathlib.Path]
+
+
+def _pack_optimizer(opt: Optimizer, prefix: str, arrays: Dict[str, np.ndarray]) -> dict:
+    meta = {"step_count": opt.step_count, "state_keys": {}}
+    for idx, state in opt.state.items():
+        meta["state_keys"][str(idx)] = list(state.keys())
+        for key, arr in state.items():
+            arrays[f"{prefix}/state/{idx}/{key}"] = np.asarray(arr)
+    return meta
+
+
+def _unpack_optimizer(opt: Optimizer, prefix: str, arrays, meta: dict) -> None:
+    opt.step_count = int(meta["step_count"])
+    opt.state.clear()
+    for idx_str, keys in meta["state_keys"].items():
+        idx = int(idx_str)
+        opt.state[idx] = {
+            key: np.array(arrays[f"{prefix}/state/{idx}/{key}"]) for key in keys
+        }
+
+
+def save_checkpoint(
+    path: PathLike,
+    model: Module,
+    dist_opt: DistributedOptimizer = None,
+    optimizer: Optimizer = None,
+    extra: dict = None,
+) -> None:
+    """Write a checkpoint.
+
+    Pass either ``dist_opt`` (captures its shared or per-rank optimizer
+    states, skipped-step counter and dynamic scale) or a bare
+    ``optimizer``.  ``extra`` must be JSON-serializable.
+    """
+    arrays: Dict[str, np.ndarray] = {}
+    meta: dict = {"extra": extra or {}}
+
+    for name, p in model.named_parameters():
+        arrays[f"model/param/{name}"] = p.data
+    for name, buf in model.named_buffers():
+        arrays[f"model/buffer/{name}"] = np.asarray(buf)
+
+    if dist_opt is not None:
+        meta["dist"] = {
+            "num_ranks": dist_opt.num_ranks,
+            "op": dist_opt.op.value,
+            "post_optimizer": dist_opt.post_optimizer_mode,
+            "skipped_steps": dist_opt.skipped_steps,
+            "fp16_scale": dist_opt._scaler.scale_value if dist_opt.fp16 else None,
+            "optimizers": [],
+        }
+        opts = dist_opt.rank_optimizers if dist_opt.post_optimizer_mode else [dist_opt.optimizer]
+        for i, opt in enumerate(opts):
+            meta["dist"]["optimizers"].append(_pack_optimizer(opt, f"opt{i}", arrays))
+    elif optimizer is not None:
+        meta["opt"] = _pack_optimizer(optimizer, "opt0", arrays)
+
+    arrays["__meta__"] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    ).copy()
+    np.savez(path, **arrays)
+
+
+def load_checkpoint(
+    path: PathLike,
+    model: Module,
+    dist_opt: DistributedOptimizer = None,
+    optimizer: Optimizer = None,
+) -> dict:
+    """Restore a checkpoint in place; returns the ``extra`` dict.
+
+    The model/optimizer objects must have the same architecture as at
+    save time (mismatched names raise ``KeyError``).
+    """
+    with np.load(path) as arrays:
+        meta = json.loads(bytes(arrays["__meta__"]).decode("utf-8"))
+        params = dict(model.named_parameters())
+        for key in arrays.files:
+            if key.startswith("model/param/"):
+                name = key[len("model/param/"):]
+                np.copyto(params[name].data, arrays[key])
+        buffers = dict(model.named_buffers())
+        for key in arrays.files:
+            if key.startswith("model/buffer/"):
+                name = key[len("model/buffer/"):]
+                np.copyto(buffers[name], arrays[key])
+
+        if dist_opt is not None:
+            d = meta["dist"]
+            dist_opt.skipped_steps = int(d["skipped_steps"])
+            if dist_opt.fp16 and d["fp16_scale"] is not None:
+                dist_opt._scaler.scale_value = float(d["fp16_scale"])
+            opts = (dist_opt.rank_optimizers if dist_opt.post_optimizer_mode
+                    else [dist_opt.optimizer])
+            if len(opts) != len(d["optimizers"]):
+                raise ValueError(
+                    f"checkpoint has {len(d['optimizers'])} optimizer states, "
+                    f"target has {len(opts)}"
+                )
+            for i, (opt, om) in enumerate(zip(opts, d["optimizers"])):
+                _unpack_optimizer(opt, f"opt{i}", arrays, om)
+        elif optimizer is not None:
+            _unpack_optimizer(optimizer, "opt0", arrays, meta["opt"])
+        return meta.get("extra", {})

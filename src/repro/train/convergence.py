@@ -1,0 +1,72 @@
+"""Epochs-to-target-accuracy driver (the paper's algorithmic efficiency).
+
+Algorithmic efficiency (paper §2.3) is the inverse of the data needed to
+reach a target metric; measured here as epochs until validation
+accuracy ≥ target, with "never converges within the budget" recorded
+explicitly (the fate of Sum at 16K in Figure 5).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.train.metrics import accuracy
+from repro.train.trainer import ParallelTrainer
+
+
+@dataclasses.dataclass
+class ConvergenceResult:
+    """Outcome of a run-to-accuracy experiment.
+
+    ``epochs_to_target`` is ``None`` when the budget was exhausted
+    (algorithmic efficiency zero, in the paper's terms).
+    """
+
+    epochs_to_target: Optional[int]
+    accuracy_history: List[float]
+    loss_history: List[float]
+    best_accuracy: float
+
+    @property
+    def converged(self) -> bool:
+        return self.epochs_to_target is not None
+
+
+def run_to_accuracy(
+    trainer: ParallelTrainer,
+    x_val: np.ndarray,
+    y_val: np.ndarray,
+    target: float,
+    max_epochs: int,
+    eval_fn: Optional[Callable] = None,
+    verbose: bool = False,
+) -> ConvergenceResult:
+    """Train until validation accuracy reaches ``target`` or budget ends.
+
+    ``eval_fn(model) -> float`` overrides the default top-1 accuracy
+    (used by the masked-LM experiments).
+    """
+    acc_hist: List[float] = []
+    loss_hist: List[float] = []
+    best = 0.0
+    reached: Optional[int] = None
+    for epoch in range(max_epochs):
+        loss = trainer.train_epoch(epoch)
+        if eval_fn is not None:
+            acc = float(eval_fn(trainer.model))
+        else:
+            acc = accuracy(trainer.model, x_val, y_val)
+        acc_hist.append(acc)
+        loss_hist.append(loss)
+        best = max(best, acc)
+        if verbose:
+            print(f"epoch {epoch + 1:3d}  loss {loss:.4f}  val_acc {acc:.4f}")
+        if acc >= target:
+            reached = epoch + 1
+            break
+        if not np.isfinite(loss):
+            break  # diverged; no point burning the rest of the budget
+    return ConvergenceResult(reached, acc_hist, loss_hist, best)

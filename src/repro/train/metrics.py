@@ -1,0 +1,71 @@
+"""Evaluation metrics and running meters."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.tensor import no_grad
+
+
+def accuracy(model: Module, x: np.ndarray, y: np.ndarray, batch_size: int = 256) -> float:
+    """Top-1 classification accuracy of ``model`` on ``(x, y)``."""
+    model.eval()
+    correct = 0
+    with no_grad():
+        for lo in range(0, len(x), batch_size):
+            logits = model(x[lo : lo + batch_size])
+            pred = logits.data.argmax(axis=-1)
+            correct += int((pred == y[lo : lo + batch_size]).sum())
+    model.train()
+    return correct / len(x)
+
+
+def masked_lm_accuracy(
+    model: Module,
+    inputs: np.ndarray,
+    targets: np.ndarray,
+    ignore_index: int = -100,
+    batch_size: int = 64,
+) -> float:
+    """Fraction of masked positions predicted correctly."""
+    model.eval()
+    correct = total = 0
+    with no_grad():
+        for lo in range(0, len(inputs), batch_size):
+            logits = model(inputs[lo : lo + batch_size])
+            pred = logits.data.argmax(axis=-1)
+            tgt = targets[lo : lo + batch_size]
+            valid = tgt != ignore_index
+            correct += int((pred[valid] == tgt[valid]).sum())
+            total += int(valid.sum())
+    model.train()
+    return correct / max(total, 1)
+
+
+class Meter:
+    """Running mean with history, for loss/accuracy curves."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.history: List[float] = []
+        self._sum = 0.0
+        self._count = 0
+
+    def update(self, value: float, n: int = 1) -> None:
+        self._sum += value * n
+        self._count += n
+        self.history.append(value)
+
+    @property
+    def mean(self) -> float:
+        return self._sum / max(self._count, 1)
+
+    def reset(self) -> None:
+        self._sum, self._count = 0.0, 0
+
+    def summary(self) -> Dict[str, float]:
+        h = np.asarray(self.history) if self.history else np.zeros(1)
+        return {"mean": self.mean, "last": float(h[-1]), "min": float(h.min()), "max": float(h.max())}

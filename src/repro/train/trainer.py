@@ -1,0 +1,145 @@
+"""The data-parallel training simulator.
+
+``ParallelTrainer`` drives one shared model replica through the update
+rule of a ``DistributedOptimizer``: at each step it computes every
+simulated rank's gradient on the *same* starting weights (which is
+exactly what real synchronous data-parallel ranks do, since they are
+kept identical between steps) and hands the per-rank gradient dicts to
+the distributed optimizer for reduction and application.
+
+Instrumentation hooks (the :class:`~repro.core.OrthogonalityProbe` of
+Figure 1, loss meters) plug in without touching the training loop.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.distributed_optimizer import DistributedOptimizer
+from repro.core.orthogonality import OrthogonalityProbe
+from repro.data.sampler import BatchIterator, ShardedSampler
+from repro.nn.module import Module
+from repro.train.metrics import Meter
+
+
+def compute_grads(
+    model: Module,
+    loss_fn: Callable,
+    xb: np.ndarray,
+    yb: np.ndarray,
+) -> Tuple[float, Dict[str, np.ndarray]]:
+    """Forward + backward; returns ``(loss_value, {layer: grad copy})``."""
+    model.zero_grad()
+    logits = model(xb)
+    loss = loss_fn(logits, yb)
+    loss.backward()
+    grads = {
+        name: np.array(p.grad, copy=True) for name, p in model.named_parameters()
+    }
+    return float(loss.data), grads
+
+
+class ParallelTrainer:
+    """Simulates ``num_ranks`` data-parallel workers over one model.
+
+    Parameters
+    ----------
+    model:
+        Shared replica (identical across simulated ranks).
+    loss_fn:
+        ``loss_fn(logits, targets) -> scalar Tensor``.
+    dist_opt:
+        Update rule (Sum / Average / Adasum, pre/post-optimizer).
+    x, y:
+        Full training set; sharded across ranks per epoch.
+    microbatch:
+        Per-rank examples per step.  The *effective batch* is
+        ``microbatch * num_ranks (* local accumulation if used)``.
+    accumulation:
+        Microbatches locally accumulated (summed) before reduction —
+        plain gradient accumulation, not the local-SGD variant.
+    probe:
+        Optional orthogonality probe sampled on raw per-rank gradients.
+    seed:
+        Shuffling seed.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        loss_fn: Callable,
+        dist_opt: DistributedOptimizer,
+        x: np.ndarray,
+        y: np.ndarray,
+        microbatch: int,
+        accumulation: int = 1,
+        probe: Optional[OrthogonalityProbe] = None,
+        seed: int = 0,
+    ):
+        if accumulation < 1:
+            raise ValueError("accumulation must be >= 1")
+        self.model = model
+        self.loss_fn = loss_fn
+        self.dist_opt = dist_opt
+        self.x, self.y = x, y
+        self.microbatch = microbatch
+        self.accumulation = accumulation
+        self.probe = probe
+        self.num_ranks = dist_opt.num_ranks
+        self.sampler = ShardedSampler(len(x), self.num_ranks, seed=seed)
+        self.iterator = BatchIterator(self.sampler, microbatch * accumulation)
+        self.loss_meter = Meter("loss")
+        self.global_step = 0
+
+    @property
+    def effective_batch(self) -> int:
+        return self.microbatch * self.accumulation * self.num_ranks
+
+    def steps_per_epoch(self) -> int:
+        return self.iterator.steps_per_epoch()
+
+    def train_epoch(self, epoch: int, max_steps: Optional[int] = None) -> float:
+        """One epoch of simulated data-parallel training; returns mean loss."""
+        losses = []
+        for step, rank_indices in self.iterator.epoch(epoch):
+            if max_steps is not None and step >= max_steps:
+                break
+            loss = self.train_step(rank_indices)
+            losses.append(loss)
+        return float(np.mean(losses)) if losses else float("nan")
+
+    def train_step(self, rank_indices: Sequence[np.ndarray]) -> float:
+        """One synchronous update from per-rank sample indices."""
+        grad_dicts: List[Dict[str, np.ndarray]] = []
+        losses = []
+        for idx in rank_indices:
+            loss, grads = self._rank_gradient(idx)
+            losses.append(loss)
+            grad_dicts.append(grads)
+        if self.probe is not None:
+            self.probe.record(grad_dicts, step=self.global_step)
+        self.dist_opt.step(grad_dicts)
+        self.global_step += 1
+        mean_loss = float(np.mean(losses))
+        self.loss_meter.update(mean_loss)
+        return mean_loss
+
+    def _rank_gradient(self, idx: np.ndarray) -> Tuple[float, Dict[str, np.ndarray]]:
+        """One rank's (possibly accumulated) local gradient."""
+        if self.accumulation == 1:
+            return compute_grads(self.model, self.loss_fn, self.x[idx], self.y[idx])
+        total: Dict[str, np.ndarray] = {}
+        losses = []
+        for k in range(self.accumulation):
+            sub = idx[k * self.microbatch : (k + 1) * self.microbatch]
+            loss, grads = compute_grads(self.model, self.loss_fn, self.x[sub], self.y[sub])
+            losses.append(loss)
+            for name, g in grads.items():
+                if name in total:
+                    total[name] += g
+                else:
+                    total[name] = g
+        inv = 1.0 / self.accumulation
+        return float(np.mean(losses)), {n: g * inv for n, g in total.items()}

@@ -1,0 +1,141 @@
+"""Executed hierarchical allreduce tests (§4.2.2)."""
+
+import numpy as np
+import pytest
+
+from repro.comm import (
+    Cluster,
+    GroupComm,
+    NetworkModel,
+    cross_node_peers,
+    hierarchical_adasum_allreduce,
+    hierarchical_allreduce,
+)
+from repro.comm.collectives import allreduce_recursive_doubling
+from repro.core import adasum_tree
+
+
+def _vectors(size, n, seed=0):
+    rng = np.random.default_rng(seed)
+    return [rng.standard_normal(n).astype(np.float32) for _ in range(size)]
+
+
+class TestGroupComm:
+    def test_rank_mapping(self):
+        cluster = Cluster(4)
+
+        def fn(comm):
+            if comm.rank in (1, 3):
+                sub = GroupComm(comm, [1, 3])
+                mine = np.array([float(comm.rank)])
+                other = sub.sendrecv(mine, 1 - sub.rank)
+                return float(other[0])
+            return None
+
+        results = cluster.run(fn)
+        assert results[1] == 3.0
+        assert results[3] == 1.0
+
+    def test_non_member_rejected(self):
+        cluster = Cluster(2)
+
+        def fn(comm):
+            if comm.rank == 0:
+                GroupComm(comm, [1])
+
+        with pytest.raises(Exception):
+            cluster.run(fn)
+
+    def test_cross_node_peers(self):
+        assert cross_node_peers(0, 8, 4) == [0, 4]
+        assert cross_node_peers(5, 8, 4) == [1, 5]
+        assert cross_node_peers(3, 8, 2) == [1, 3, 5, 7]
+
+
+class TestHierarchicalSum:
+    @pytest.mark.parametrize("size,gpn", [(4, 2), (8, 2), (8, 4), (4, 4)])
+    @pytest.mark.parametrize("n", [16, 37])
+    def test_sum_matches_flat(self, size, gpn, n):
+        """With a sum cross-node op, hierarchical == flat allreduce."""
+        vecs = _vectors(size, n, seed=size * 10 + n)
+        expected = np.sum([v.astype(np.float64) for v in vecs], axis=0)
+
+        def fn(comm, v):
+            return hierarchical_allreduce(
+                comm, v, gpn,
+                cross_node=lambda sub, piece: allreduce_recursive_doubling(sub, piece),
+            )
+
+        results = Cluster(size).run(fn, rank_args=[(v,) for v in vecs])
+        for r in results:
+            np.testing.assert_allclose(r, expected, rtol=1e-4, atol=1e-5)
+
+    def test_world_size_must_divide(self):
+        cluster = Cluster(3, timeout=2.0)
+        with pytest.raises(Exception):
+            cluster.run(lambda c: hierarchical_allreduce(
+                c, np.zeros(4, dtype=np.float32), 2,
+                cross_node=lambda sub, piece: piece,
+            ))
+
+    def test_single_gpu_per_node_passthrough(self):
+        vecs = _vectors(4, 12)
+        expected = np.sum([v.astype(np.float64) for v in vecs], axis=0).astype(np.float32)
+
+        def fn(comm, v):
+            return hierarchical_allreduce(
+                comm, v, 1,
+                cross_node=lambda sub, piece: allreduce_recursive_doubling(sub, piece),
+            )
+
+        results = Cluster(4).run(fn, rank_args=[(v,) for v in vecs])
+        np.testing.assert_allclose(results[0], expected, rtol=1e-4)
+
+
+class TestHierarchicalAdasum:
+    @pytest.mark.parametrize("size,gpn", [(4, 2), (8, 2), (8, 4)])
+    def test_matches_per_slice_adasum_of_node_sums(self, size, gpn):
+        """§4.2.2/§4.3 semantics: sum inside a node, Adasum across nodes,
+        applied per local-GPU slice (as the Horovod implementation does —
+        each GPU's cross-node reduction is independent)."""
+        n = 24
+        vecs = _vectors(size, n, seed=size)
+        nodes = size // gpn
+        node_sums = [
+            np.sum([vecs[nd * gpn + i].astype(np.float64) for i in range(gpn)], axis=0)
+            for nd in range(nodes)
+        ]
+        # Expected: per-slice Adasum over the node sums, slices being the
+        # reduce-scatter chunks.
+        chunks = np.array_split(np.arange(n), gpn)
+        expected = np.empty(n, dtype=np.float32)
+        for chunk in chunks:
+            lo, hi = int(chunk[0]), int(chunk[-1]) + 1
+            expected[lo:hi] = adasum_tree(
+                [s[lo:hi].astype(np.float32) for s in node_sums]
+            )
+
+        results = Cluster(size).run(
+            lambda c, v: hierarchical_adasum_allreduce(c, v, gpn),
+            rank_args=[(v,) for v in vecs],
+        )
+        for r in results:
+            np.testing.assert_allclose(r, expected, rtol=1e-3, atol=1e-5)
+
+    def test_all_ranks_agree(self):
+        vecs = _vectors(8, 30, seed=9)
+        results = Cluster(8).run(
+            lambda c, v: hierarchical_adasum_allreduce(c, v, 4),
+            rank_args=[(v,) for v in vecs],
+        )
+        for r in results[1:]:
+            np.testing.assert_allclose(r, results[0], rtol=1e-5)
+
+    def test_latency_accounted(self):
+        vecs = _vectors(4, 1024, seed=1)
+        cluster = Cluster(4, network=NetworkModel.infiniband())
+        cluster.run(
+            lambda c, v: hierarchical_adasum_allreduce(c, v, 2),
+            rank_args=[(v,) for v in vecs],
+        )
+        assert cluster.max_clock() > 0

@@ -1,0 +1,120 @@
+"""Cost-model tests: analytic formulas validated against the executed simulation."""
+
+import numpy as np
+import pytest
+
+from repro.comm import (
+    Cluster,
+    NetworkModel,
+    allreduce_ring,
+    adasum_rvh_cost,
+    hierarchical_allreduce_cost,
+    ring_allreduce_cost,
+    rvh_allreduce_cost,
+)
+from repro.core.adasum_rvh import adasum_rvh
+
+
+class TestBasics:
+    def test_send_cost(self):
+        net = NetworkModel(alpha=2.0, beta=0.1)
+        assert net.send_cost(100) == pytest.approx(2.0 + 10.0)
+
+    def test_reduce_cost(self):
+        net = NetworkModel(alpha=0, beta=0, gamma=0.5)
+        assert net.reduce_cost(10) == pytest.approx(5.0)
+
+    def test_presets_sane(self):
+        for preset in (
+            NetworkModel.nccl_nvlink(),
+            NetworkModel.infiniband(),
+            NetworkModel.pcie(),
+            NetworkModel.slow_tcp(),
+        ):
+            assert preset.alpha > 0
+            assert preset.beta > 0
+
+    def test_tcp_slower_than_ib(self):
+        tcp, ib = NetworkModel.slow_tcp(), NetworkModel.infiniband()
+        assert tcp.alpha > ib.alpha
+        assert tcp.beta > ib.beta
+
+
+class TestAnalyticShapes:
+    def test_single_rank_free(self):
+        net = NetworkModel.infiniband()
+        assert ring_allreduce_cost(1000, 1, net) == 0.0
+        assert rvh_allreduce_cost(1000, 1, net) == 0.0
+        assert adasum_rvh_cost(1000, 1, net) == 0.0
+
+    def test_latency_dominated_small_messages(self):
+        """At tiny sizes, RVH (log p messages) beats ring (2(p-1) messages)."""
+        net = NetworkModel.infiniband()
+        p = 64
+        assert rvh_allreduce_cost(256, p, net) < ring_allreduce_cost(256, p, net)
+
+    def test_bandwidth_terms_converge_large_messages(self):
+        """At large sizes both algorithms approach 2n/B — within ~20%."""
+        net = NetworkModel.infiniband()
+        p, n = 64, 1 << 26
+        ring = ring_allreduce_cost(n, p, net)
+        rvh = rvh_allreduce_cost(n, p, net)
+        assert rvh / ring == pytest.approx(1.0, rel=0.25)
+
+    def test_adasum_close_to_nccl(self):
+        """The paper's Figure 4: AdasumRVH ≈ NCCL sum across sizes."""
+        from repro.comm.netmodel import nccl_allreduce_cost
+
+        net = NetworkModel.infiniband()
+        for exp in range(10, 29, 2):
+            n = 1 << exp
+            ada = adasum_rvh_cost(n, 64, net)
+            nccl = nccl_allreduce_cost(n, 64, net)
+            assert ada >= nccl  # strictly more work...
+            assert ada <= 3.0 * nccl  # ...but the same order
+
+    def test_adasum_converges_to_nccl_at_large_sizes(self):
+        from repro.comm.netmodel import nccl_allreduce_cost
+
+        net = NetworkModel.infiniband()
+        n = 1 << 28
+        ratio = adasum_rvh_cost(n, 64, net) / nccl_allreduce_cost(n, 64, net)
+        assert ratio == pytest.approx(1.0, rel=0.15)
+
+    def test_monotone_in_size(self):
+        net = NetworkModel.infiniband()
+        costs = [adasum_rvh_cost(1 << e, 16, net) for e in range(10, 24, 2)]
+        assert all(a < b for a, b in zip(costs, costs[1:]))
+
+    def test_hierarchical_beats_flat_on_mixed_fabric(self):
+        """With fast intra-node links, hierarchy reduces cross-node bytes."""
+        intra = NetworkModel.nccl_nvlink()
+        inter = NetworkModel.infiniband()
+        n = 1 << 24
+        flat = rvh_allreduce_cost(n, 64, inter)
+        hier = hierarchical_allreduce_cost(n, nodes=16, gpus_per_node=4, intra=intra, inter=inter)
+        assert hier < flat
+
+
+class TestSimulationAgreement:
+    """The executed thread simulation must match the analytic formulas."""
+
+    def test_ring_cost_matches_simulation(self):
+        net = NetworkModel(alpha=1e-3, beta=1e-6, gamma=1e-7)
+        p, n = 4, 4096
+        vecs = [np.zeros(n, dtype=np.float32) for _ in range(p)]
+        cluster = Cluster(p, network=net)
+        cluster.run(lambda c, v: allreduce_ring(c, v), rank_args=[(v,) for v in vecs])
+        analytic = ring_allreduce_cost(n * 4, p, net)
+        # The simulation pipelines chunks, so allow modest disagreement.
+        assert cluster.max_clock() == pytest.approx(analytic, rel=0.35)
+
+    def test_adasum_rvh_cost_matches_simulation(self):
+        net = NetworkModel(alpha=1e-3, beta=1e-6, gamma=1e-7)
+        p, n = 8, 8192
+        rng = np.random.default_rng(0)
+        vecs = [rng.standard_normal(n).astype(np.float32) for _ in range(p)]
+        cluster = Cluster(p, network=net)
+        cluster.run(lambda c, v: adasum_rvh(c, v), rank_args=[(v,) for v in vecs])
+        analytic = adasum_rvh_cost(n * 4, p, net)
+        assert cluster.max_clock() == pytest.approx(analytic, rel=0.5)

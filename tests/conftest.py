@@ -1,0 +1,10 @@
+"""Shared fixtures for the test-suite."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for each test."""
+    return np.random.default_rng(1234)

@@ -1,0 +1,130 @@
+"""Algorithm 1 (AdasumRVH) against the sequential tree reference."""
+
+import numpy as np
+import pytest
+
+from repro.comm import Cluster, FusionBuffer, NetworkModel
+from repro.core import adasum_per_layer, adasum_tree, allreduce_adasum_cluster
+from repro.core.adasum_rvh import adasum_rvh
+
+
+def _grads(size, n, seed=0):
+    rng = np.random.default_rng(seed)
+    return [rng.standard_normal(n).astype(np.float32) for _ in range(size)]
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("size", [2, 4, 8, 16])
+    def test_matches_tree_reference(self, size):
+        grads = _grads(size, 40, seed=size)
+        expected = adasum_tree(grads)
+        out, _ = allreduce_adasum_cluster(grads)
+        np.testing.assert_allclose(out, expected, rtol=1e-4, atol=1e-6)
+
+    @pytest.mark.parametrize("n", [17, 31, 64])
+    def test_odd_vector_lengths(self, n):
+        grads = _grads(8, n, seed=n)
+        expected = adasum_tree(grads)
+        out, _ = allreduce_adasum_cluster(grads)
+        np.testing.assert_allclose(out, expected, rtol=1e-4, atol=1e-6)
+
+    def test_all_ranks_agree(self):
+        grads = _grads(8, 24)
+        cluster = Cluster(8)
+        results = cluster.run(adasum_rvh, rank_args=[(g, None) for g in grads])
+        for r in results[1:]:
+            np.testing.assert_allclose(r, results[0], rtol=1e-5)
+
+    def test_single_rank_identity(self):
+        g = _grads(1, 10)[0]
+        cluster = Cluster(1)
+        (out,) = cluster.run(adasum_rvh, rank_args=[(g, None)])
+        np.testing.assert_array_equal(out, g)
+
+    def test_power_of_two_required(self):
+        cluster = Cluster(3, timeout=2.0)
+        grads = _grads(3, 8)
+        with pytest.raises(Exception):
+            cluster.run(adasum_rvh, rank_args=[(g, None) for g in grads])
+
+    def test_orthogonal_inputs_sum(self):
+        eye = np.eye(4, dtype=np.float32)
+        out, _ = allreduce_adasum_cluster([eye[i] for i in range(4)])
+        np.testing.assert_allclose(out, np.ones(4), rtol=1e-5)
+
+    def test_identical_inputs_average(self):
+        g = np.array([1.0, -2.0, 3.0, 0.5], dtype=np.float32)
+        out, _ = allreduce_adasum_cluster([g.copy() for _ in range(8)])
+        np.testing.assert_allclose(out, g, rtol=1e-5)
+
+
+class TestPerLayerFusion:
+    def test_matches_per_layer_reference(self):
+        size = 4
+        rng = np.random.default_rng(7)
+        dicts = [
+            {
+                "conv": rng.standard_normal(30).astype(np.float32),
+                "fc": rng.standard_normal(18).astype(np.float32),
+            }
+            for _ in range(size)
+        ]
+        expected = adasum_per_layer(dicts)
+
+        fusion = FusionBuffer()
+        named = [(n, dicts[0][n]) for n in dicts[0]]
+        (layout,) = fusion.plan(named)
+        flats = [fusion.pack(layout, d) for d in dicts]
+
+        out, _ = allreduce_adasum_cluster(flats, layout=layout)
+        back = fusion.unpack(layout, out)
+        for name in expected:
+            np.testing.assert_allclose(back[name], expected[name], rtol=1e-4, atol=1e-6)
+
+    def test_layer_boundary_in_odd_place(self):
+        """Boundaries that never align with halving splits still work."""
+        size = 8
+        rng = np.random.default_rng(3)
+        dicts = [
+            {
+                "a": rng.standard_normal(7).astype(np.float32),
+                "b": rng.standard_normal(13).astype(np.float32),
+                "c": rng.standard_normal(3).astype(np.float32),
+            }
+            for _ in range(size)
+        ]
+        expected = adasum_per_layer(dicts)
+        fusion = FusionBuffer()
+        (layout,) = fusion.plan([(n, dicts[0][n]) for n in dicts[0]])
+        flats = [fusion.pack(layout, d) for d in dicts]
+        out, _ = allreduce_adasum_cluster(flats, layout=layout)
+        back = fusion.unpack(layout, out)
+        for name in expected:
+            np.testing.assert_allclose(back[name], expected[name], rtol=1e-4, atol=1e-6)
+
+    def test_per_layer_differs_from_whole_model(self):
+        rng = np.random.default_rng(5)
+        dicts = [
+            {"a": rng.standard_normal(8).astype(np.float32),
+             "b": rng.standard_normal(8).astype(np.float32)}
+            for _ in range(4)
+        ]
+        fusion = FusionBuffer()
+        (layout,) = fusion.plan([(n, dicts[0][n]) for n in dicts[0]])
+        flats = [fusion.pack(layout, d) for d in dicts]
+        whole, _ = allreduce_adasum_cluster([f.copy() for f in flats], layout=None)
+        per_layer, _ = allreduce_adasum_cluster(flats, layout=layout)
+        assert not np.allclose(whole, per_layer, rtol=1e-6)
+
+
+class TestLatencyAccounting:
+    def test_latency_positive_with_network(self):
+        grads = _grads(8, 1024)
+        _, lat = allreduce_adasum_cluster(grads, network=NetworkModel.infiniband())
+        assert lat > 0
+
+    def test_latency_grows_with_message_size(self):
+        net = NetworkModel.infiniband()
+        _, small = allreduce_adasum_cluster(_grads(4, 256), network=net)
+        _, large = allreduce_adasum_cluster(_grads(4, 65536), network=net)
+        assert large > small

@@ -1,0 +1,133 @@
+"""Property-based verification of the paper's convergence lemmas (Appendix A).
+
+Lemma A.2: for i.i.d. a, b from a distribution X with mean E(X), the
+expected Adasum output Y = E[Adasum(a, b)] satisfies
+``cos∠(E(Y), E(X)) ≥ 0.9428...`` — the combination never rotates the
+expected gradient by more than ~0.108π.
+
+Lemma A.3: ``‖E(X)‖ ≤ ‖E(Y)‖ ≤ 2‖E(X)‖`` — the norm is bounded between
+one and two times the input's, since E(Y) = (2I − E[aaᵀ/‖a‖²])·E(X) and
+that matrix has eigenvalues in [1, 2].
+
+We verify both empirically with hypothesis: random gradient
+distributions, expectations estimated by averaging over all ordered
+sample pairs (the exact finite-sample analogue).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import adasum
+from repro.core.operator import adasum_scale_factors
+
+
+def _distribution(seed: int, n_vecs: int = 6, dim: int = 5, spread: float = 0.5):
+    """A random cloud of gradients with a nonzero mean."""
+    rng = np.random.default_rng(seed)
+    mean = rng.standard_normal(dim)
+    mean /= np.linalg.norm(mean)
+    vecs = mean[None, :] + spread * rng.standard_normal((n_vecs, dim))
+    return vecs
+
+
+def _expected_adasum(vecs: np.ndarray) -> np.ndarray:
+    """E[Adasum(a, b)] over independent a, b (all ordered pairs)."""
+    outs = [
+        adasum(vecs[i].astype(np.float64), vecs[j].astype(np.float64))
+        for i in range(len(vecs))
+        for j in range(len(vecs))
+    ]
+    return np.mean(outs, axis=0)
+
+
+MIN_COS = 0.9428  # the paper's worst-case bound (Lemma A.2)
+
+
+class TestLemmaA2:
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_expected_rotation_bounded(self, seed):
+        vecs = _distribution(seed)
+        ex = vecs.mean(axis=0)
+        ey = _expected_adasum(vecs)
+        cos = float(ex @ ey / (np.linalg.norm(ex) * np.linalg.norm(ey)))
+        # Empirical distributions are not exactly the idealized model, so
+        # allow a small slack below the analytic constant.
+        assert cos > MIN_COS - 0.05
+
+    def test_worst_case_analytic_formula(self):
+        """cos η = (2 − c²)/sqrt(4 − 3c²) minimized over c = cos γ."""
+        c = np.linspace(-1, 1, 20001)
+        cos_eta = (2 - c ** 2) / np.sqrt(4 - 3 * c ** 2)
+        assert cos_eta.min() == pytest.approx(0.9428, abs=1e-3)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000),
+           st.floats(min_value=0.05, max_value=2.0))
+    def test_rotation_bound_across_spreads(self, seed, spread):
+        vecs = _distribution(seed, spread=spread)
+        ex = vecs.mean(axis=0)
+        if np.linalg.norm(ex) < 1e-6:
+            return  # mean degenerate; lemma assumes E(X) != 0
+        ey = _expected_adasum(vecs)
+        cos = float(ex @ ey / (np.linalg.norm(ex) * np.linalg.norm(ey)))
+        assert cos > 0.85  # comfortably positive (pseudogradient condition)
+
+
+class TestLemmaA3:
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_norm_bounds(self, seed):
+        vecs = _distribution(seed)
+        ex = vecs.mean(axis=0)
+        ey = _expected_adasum(vecs)
+        ratio = np.linalg.norm(ey) / np.linalg.norm(ex)
+        assert 0.9 <= ratio <= 2.1  # [1, 2] with sampling slack
+
+    def test_matrix_eigenvalues_in_1_2(self):
+        """(2I − E[aaᵀ/‖a‖²]) has eigenvalues in [1, 2] exactly."""
+        rng = np.random.default_rng(0)
+        vecs = rng.standard_normal((50, 6))
+        P = np.mean(
+            [np.outer(v, v) / (v @ v) for v in vecs], axis=0
+        )
+        M = 2 * np.eye(6) - P
+        eig = np.linalg.eigvalsh(M)
+        assert eig.min() >= 1.0 - 1e-9
+        assert eig.max() <= 2.0 + 1e-9
+
+    def test_expectation_identity(self):
+        """E(Y) = (2I − E[aaᵀ/‖a‖²])·E(X) — the key algebraic step."""
+        rng = np.random.default_rng(1)
+        vecs = rng.standard_normal((8, 4)) + np.array([2.0, 0, 0, 0])
+        ey = _expected_adasum(vecs)
+        P = np.mean([np.outer(v, v) / (v @ v) for v in vecs], axis=0)
+        ex = vecs.mean(axis=0)
+        np.testing.assert_allclose(ey, (2 * np.eye(4) - P) @ ex, rtol=1e-8)
+
+
+class TestPseudogradientConditions:
+    """The conditions of Theorem A.4 on concrete gradient samples."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_positive_inner_product_with_true_gradient(self, seed):
+        """E(h)ᵀ·∇L > 0: the combined direction is a descent direction."""
+        vecs = _distribution(seed)
+        true_grad = vecs.mean(axis=0)
+        combined = _expected_adasum(vecs)
+        assert combined @ true_grad > 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_norm_bounded(self, seed):
+        """E(‖h‖²) < C: pairwise outputs don't blow up."""
+        vecs = _distribution(seed)
+        max_in = max(np.linalg.norm(v) for v in vecs)
+        for i in range(len(vecs)):
+            for j in range(len(vecs)):
+                out = adasum(vecs[i], vecs[j])
+                s1, s2 = adasum_scale_factors(vecs[i], vecs[j])
+                bound = (abs(s1) + abs(s2) + 1e-9) * max_in
+                assert np.linalg.norm(out) <= bound * 1.01

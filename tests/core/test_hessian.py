@@ -1,0 +1,168 @@
+"""Hessian-vector product and sequential-emulation tests (Figure 2 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    exact_hessian,
+    hessian_pair_combine,
+    hessian_tree_combine,
+    hessian_vector_product,
+    sequential_emulation_update,
+)
+
+
+def quadratic_grad(A, b):
+    """Gradient of f(w) = 0.5 wᵀAw - bᵀw, whose Hessian is exactly A."""
+
+    def fn(w):
+        return A @ w - b
+
+    return fn
+
+
+@pytest.fixture
+def quad(rng):
+    d = 6
+    M = rng.standard_normal((d, d))
+    A = M @ M.T + np.eye(d)  # SPD
+    b = rng.standard_normal(d)
+    return A, b, quadratic_grad(A, b)
+
+
+class TestHVP:
+    def test_exact_on_quadratic(self, quad, rng):
+        A, b, fn = quad
+        w = rng.standard_normal(6)
+        v = rng.standard_normal(6)
+        np.testing.assert_allclose(hessian_vector_product(fn, w, v), A @ v, rtol=1e-5)
+
+    def test_zero_vector(self, quad, rng):
+        _, _, fn = quad
+        out = hessian_vector_product(fn, rng.standard_normal(6), np.zeros(6))
+        np.testing.assert_array_equal(out, 0.0)
+
+    def test_tiny_vector_stays_accurate(self, quad, rng):
+        """The probe normalization keeps FD accurate for tiny v."""
+        A, _, fn = quad
+        w = rng.standard_normal(6)
+        v = rng.standard_normal(6) * 1e-9
+        np.testing.assert_allclose(hessian_vector_product(fn, w, v), A @ v, rtol=1e-4)
+
+    def test_linear_in_v(self, quad, rng):
+        _, _, fn = quad
+        w = rng.standard_normal(6)
+        v = rng.standard_normal(6)
+        h1 = hessian_vector_product(fn, w, v)
+        h2 = hessian_vector_product(fn, w, 2 * v)
+        np.testing.assert_allclose(h2, 2 * h1, rtol=1e-5)
+
+
+class TestExactHessian:
+    def test_recovers_quadratic_hessian(self, quad):
+        A, _, fn = quad
+        H = exact_hessian(fn, np.zeros(6))
+        np.testing.assert_allclose(H, A, rtol=1e-5, atol=1e-7)
+
+    def test_symmetric(self, rng):
+        # Nonlinear gradient: f = sum(tanh(w)²) has symmetric Hessian.
+        def fn(w):
+            return 2 * np.tanh(w) * (1 - np.tanh(w) ** 2)
+
+        H = exact_hessian(fn, rng.standard_normal(4) * 0.3)
+        np.testing.assert_allclose(H, H.T, atol=1e-8)
+
+
+class TestSequentialEmulation:
+    def test_matches_true_sequential_on_quadratic(self, rng):
+        """For quadratics the first-order correction is exact: the emulated
+        two-step update equals actually running the two steps."""
+        d = 5
+        Ms = [rng.standard_normal((d, d)) for _ in range(2)]
+        As = [M @ M.T + np.eye(d) for M in Ms]
+        bs = [rng.standard_normal(d) for _ in range(2)]
+        fns = [quadratic_grad(A, b) for A, b in zip(As, bs)]
+        w0 = rng.standard_normal(d)
+        alpha = 0.05
+
+        emulated = sequential_emulation_update(fns, w0, alpha)
+        # True sequential: w1 = w0 - a g1(w0); total = g1(w0) + g2(w1)
+        w1 = w0 - alpha * fns[0](w0)
+        true_total = fns[0](w0) + fns[1](w1)
+        np.testing.assert_allclose(emulated, true_total, rtol=1e-4, atol=1e-6)
+
+    def test_single_fn_is_plain_gradient(self, quad, rng):
+        A, b, fn = quad
+        w0 = rng.standard_normal(6)
+        np.testing.assert_allclose(
+            sequential_emulation_update([fn], w0, 0.1), fn(w0), rtol=1e-6
+        )
+
+
+class TestPairAndTree:
+    def test_pair_formula(self, rng):
+        d = 4
+        A1 = np.eye(d) * 2
+        A2 = np.diag([1.0, 2.0, 3.0, 4.0])
+        fn1, fn2 = quadratic_grad(A1, np.zeros(d)), quadratic_grad(A2, np.zeros(d))
+        w0 = rng.standard_normal(d)
+        g1, g2 = fn1(w0), fn2(w0)
+        alpha = 0.1
+        out = hessian_pair_combine(g1, g2, fn1, fn2, w0, alpha)
+        expected = g1 + g2 - 0.5 * alpha * (A2 @ g1) - 0.5 * alpha * (A1 @ g2)
+        np.testing.assert_allclose(out, expected, rtol=1e-5)
+
+    def test_tree_power_of_two(self, quad):
+        _, _, fn = quad
+        with pytest.raises(ValueError):
+            hessian_tree_combine([fn] * 3, np.zeros(6), 0.1)
+
+    def test_tree_single(self, quad, rng):
+        _, _, fn = quad
+        w0 = rng.standard_normal(6)
+        np.testing.assert_allclose(hessian_tree_combine([fn], w0, 0.1), fn(w0))
+
+    def test_adasum_tracks_hessian_combination(self):
+        """The headline of Figure 2: on average, Adasum is closer to the
+        Hessian-exact combination than plain summation.
+
+        Uses logistic-regression minibatches — a negative-log-likelihood
+        loss, the setting where the paper's Fisher approximation
+        ``H ≈ g·gᵀ`` is justified (Appendix A.1).
+        """
+        from repro.core import adasum_tree
+
+        d, classes = 6, 3
+
+        def make_fn(seed, w_true):
+            r = np.random.default_rng(seed)
+            X = r.standard_normal((8, d))
+            logits = X @ w_true
+            y = np.array([r.choice(classes, p=_softmax(l)) for l in logits])
+
+            def fn(w_flat):
+                W = w_flat.reshape(d, classes)
+                p = np.apply_along_axis(_softmax, 1, X @ W)
+                p[np.arange(len(y)), y] -= 1.0
+                return (X.T @ p / len(y)).reshape(-1)
+
+            return fn
+
+        def _softmax(z):
+            e = np.exp(z - z.max())
+            return e / e.sum()
+
+        wins = 0
+        trials = 8
+        for trial in range(trials):
+            r = np.random.default_rng(1000 + trial)
+            w_true = r.standard_normal((d, classes))
+            fns = [make_fn(10 * trial + k, w_true) for k in range(4)]
+            w0 = (w_true + 0.3 * r.standard_normal((d, classes))).reshape(-1)
+            grads = [fn(w0) for fn in fns]
+            alpha = 1.0 / np.mean([g @ g for g in grads])
+            reference = hessian_tree_combine(fns, w0, alpha)
+            err_adasum = np.linalg.norm(adasum_tree(grads) - reference)
+            err_sum = np.linalg.norm(np.sum(grads, axis=0) - reference)
+            wins += err_adasum < err_sum
+        assert wins > trials / 2

@@ -1,0 +1,71 @@
+"""Orthogonality-probe tests (Figure 1 instrumentation)."""
+
+import numpy as np
+import pytest
+
+from repro.core import OrthogonalityProbe
+
+
+def _dicts(rng, ranks=4):
+    return [
+        {"conv": rng.standard_normal(16).astype(np.float32),
+         "fc": rng.standard_normal(8).astype(np.float32)}
+        for _ in range(ranks)
+    ]
+
+
+class TestProbe:
+    def test_invalid_cadence(self):
+        with pytest.raises(ValueError):
+            OrthogonalityProbe(every=0)
+
+    def test_records_per_layer(self, rng):
+        probe = OrthogonalityProbe()
+        probe.record(_dicts(rng))
+        assert set(probe.history) == {"conv", "fc"}
+        assert len(probe.history["conv"]) == 1
+
+    def test_cadence_skips(self, rng):
+        probe = OrthogonalityProbe(every=3)
+        taken = [probe.record(_dicts(rng)) for _ in range(7)]
+        assert taken == [True, False, False, True, False, False, True]
+        assert len(probe.steps) == 3
+
+    def test_values_in_expected_range(self, rng):
+        probe = OrthogonalityProbe()
+        probe.record(_dicts(rng, ranks=8))
+        for vals in probe.history.values():
+            assert 0.0 < vals[0] <= 2.0
+
+    def test_parallel_gradients_low_orthogonal_high(self):
+        probe = OrthogonalityProbe()
+        g = np.ones(8, dtype=np.float32)
+        parallel = [{"l": g.copy()} for _ in range(4)]
+        probe.record(parallel)
+        eye = np.eye(4, dtype=np.float32)
+        orthogonal = [{"l": eye[i]} for i in range(4)]
+        probe.record(orthogonal)
+        vals = probe.history["l"]
+        assert vals[0] == pytest.approx(0.25, rel=1e-4)
+        assert vals[1] == pytest.approx(1.0, rel=1e-4)
+
+    def test_average_curve(self, rng):
+        probe = OrthogonalityProbe()
+        for _ in range(3):
+            probe.record(_dicts(rng))
+        curve = probe.average_curve()
+        assert curve.shape == (3,)
+        per_layer = probe.layer_curves()
+        manual = np.mean([per_layer["conv"], per_layer["fc"]], axis=0)
+        np.testing.assert_allclose(curve, manual)
+
+    def test_empty_probe(self):
+        probe = OrthogonalityProbe()
+        assert probe.average_curve().size == 0
+        assert probe.layer_curves() == {}
+
+    def test_explicit_step_labels(self, rng):
+        probe = OrthogonalityProbe()
+        probe.record(_dicts(rng), step=100)
+        probe.record(_dicts(rng), step=200)
+        assert probe.steps == [100, 200]

@@ -1,0 +1,62 @@
+"""Sharded sampler / batch iterator tests."""
+
+import numpy as np
+import pytest
+
+from repro.data import BatchIterator, ShardedSampler
+
+
+class TestShardedSampler:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShardedSampler(2, 4)
+        with pytest.raises(ValueError):
+            ShardedSampler(10, 0)
+
+    def test_shards_disjoint_and_equal(self):
+        s = ShardedSampler(100, 4, seed=0)
+        shards = s.epoch_shards(0)
+        assert len(shards) == 4
+        assert all(len(sh) == 25 for sh in shards)
+        all_idx = np.concatenate(shards)
+        assert len(set(all_idx)) == 100
+
+    def test_uneven_drop_remainder(self):
+        s = ShardedSampler(103, 4, seed=0)
+        shards = s.epoch_shards(0)
+        assert all(len(sh) == 25 for sh in shards)
+
+    def test_epochs_reshuffle(self):
+        s = ShardedSampler(64, 2, seed=0)
+        e0 = s.epoch_shards(0)[0]
+        e1 = s.epoch_shards(1)[0]
+        assert not np.array_equal(e0, e1)
+
+    def test_deterministic_given_seed(self):
+        a = ShardedSampler(64, 2, seed=3).epoch_shards(5)[1]
+        b = ShardedSampler(64, 2, seed=3).epoch_shards(5)[1]
+        np.testing.assert_array_equal(a, b)
+
+
+class TestBatchIterator:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BatchIterator(ShardedSampler(10, 2), 0)
+
+    def test_steps_per_epoch(self):
+        it = BatchIterator(ShardedSampler(100, 4, seed=0), microbatch=5)
+        assert it.steps_per_epoch() == 5
+
+    def test_batches_have_right_size(self):
+        it = BatchIterator(ShardedSampler(96, 4, seed=0), microbatch=6)
+        for step, batches in it.epoch(0):
+            assert len(batches) == 4
+            assert all(len(b) == 6 for b in batches)
+
+    def test_no_sample_repeats_within_epoch(self):
+        it = BatchIterator(ShardedSampler(64, 2, seed=0), microbatch=4)
+        seen = []
+        for _, batches in it.epoch(0):
+            for b in batches:
+                seen.extend(b.tolist())
+        assert len(seen) == len(set(seen))

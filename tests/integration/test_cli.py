@@ -1,0 +1,32 @@
+"""CLI runner tests."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_unknown(self, capsys):
+        assert main(["nope"]) == 2
+
+    def test_fast_experiment_runs(self, capsys):
+        # table4 is pure modeling — instant.
+        assert main(["table4"]) == 0
+        out = capsys.readouterr().out
+        assert "GPUs" in out
+        assert "512" in out
+
+    def test_table1_runs(self, capsys):
+        assert main(["table1"]) == 0
+        assert "Microbatch" in capsys.readouterr().out
+
+    def test_all_names_have_descriptions(self):
+        for fn, desc in EXPERIMENTS.values():
+            assert callable(fn)
+            assert len(desc) > 5

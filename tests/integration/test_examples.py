@@ -1,0 +1,38 @@
+"""Every example script must execute end to end (trimmed via env/args
+where possible, else the examples are small enough to run directly)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def _run(name: str, timeout: int = 600) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, f"{name} failed:\n{proc.stdout}\n{proc.stderr}"
+    return proc.stdout
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self):
+        out = _run("quickstart.py")
+        assert "Adasum of orthogonal gradients" in out
+        assert "final accuracy" in out
+
+    def test_allreduce_latency(self):
+        out = _run("allreduce_latency.py")
+        assert "AdasumRVH vs sequential tree" in out
+        assert "Figure 4" in out
+
+    def test_mixed_precision(self):
+        out = _run("mixed_precision.py")
+        assert "scale factors" in out

@@ -1,0 +1,109 @@
+"""Smoke tests for the experiment modules at miniature scale.
+
+The full paper-shaped runs live in ``benchmarks/``; here each
+experiment just has to execute end to end and produce well-formed
+results quickly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    run_fig1,
+    run_fig2,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_production_proxy,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+    validate_rvh_simulation,
+)
+
+
+class TestFig1:
+    def test_resnet_tiny(self):
+        r = run_fig1("resnet", epochs=2, dataset=256, microbatch=8, ranks=4)
+        assert len(r.average) > 0
+        assert all(0 <= v <= 2.5 for v in r.average)
+
+    def test_bert_tiny(self):
+        r = run_fig1("bert", steps=10, microbatch=4, ranks=4)
+        assert len(r.steps) == 5  # every=2
+
+    def test_unknown_model(self):
+        with pytest.raises(ValueError):
+            run_fig1("vgg")
+
+
+class TestFig2:
+    def test_tiny(self):
+        r = run_fig2(ranks=4, steps=5, microbatch=4, hidden=6)
+        assert len(r.err_adasum) == 5
+        assert np.isfinite(r.err_adasum).all()
+        assert np.isfinite(r.err_sync).all()
+
+
+class TestFig4:
+    def test_rows_cover_sweep(self):
+        r = run_fig4(exponents=range(10, 16))
+        assert len(r.points) == 6
+        assert all(p.adasum_ms > 0 for p in r.points)
+
+    def test_validation_helper(self):
+        sim, analytic = validate_rvh_simulation(ranks=4, n_floats=1024)
+        assert sim > 0 and analytic > 0
+
+
+class TestFig5:
+    def test_tiny(self):
+        r = run_fig5(dataset=512, max_epochs=2, target=0.99)
+        assert set(r.outcomes) == {"sum-small", "sum-large",
+                                   "adasum-small", "adasum-large"}
+        assert len(r.rows()) == 4
+
+
+class TestFig6:
+    def test_tiny(self):
+        r = run_fig6(rank_counts=(4,), dataset=512, lr_grid=(1.0, 2.0), epochs=1)
+        # two methods x (untuned + tuned) at one rank count
+        assert len(r.cells) == 4
+        assert 0 <= r.sequential_accuracy <= 1
+        assert r.cell("adasum", 4, True).accuracy >= 0.0
+
+
+class TestTables:
+    def test_table1(self):
+        r = run_table1()
+        assert r.microbatch_with > r.microbatch_without
+        assert len(r.rows()) == 3
+
+    def test_table2_tiny(self):
+        r = run_table2(dataset=256, max_epochs=2, target=0.99,
+                       local_steps_options=(2, 1))
+        assert len(r.outcomes) == 2
+
+    def test_table3_single_variant_tiny(self):
+        r = run_table3(max_steps1=3, max_steps2=2, eval_every=1,
+                       target1=0.0, target2=0.0, variants=["adasum-lamb"])
+        out = r.outcomes["adasum-lamb"]
+        assert out.phase1_iters == 1  # target 0 reached at first eval
+        assert out.phase2_iters == 1
+
+    def test_table3_unknown_variant(self):
+        with pytest.raises(ValueError):
+            run_table3(variants=["adasum-sgd"], max_steps1=1)
+
+    def test_table4(self):
+        r = run_table4()
+        assert [p.gpus for p in r.points] == [64, 256, 512]
+        assert len(r.rows()[0]) == 7
+
+
+class TestProduction:
+    def test_tiny(self):
+        r = run_production_proxy(steps=4, dataset=512)
+        assert 0 <= r.baseline_accuracy <= 1
+        assert len(r.rows()) == 4

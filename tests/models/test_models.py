@@ -1,0 +1,174 @@
+"""Model zoo tests: shapes, determinism, trainability of each case-study model."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.models import (
+    BertConfig,
+    LeNet5,
+    MiniBERT,
+    MLP,
+    ResNetCIFAR,
+    TinyLSTMClassifier,
+)
+from repro.optim import SGD
+from repro.tensor import Tensor
+
+
+def _train_steps(model, make_batch, loss_fn, steps=12, lr=0.1):
+    """Run a few SGD steps; return (first_loss, last_loss)."""
+    opt = SGD(model.parameters(), lr=lr)
+    first = last = None
+    for _ in range(steps):
+        x, y = make_batch()
+        model.zero_grad()
+        loss = loss_fn(model(x), y)
+        loss.backward()
+        opt.step()
+        last = loss.item()
+        if first is None:
+            first = last
+    return first, last
+
+
+class TestMLP:
+    def test_shapes(self, rng):
+        m = MLP((8, 16, 4), rng=rng)
+        out = m(Tensor(rng.standard_normal((5, 8))))
+        assert out.shape == (5, 4)
+
+    def test_flattens_images(self, rng):
+        m = MLP((16, 8, 2), rng=rng)
+        assert m(Tensor(rng.standard_normal((3, 1, 4, 4)))).shape == (3, 2)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            MLP((4,))
+
+    def test_invalid_activation(self):
+        with pytest.raises(ValueError):
+            MLP((4, 2), activation="swish")
+
+    def test_learns(self, rng):
+        m = MLP((4, 16, 2), rng=rng)
+        x = rng.standard_normal((64, 4)).astype(np.float32)
+        y = (x[:, 0] > 0).astype(np.int64)
+        ce = nn.CrossEntropyLoss()
+        first, last = _train_steps(m, lambda: (Tensor(x), y), ce, steps=30, lr=0.3)
+        assert last < first * 0.7
+
+
+class TestLeNet5:
+    def test_shape(self, rng):
+        m = LeNet5(rng=rng)
+        out = m(rng.standard_normal((2, 1, 28, 28)).astype(np.float32))
+        assert out.shape == (2, 10)
+
+    def test_parameter_count(self, rng):
+        # Classic LeNet-5 (with 5x5 convs, 16*5*5 -> 120 -> 84 -> 10).
+        m = LeNet5(rng=rng)
+        expected = (
+            (6 * 1 * 25 + 6)
+            + (16 * 6 * 25 + 16)
+            + (400 * 120 + 120)
+            + (120 * 84 + 84)
+            + (84 * 10 + 10)
+        )
+        assert m.num_parameters() == expected
+
+    def test_deterministic_construction(self):
+        m1 = LeNet5(rng=np.random.default_rng(3))
+        m2 = LeNet5(rng=np.random.default_rng(3))
+        for (_, p1), (_, p2) in zip(m1.named_parameters(), m2.named_parameters()):
+            np.testing.assert_array_equal(p1.data, p2.data)
+
+
+class TestResNet:
+    def test_shape(self, rng):
+        m = ResNetCIFAR(n=1, width=4, rng=rng)
+        out = m(rng.standard_normal((2, 3, 16, 16)).astype(np.float32))
+        assert out.shape == (2, 10)
+
+    def test_depth_grows_with_n(self, rng):
+        m1 = ResNetCIFAR(n=1, width=4, rng=rng)
+        m2 = ResNetCIFAR(n=2, width=4, rng=np.random.default_rng(0))
+        assert m2.num_parameters() > m1.num_parameters()
+
+    def test_shortcut_projection_on_stride(self, rng):
+        from repro.models import BasicBlock
+
+        blk = BasicBlock(4, 8, stride=2, rng=rng)
+        out = blk(Tensor(rng.standard_normal((1, 4, 8, 8))))
+        assert out.shape == (1, 8, 4, 4)
+
+    def test_identity_shortcut_when_same_shape(self, rng):
+        from repro.models import BasicBlock
+
+        blk = BasicBlock(4, 4, stride=1, rng=rng)
+        assert isinstance(blk.shortcut, nn.Identity)
+
+    def test_gradients_reach_stem(self, rng):
+        m = ResNetCIFAR(n=1, width=4, rng=rng)
+        ce = nn.CrossEntropyLoss()
+        x = rng.standard_normal((2, 3, 8, 8)).astype(np.float32)
+        ce(m(x), np.array([1, 2])).backward()
+        assert m.stem.weight.grad is not None
+        assert np.abs(m.stem.weight.grad).sum() > 0
+
+
+class TestMiniBERT:
+    def test_logit_shape(self, rng):
+        cfg = BertConfig(vocab_size=32, hidden=16, layers=1, heads=2, max_seq_len=8)
+        m = MiniBERT(cfg, rng=rng)
+        tokens = rng.integers(0, 32, size=(2, 8))
+        assert m(tokens).shape == (2, 8, 32)
+
+    def test_seq_len_guard(self, rng):
+        cfg = BertConfig(vocab_size=32, hidden=16, layers=1, heads=2, max_seq_len=4)
+        m = MiniBERT(cfg, rng=rng)
+        with pytest.raises(ValueError):
+            m(rng.integers(0, 32, size=(1, 8)))
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            BertConfig(hidden=30, heads=4)
+
+    def test_weight_tying(self, rng):
+        cfg = BertConfig(vocab_size=16, hidden=8, layers=1, heads=2, max_seq_len=4)
+        m = MiniBERT(cfg, rng=rng)
+        names = [n for n, _ in m.named_parameters()]
+        # No separate MLM projection matrix — only the tied embedding + bias.
+        assert not any("mlm" in n and "weight" in n for n in names)
+
+    def test_learns_mlm(self, rng):
+        from repro.data import SyntheticTextCorpus, mask_tokens
+
+        cfg = BertConfig(vocab_size=32, hidden=16, layers=1, heads=2, max_seq_len=8)
+        m = MiniBERT(cfg, rng=np.random.default_rng(0))
+        corpus = SyntheticTextCorpus(vocab_size=32, seed=0)
+        ce = nn.CrossEntropyLoss(ignore_index=-100)
+
+        def batch():
+            toks = corpus.sample_batch(16, 8, rng)
+            inp, tgt = mask_tokens(toks, rng, vocab_size=32)
+            return inp, tgt
+
+        first, last = _train_steps(m, batch, ce, steps=25, lr=0.05)
+        assert last < first
+
+
+class TestLSTM:
+    def test_shape(self, rng):
+        m = TinyLSTMClassifier(rng=rng)
+        out = m(rng.integers(0, 32, size=(4, 12)))
+        assert out.shape == (4, 8)
+
+    def test_learns(self, rng):
+        from repro.data import make_command_sequences
+
+        x, y = make_command_sequences(128, seed=0)
+        m = TinyLSTMClassifier(rng=np.random.default_rng(1))
+        ce = nn.CrossEntropyLoss()
+        first, last = _train_steps(m, lambda: (x[:32], y[:32]), ce, steps=20, lr=0.5)
+        assert last < first

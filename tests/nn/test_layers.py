@@ -1,0 +1,182 @@
+"""Layer-level tests: shapes, semantics, and gradients through modules."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.tensor import Tensor, gradcheck
+
+
+class TestLinear:
+    def test_shape(self, rng):
+        layer = nn.Linear(5, 3, rng=rng)
+        out = layer(Tensor(rng.standard_normal((4, 5))))
+        assert out.shape == (4, 3)
+
+    def test_no_bias(self, rng):
+        layer = nn.Linear(5, 3, bias=False, rng=rng)
+        assert layer.bias is None
+        assert len(list(layer.named_parameters())) == 1
+
+    def test_matches_manual(self, rng):
+        layer = nn.Linear(4, 2, rng=rng)
+        x = rng.standard_normal((3, 4)).astype(np.float32)
+        out = layer(Tensor(x)).data
+        expected = x @ layer.weight.data.T + layer.bias.data
+        np.testing.assert_allclose(out, expected, rtol=1e-5)
+
+    def test_grad(self, rng):
+        layer = nn.Linear(3, 2, rng=rng)
+        x = Tensor(rng.standard_normal((2, 3)), requires_grad=True)
+        params = [layer.weight, layer.bias, x]
+        assert gradcheck(lambda: (layer(x) ** 2).sum(), params, atol=5e-3)
+
+    def test_3d_input(self, rng):
+        layer = nn.Linear(4, 6, rng=rng)
+        out = layer(Tensor(rng.standard_normal((2, 5, 4))))
+        assert out.shape == (2, 5, 6)
+
+
+class TestConvPool:
+    def test_conv_module_shapes(self, rng):
+        conv = nn.Conv2d(3, 8, 3, stride=2, padding=1, rng=rng)
+        out = conv(Tensor(rng.standard_normal((2, 3, 8, 8))))
+        assert out.shape == (2, 8, 4, 4)
+
+    def test_conv_grad_through_module(self, rng):
+        conv = nn.Conv2d(1, 2, 3, padding=1, rng=rng)
+        x = Tensor(rng.standard_normal((1, 1, 4, 4)) * 0.5, requires_grad=True)
+        assert gradcheck(
+            lambda: (conv(x) ** 2).sum(), [conv.weight, conv.bias, x], atol=2e-2, rtol=5e-2
+        )
+
+    def test_pool_modules(self, rng):
+        x = Tensor(rng.standard_normal((1, 2, 8, 8)))
+        assert nn.MaxPool2d(2)(x).shape == (1, 2, 4, 4)
+        assert nn.AvgPool2d(4)(x).shape == (1, 2, 2, 2)
+
+
+class TestNorms:
+    def test_batchnorm_updates_running_stats(self, rng):
+        bn = nn.BatchNorm2d(3)
+        x = Tensor(rng.standard_normal((8, 3, 4, 4)) * 2 + 1)
+        bn(x)
+        assert not np.allclose(bn.running_mean, 0.0)
+        assert not np.allclose(bn.running_var, 1.0)
+
+    def test_batchnorm_eval_deterministic(self, rng):
+        bn = nn.BatchNorm2d(2)
+        x = Tensor(rng.standard_normal((4, 2, 3, 3)))
+        bn(x)  # train step moves stats
+        bn.eval()
+        out1 = bn(x).data
+        out2 = bn(x).data
+        np.testing.assert_array_equal(out1, out2)
+
+    def test_layernorm_normalizes(self, rng):
+        ln = nn.LayerNorm(16)
+        x = Tensor(rng.standard_normal((4, 16)) * 3 + 2)
+        out = ln(x).data
+        np.testing.assert_allclose(out.mean(axis=-1), 0, atol=1e-5)
+
+
+class TestEmbedding:
+    def test_lookup(self, rng):
+        emb = nn.Embedding(10, 4, rng=rng)
+        out = emb(np.array([[0, 1], [2, 3]]))
+        assert out.shape == (2, 2, 4)
+        np.testing.assert_array_equal(out.data[0, 1], emb.weight.data[1])
+
+    def test_grad_flows(self, rng):
+        emb = nn.Embedding(10, 4, rng=rng)
+        emb(np.array([1, 1, 2])).sum().backward()
+        assert np.allclose(emb.weight.grad[1], 2.0)
+        assert np.allclose(emb.weight.grad[3], 0.0)
+
+
+class TestDropout:
+    def test_eval_identity(self, rng):
+        d = nn.Dropout(0.9, rng=rng)
+        d.eval()
+        x = Tensor(rng.standard_normal((5, 5)))
+        np.testing.assert_array_equal(d(x).data, x.data)
+
+    def test_train_drops(self, rng):
+        d = nn.Dropout(0.5, rng=rng)
+        x = Tensor(np.ones((100, 100), dtype=np.float32))
+        out = d(x).data
+        frac_zero = (out == 0).mean()
+        assert 0.4 < frac_zero < 0.6
+
+
+class TestMultiHeadAttention:
+    def test_shape(self, rng):
+        mha = nn.MultiHeadAttention(16, 4, rng=rng)
+        x = Tensor(rng.standard_normal((2, 5, 16)))
+        assert mha(x).shape == (2, 5, 16)
+
+    def test_dim_head_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            nn.MultiHeadAttention(10, 3, rng=rng)
+
+    def test_mask_blocks_attention(self, rng):
+        """Masked positions must not influence other positions' outputs."""
+        mha = nn.MultiHeadAttention(8, 2, rng=rng)
+        x = rng.standard_normal((1, 4, 8)).astype(np.float32)
+        mask = np.array([[True, True, True, False]])
+        out1 = mha(Tensor(x), attention_mask=mask).data
+        x2 = x.copy()
+        x2[0, 3] = 99.0  # change the masked position's content
+        out2 = mha(Tensor(x2), attention_mask=mask).data
+        np.testing.assert_allclose(out1[0, :3], out2[0, :3], rtol=1e-4, atol=1e-5)
+
+    def test_grad_flows_to_qkv(self, rng):
+        mha = nn.MultiHeadAttention(8, 2, rng=rng)
+        x = Tensor(rng.standard_normal((1, 3, 8)), requires_grad=True)
+        (mha(x) ** 2).sum().backward()
+        assert mha.qkv.weight.grad is not None
+        assert x.grad is not None
+        assert np.abs(x.grad).sum() > 0
+
+
+class TestInit:
+    def test_kaiming_scale(self, rng):
+        w = nn.init.kaiming_uniform((256, 128), rng)
+        bound = np.sqrt(2.0) * np.sqrt(3.0 / 128)
+        assert np.abs(w).max() <= bound + 1e-6
+        assert w.std() == pytest.approx(bound / np.sqrt(3), rel=0.1)
+
+    def test_xavier_conv_fans(self, rng):
+        w = nn.init.xavier_uniform((8, 4, 3, 3), rng)
+        fan_in, fan_out = 4 * 9, 8 * 9
+        bound = np.sqrt(6.0 / (fan_in + fan_out))
+        assert np.abs(w).max() <= bound + 1e-6
+
+    def test_deterministic_given_rng(self):
+        w1 = nn.init.normal((10, 10), np.random.default_rng(7))
+        w2 = nn.init.normal((10, 10), np.random.default_rng(7))
+        np.testing.assert_array_equal(w1, w2)
+
+
+class TestLosses:
+    def test_cross_entropy_module(self, rng):
+        ce = nn.CrossEntropyLoss()
+        logits = Tensor(rng.standard_normal((4, 3)), requires_grad=True)
+        loss = ce(logits, np.array([0, 1, 2, 0]))
+        loss.backward()
+        assert logits.grad.shape == (4, 3)
+        assert loss.item() > 0
+
+    def test_cross_entropy_perfect_prediction_low_loss(self):
+        logits = np.full((2, 3), -20.0, dtype=np.float32)
+        logits[0, 1] = 20.0
+        logits[1, 2] = 20.0
+        ce = nn.CrossEntropyLoss()
+        assert ce(Tensor(logits), np.array([1, 2])).item() < 1e-4
+
+    def test_mse_module(self, rng):
+        mse = nn.MSELoss()
+        pred = Tensor(rng.standard_normal((3, 2)), requires_grad=True)
+        target = pred.data + 1.0
+        loss = mse(pred, target)
+        assert loss.item() == pytest.approx(1.0, rel=1e-4)

@@ -1,0 +1,111 @@
+"""Tests for the Module/Parameter registration and state-dict machinery."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.tensor import Tensor
+
+
+class Net(nn.Module):
+    def __init__(self):
+        super().__init__()
+        self.fc1 = nn.Linear(4, 8, rng=np.random.default_rng(0))
+        self.fc2 = nn.Linear(8, 2, rng=np.random.default_rng(1))
+
+    def forward(self, x):
+        return self.fc2(self.fc1(x).relu())
+
+
+class TestRegistration:
+    def test_named_parameters_order_and_names(self):
+        net = Net()
+        names = [n for n, _ in net.named_parameters()]
+        assert names == ["fc1.weight", "fc1.bias", "fc2.weight", "fc2.bias"]
+
+    def test_parameters_are_parameters(self):
+        net = Net()
+        for p in net.parameters():
+            assert isinstance(p, nn.Parameter)
+            assert p.requires_grad
+
+    def test_num_parameters(self):
+        net = Net()
+        assert net.num_parameters() == 4 * 8 + 8 + 8 * 2 + 2
+
+    def test_nested_modules(self):
+        outer = nn.Sequential(Net(), nn.ReLU(), Net())
+        names = [n for n, _ in outer.named_parameters()]
+        assert "0.fc1.weight" in names
+        assert "2.fc2.bias" in names
+
+    def test_modules_iteration(self):
+        net = Net()
+        mods = list(net.modules())
+        assert net in mods
+        assert net.fc1 in mods
+
+    def test_buffers_registered(self):
+        bn = nn.BatchNorm2d(3)
+        buf_names = [n for n, _ in bn.named_buffers()]
+        assert set(buf_names) == {"running_mean", "running_var"}
+
+
+class TestModes:
+    def test_train_eval_propagates(self):
+        net = nn.Sequential(nn.Dropout(0.5), Net())
+        net.eval()
+        assert all(not m.training for m in net.modules())
+        net.train()
+        assert all(m.training for m in net.modules())
+
+    def test_zero_grad(self):
+        net = Net()
+        out = net(Tensor(np.ones((2, 4), dtype=np.float32))).sum()
+        out.backward()
+        assert net.fc1.weight.grad is not None
+        net.zero_grad()
+        assert all(p.grad is None for p in net.parameters())
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        a, b = Net(), Net()
+        # Ensure they start different.
+        b.fc1.weight.data += 1.0
+        state = a.state_dict()
+        b.load_state_dict(state)
+        for (n1, p1), (n2, p2) in zip(a.named_parameters(), b.named_parameters()):
+            assert n1 == n2
+            np.testing.assert_array_equal(p1.data, p2.data)
+
+    def test_state_dict_is_a_copy(self):
+        net = Net()
+        state = net.state_dict()
+        net.fc1.weight.data += 5.0
+        assert not np.allclose(state["fc1.weight"], net.fc1.weight.data)
+
+    def test_buffers_roundtrip(self):
+        bn1, bn2 = nn.BatchNorm2d(2), nn.BatchNorm2d(2)
+        bn1.running_mean += 3.0
+        bn2.load_state_dict(bn1.state_dict())
+        np.testing.assert_allclose(bn2.running_mean, bn1.running_mean)
+
+
+class TestSequential:
+    def test_forward_chains(self, rng):
+        seq = nn.Sequential(
+            nn.Linear(4, 4, rng=rng), nn.ReLU(), nn.Linear(4, 3, rng=rng)
+        )
+        out = seq(Tensor(rng.standard_normal((2, 4))))
+        assert out.shape == (2, 3)
+
+    def test_indexing_and_iter(self, rng):
+        l1, l2 = nn.Linear(2, 2, rng=rng), nn.ReLU()
+        seq = nn.Sequential(l1, l2)
+        assert seq[0] is l1
+        assert list(seq) == [l1, l2]
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            nn.Module()(1)

@@ -1,0 +1,175 @@
+"""Optimizer unit tests: update rules against hand-computed references."""
+
+import numpy as np
+import pytest
+
+from repro.nn.module import Parameter
+from repro.optim import SGD, Adam, AdamW, LAMB, LARS
+from repro.optim.lars import trust_ratio
+
+
+def _param(values):
+    p = Parameter(np.asarray(values, dtype=np.float32))
+    return p
+
+
+class TestSGD:
+    def test_vanilla_update(self):
+        p = _param([1.0, 2.0])
+        p.grad = np.array([0.5, -0.5], dtype=np.float32)
+        SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [0.95, 2.05], rtol=1e-6)
+
+    def test_momentum_accumulates(self):
+        p = _param([0.0])
+        opt = SGD([p], lr=1.0, momentum=0.9)
+        for _ in range(2):
+            p.grad = np.array([1.0], dtype=np.float32)
+            opt.step()
+        # step1: buf=1, w=-1; step2: buf=0.9+1=1.9, w=-2.9
+        np.testing.assert_allclose(p.data, [-2.9], rtol=1e-6)
+
+    def test_weight_decay(self):
+        p = _param([2.0])
+        p.grad = np.array([0.0], dtype=np.float32)
+        SGD([p], lr=0.5, weight_decay=0.1).step()
+        np.testing.assert_allclose(p.data, [2.0 - 0.5 * 0.2], rtol=1e-6)
+
+    def test_nesterov_requires_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([_param([1.0])], lr=0.1, nesterov=True)
+
+    def test_nesterov_differs_from_heavy_ball(self):
+        p1, p2 = _param([0.0]), _param([0.0])
+        o1 = SGD([p1], lr=0.1, momentum=0.9)
+        o2 = SGD([p2], lr=0.1, momentum=0.9, nesterov=True)
+        for _ in range(3):
+            p1.grad = np.array([1.0], dtype=np.float32)
+            p2.grad = np.array([1.0], dtype=np.float32)
+            o1.step()
+            o2.step()
+        assert p2.data[0] < p1.data[0]  # nesterov moves further here
+
+    def test_skips_params_without_grad(self):
+        p = _param([1.0])
+        SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [1.0])
+
+    def test_empty_params_raises(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_first_step_is_lr_sized(self):
+        # With bias correction, the first Adam step ≈ lr * sign(grad).
+        p = _param([0.0, 0.0])
+        p.grad = np.array([10.0, -0.001], dtype=np.float32)
+        Adam([p], lr=0.01).step()
+        np.testing.assert_allclose(np.abs(p.data), [0.01, 0.01], rtol=1e-3)
+
+    def test_matches_reference_two_steps(self):
+        p = _param([1.0])
+        opt = Adam([p], lr=0.1, betas=(0.9, 0.999), eps=1e-8)
+        m = v = 0.0
+        w = 1.0
+        for t in range(1, 3):
+            g = 0.5
+            p.grad = np.array([g], dtype=np.float32)
+            opt.step()
+            m = 0.9 * m + 0.1 * g
+            v = 0.999 * v + 0.001 * g * g
+            mh, vh = m / (1 - 0.9 ** t), v / (1 - 0.999 ** t)
+            w -= 0.1 * mh / (np.sqrt(vh) + 1e-8)
+        np.testing.assert_allclose(p.data, [w], rtol=1e-5)
+
+    def test_state_is_per_parameter(self):
+        p1, p2 = _param([0.0]), _param([0.0])
+        opt = Adam([p1, p2], lr=0.1)
+        p1.grad = np.array([1.0], dtype=np.float32)
+        p2.grad = np.array([1.0], dtype=np.float32)
+        opt.step()
+        assert 0 in opt.state and 1 in opt.state
+        assert opt.state[0]["m"] is not opt.state[1]["m"]
+
+    def test_adamw_decay_decoupled(self):
+        # With zero gradient AdamW still shrinks weights; Adam does not.
+        pa, pw = _param([1.0]), _param([1.0])
+        a = Adam([pa], lr=0.1, weight_decay=0.0)
+        w = AdamW([pw], lr=0.1, weight_decay=0.5)
+        pa.grad = np.zeros(1, dtype=np.float32)
+        pw.grad = np.zeros(1, dtype=np.float32)
+        a.step()
+        w.step()
+        assert pa.data[0] == pytest.approx(1.0)
+        assert pw.data[0] == pytest.approx(1.0 - 0.1 * 0.5, rel=1e-5)
+
+
+class TestTrustRatio:
+    def test_normal(self):
+        assert trust_ratio(2.0, 4.0) == pytest.approx(0.5)
+
+    def test_zero_guard(self):
+        assert trust_ratio(0.0, 1.0) == 1.0
+        assert trust_ratio(1.0, 0.0) == 1.0
+
+
+class TestLARS:
+    def test_step_direction(self):
+        p = _param([3.0, 4.0])  # norm 5
+        p.grad = np.array([1.0, 0.0], dtype=np.float32)
+        LARS([p], lr=1.0, momentum=0.0, trust_coefficient=0.001).step()
+        # ratio = 0.001 * 5/1 = 0.005; update = 0.005 * grad
+        np.testing.assert_allclose(p.data, [3.0 - 0.005, 4.0], rtol=1e-5)
+
+
+class TestLAMB:
+    def test_trust_scaled_adam(self):
+        p = _param([3.0, 4.0])
+        p.grad = np.array([1.0, 1.0], dtype=np.float32)
+        LAMB([p], lr=0.1, weight_decay=0.0).step()
+        # Adam direction ≈ (1, 1); trust ratio = 5/sqrt(2); step = lr*ratio*dir
+        expected = 3.0 - 0.1 * (5 / np.sqrt(2))
+        np.testing.assert_allclose(p.data[0], expected, rtol=1e-3)
+
+    def test_trust_clamped(self):
+        p = _param([1000.0])
+        p.grad = np.array([1.0], dtype=np.float32)
+        opt = LAMB([p], lr=0.1, weight_decay=0.0, clamp_trust=10.0)
+        opt.step()
+        # Without clamping the ratio would be ~1000.
+        assert p.data[0] > 1000.0 - 0.1 * 10.0 - 1e-3
+
+    def test_decreases_loss_on_quadratic(self):
+        p = _param(np.ones(8) * 3.0)
+        opt = LAMB([p], lr=0.05)
+        for _ in range(50):
+            p.grad = 2 * p.data  # d/dw ||w||^2
+            opt.step()
+        assert np.linalg.norm(p.data) < 3.0 * np.sqrt(8)
+
+
+class TestStepSubset:
+    def test_only_subset_updated(self):
+        p1, p2 = _param([1.0]), _param([1.0])
+        opt = SGD([p1, p2], lr=0.5)
+        p1.grad = np.array([1.0], dtype=np.float32)
+        p2.grad = np.array([1.0], dtype=np.float32)
+        opt.step_subset([0])
+        np.testing.assert_allclose(p1.data, [0.5])
+        np.testing.assert_allclose(p2.data, [1.0])
+
+    def test_advance_false_keeps_step_count(self):
+        p = _param([1.0])
+        opt = SGD([p], lr=0.1)
+        p.grad = np.array([1.0], dtype=np.float32)
+        opt.step_subset([0], advance=False)
+        assert opt.step_count == 0
+
+    def test_state_nbytes(self):
+        p = _param(np.ones(100))
+        opt = Adam([p], lr=0.1)
+        p.grad = np.ones(100, dtype=np.float32)
+        opt.step()
+        # m + v (float32 each) + t
+        assert opt.state_nbytes() >= 2 * 100 * 4

@@ -1,0 +1,80 @@
+"""Learning-rate schedule tests."""
+
+import numpy as np
+import pytest
+
+from repro.optim import (
+    ConstantLR,
+    LinearWarmupDecay,
+    PolynomialDecay,
+    StepDecay,
+)
+
+
+class TestConstant:
+    def test_constant(self):
+        s = ConstantLR(0.3)
+        assert s(0) == s(1000) == 0.3
+
+    def test_scaled(self):
+        s = ConstantLR(0.2).scaled(4.0)
+        assert s(5) == pytest.approx(0.8)
+
+
+class TestLinearWarmupDecay:
+    def test_peak_at_warmup_end(self):
+        s = LinearWarmupDecay(1.0, total_steps=100, warmup_frac=0.2)
+        lrs = [s(t) for t in range(100)]
+        assert np.argmax(lrs) == 19  # last warmup step hits max
+        assert max(lrs) == pytest.approx(1.0)
+
+    def test_starts_and_ends_near_zero(self):
+        s = LinearWarmupDecay(1.0, total_steps=100, warmup_frac=0.17)
+        assert s(0) < 0.1
+        assert s(99) < 0.05
+        assert s(200) == 0.0  # past the budget
+
+    def test_monotone_up_then_down(self):
+        s = LinearWarmupDecay(0.5, total_steps=50, warmup_frac=0.3)
+        lrs = [s(t) for t in range(50)]
+        peak = int(np.argmax(lrs))
+        assert all(a <= b + 1e-9 for a, b in zip(lrs[:peak], lrs[1 : peak + 1]))
+        assert all(a >= b - 1e-9 for a, b in zip(lrs[peak:-1], lrs[peak + 1 :]))
+
+    def test_invalid_warmup(self):
+        with pytest.raises(ValueError):
+            LinearWarmupDecay(1.0, 10, warmup_frac=1.5)
+
+
+class TestStepDecay:
+    def test_drops_at_milestones(self):
+        s = StepDecay(1.0, milestones=[10, 20], gamma=0.1)
+        assert s(9) == pytest.approx(1.0)
+        assert s(10) == pytest.approx(0.1)
+        assert s(25) == pytest.approx(0.01)
+
+    def test_warmup(self):
+        s = StepDecay(1.0, milestones=[100], gamma=0.1, warmup_steps=10)
+        assert s(0) == pytest.approx(0.1)
+        assert s(9) == pytest.approx(1.0)
+
+    def test_schedule_drop_is_visible_boundary(self):
+        """The LR drops that cause Figure 1's orthogonality dips."""
+        s = StepDecay(0.4, milestones=[30, 60], gamma=0.1)
+        lrs = np.array([s(t) for t in range(90)])
+        drops = np.nonzero(np.diff(lrs) < 0)[0] + 1
+        np.testing.assert_array_equal(drops, [30, 60])
+
+
+class TestPolynomialDecay:
+    def test_warmup_then_decay_to_zero(self):
+        s = PolynomialDecay(1.0, total_steps=100, warmup_frac=0.1)
+        assert s(4) < 0.6
+        assert s(9) == pytest.approx(1.0)
+        assert s(99) < 0.05
+        assert s(150) == pytest.approx(0.0)
+
+    def test_power_changes_shape(self):
+        lin = PolynomialDecay(1.0, 100, warmup_frac=0.0, power=1.0)
+        sq = PolynomialDecay(1.0, 100, warmup_frac=0.0, power=2.0)
+        assert sq(50) < lin(50)

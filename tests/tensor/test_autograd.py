@@ -1,0 +1,268 @@
+"""Unit tests for the core autograd engine: every op against finite differences."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, gradcheck, no_grad
+from repro.tensor.tensor import concatenate, stack
+
+
+def _t(rng, *shape, scale=1.0):
+    return Tensor(rng.standard_normal(shape) * scale, requires_grad=True)
+
+
+class TestArithmetic:
+    def test_add(self, rng):
+        a, b = _t(rng, 3, 4), _t(rng, 3, 4)
+        assert gradcheck(lambda: (a + b).sum(), [a, b])
+
+    def test_add_broadcast(self, rng):
+        a, b = _t(rng, 3, 4), _t(rng, 4)
+        assert gradcheck(lambda: (a + b).sum(), [a, b])
+
+    def test_add_scalar(self, rng):
+        a = _t(rng, 3)
+        assert gradcheck(lambda: (a + 2.5).sum(), [a])
+
+    def test_radd(self, rng):
+        a = _t(rng, 3)
+        assert gradcheck(lambda: (2.5 + a).sum(), [a])
+
+    def test_sub(self, rng):
+        a, b = _t(rng, 2, 3), _t(rng, 2, 3)
+        assert gradcheck(lambda: (a - b).sum(), [a, b])
+
+    def test_rsub(self, rng):
+        a = _t(rng, 3)
+        assert gradcheck(lambda: (1.0 - a).sum(), [a])
+
+    def test_mul(self, rng):
+        a, b = _t(rng, 3, 4), _t(rng, 3, 4)
+        assert gradcheck(lambda: (a * b).sum(), [a, b])
+
+    def test_mul_broadcast_column(self, rng):
+        a, b = _t(rng, 3, 4), _t(rng, 3, 1)
+        assert gradcheck(lambda: (a * b).sum(), [a, b])
+
+    def test_div(self, rng):
+        a = _t(rng, 3, 4)
+        b = Tensor(rng.uniform(1.0, 2.0, (3, 4)), requires_grad=True)
+        assert gradcheck(lambda: (a / b).sum(), [a, b])
+
+    def test_neg(self, rng):
+        a = _t(rng, 4)
+        assert gradcheck(lambda: (-a).sum(), [a])
+
+    def test_pow(self, rng):
+        a = Tensor(rng.uniform(0.5, 2.0, (3,)), requires_grad=True)
+        assert gradcheck(lambda: (a ** 3).sum(), [a])
+
+    def test_same_tensor_twice(self, rng):
+        """x*x must produce 2x, exercising duplicate-parent handling."""
+        a = _t(rng, 4)
+        out = (a * a).sum()
+        out.backward()
+        np.testing.assert_allclose(a.grad, 2 * a.data, rtol=1e-5)
+
+    def test_diamond_graph(self, rng):
+        """A value consumed by two branches accumulates both contributions."""
+        a = _t(rng, 3)
+        b = a * 2.0
+        out = (b + a).sum()  # d/da = 3
+        out.backward()
+        np.testing.assert_allclose(a.grad, np.full(3, 3.0), rtol=1e-6)
+
+    def test_deep_chain(self, rng):
+        a = _t(rng, 2, scale=0.1)
+        x = a
+        for _ in range(20):
+            x = x * 1.1 + 0.01
+        assert gradcheck(lambda: _chain(a).sum(), [a])
+
+
+def _chain(a):
+    x = a
+    for _ in range(20):
+        x = x * 1.1 + 0.01
+    return x
+
+
+class TestMatmul:
+    def test_2d(self, rng):
+        a, b = _t(rng, 3, 4), _t(rng, 4, 5)
+        assert gradcheck(lambda: (a @ b).sum(), [a, b])
+
+    def test_batched(self, rng):
+        a, b = _t(rng, 2, 3, 4), _t(rng, 2, 4, 5)
+        assert gradcheck(lambda: (a @ b).sum(), [a, b])
+
+    def test_batched_with_broadcast_rhs(self, rng):
+        a, b = _t(rng, 2, 3, 4), _t(rng, 4, 5)
+        assert gradcheck(lambda: (a @ b).sum(), [a, b])
+
+    def test_vector_dot(self, rng):
+        a, b = _t(rng, 5), _t(rng, 5)
+        assert gradcheck(lambda: a @ b, [a, b])
+
+    def test_matvec(self, rng):
+        a, b = _t(rng, 3, 5), _t(rng, 5)
+        assert gradcheck(lambda: (a @ b).sum(), [a, b])
+
+
+class TestShapeOps:
+    def test_reshape(self, rng):
+        a = _t(rng, 2, 6)
+        assert gradcheck(lambda: (a.reshape(3, 4) * 2).sum(), [a])
+
+    def test_reshape_minus_one(self, rng):
+        a = _t(rng, 2, 6)
+        assert gradcheck(lambda: a.reshape(-1).sum(), [a])
+
+    def test_transpose_default(self, rng):
+        a = _t(rng, 2, 3)
+        out = a.T
+        assert out.shape == (3, 2)
+        assert gradcheck(lambda: (a.T * 2).sum(), [a])
+
+    def test_transpose_axes(self, rng):
+        a = _t(rng, 2, 3, 4)
+        assert gradcheck(lambda: (a.transpose(1, 2, 0) * 3).sum(), [a])
+
+    def test_swapaxes(self, rng):
+        a = _t(rng, 2, 3, 4)
+        assert a.swapaxes(0, 2).shape == (4, 3, 2)
+
+    def test_getitem(self, rng):
+        a = _t(rng, 5, 4)
+        assert gradcheck(lambda: (a[1:3] * 2).sum(), [a])
+
+    def test_getitem_fancy(self, rng):
+        a = _t(rng, 5, 4)
+        idx = np.array([0, 2, 2])  # repeated index accumulates
+        assert gradcheck(lambda: a[idx].sum(), [a])
+
+    def test_flatten(self, rng):
+        a = _t(rng, 2, 3, 4)
+        assert a.flatten(start_dim=1).shape == (2, 12)
+
+    def test_pad(self, rng):
+        a = _t(rng, 2, 3)
+        out = a.pad(((1, 1), (0, 2)))
+        assert out.shape == (4, 5)
+        assert gradcheck(lambda: (a.pad(((1, 1), (0, 2))) * 2).sum(), [a])
+
+    def test_concatenate(self, rng):
+        a, b = _t(rng, 2, 3), _t(rng, 4, 3)
+        out = concatenate([a, b], axis=0)
+        assert out.shape == (6, 3)
+        assert gradcheck(lambda: (concatenate([a, b], axis=0) * 2).sum(), [a, b])
+
+    def test_stack(self, rng):
+        a, b = _t(rng, 2, 3), _t(rng, 2, 3)
+        out = stack([a, b], axis=0)
+        assert out.shape == (2, 2, 3)
+        assert gradcheck(lambda: (stack([a, b], axis=1) * 2).sum(), [a, b])
+
+
+class TestReductions:
+    def test_sum_all(self, rng):
+        a = _t(rng, 3, 4)
+        assert gradcheck(lambda: a.sum(), [a])
+
+    def test_sum_axis(self, rng):
+        a = _t(rng, 3, 4)
+        assert gradcheck(lambda: (a.sum(axis=1) ** 2).sum(), [a])
+
+    def test_sum_keepdims(self, rng):
+        a = _t(rng, 3, 4)
+        assert gradcheck(lambda: (a.sum(axis=0, keepdims=True) * 2).sum(), [a])
+
+    def test_mean(self, rng):
+        a = _t(rng, 3, 4)
+        assert gradcheck(lambda: a.mean(), [a])
+
+    def test_mean_axis_tuple(self, rng):
+        a = _t(rng, 2, 3, 4)
+        assert gradcheck(lambda: (a.mean(axis=(1, 2)) ** 2).sum(), [a])
+
+    def test_var(self, rng):
+        a = _t(rng, 3, 4)
+        assert gradcheck(lambda: a.var(axis=1).sum(), [a], atol=5e-3)
+
+    def test_max(self, rng):
+        a = Tensor(rng.permutation(12).reshape(3, 4).astype(np.float32), requires_grad=True)
+        assert gradcheck(lambda: a.max(axis=1).sum(), [a])
+
+
+class TestNonlinearities:
+    @pytest.mark.parametrize("op", ["exp", "tanh", "sigmoid", "relu", "gelu", "abs"])
+    def test_unary(self, rng, op):
+        data = rng.standard_normal((3, 4)) + 0.05  # avoid the relu/abs kink at 0
+        a = Tensor(data, requires_grad=True)
+        assert gradcheck(lambda: getattr(a, op)().sum(), [a])
+
+    def test_log(self, rng):
+        a = Tensor(rng.uniform(0.5, 2.0, (3, 4)), requires_grad=True)
+        assert gradcheck(lambda: a.log().sum(), [a])
+
+    def test_sqrt(self, rng):
+        a = Tensor(rng.uniform(0.5, 2.0, (3, 4)), requires_grad=True)
+        assert gradcheck(lambda: a.sqrt().sum(), [a])
+
+
+class TestMechanics:
+    def test_backward_requires_scalar(self, rng):
+        a = _t(rng, 3)
+        with pytest.raises(RuntimeError):
+            (a * 2).backward()
+
+    def test_backward_on_non_grad_raises(self, rng):
+        a = Tensor(rng.standard_normal(3))
+        with pytest.raises(RuntimeError):
+            a.backward()
+
+    def test_no_grad_blocks_graph(self, rng):
+        a = _t(rng, 3)
+        with no_grad():
+            out = (a * 2).sum()
+        assert not out.requires_grad
+
+    def test_detach(self, rng):
+        a = _t(rng, 3)
+        d = a.detach()
+        assert not d.requires_grad
+        assert d.data is a.data
+
+    def test_clone_is_differentiable(self, rng):
+        a = _t(rng, 3)
+        out = a.clone().sum()
+        out.backward()
+        np.testing.assert_allclose(a.grad, np.ones(3))
+
+    def test_grad_accumulates_across_backwards(self, rng):
+        a = _t(rng, 3)
+        (a * 2).sum().backward()
+        (a * 2).sum().backward()
+        np.testing.assert_allclose(a.grad, np.full(3, 4.0))
+
+    def test_zero_grad(self, rng):
+        a = _t(rng, 3)
+        (a * 2).sum().backward()
+        a.zero_grad()
+        assert a.grad is None
+
+    def test_float32_default(self):
+        t = Tensor([1.0, 2.0])
+        assert t.dtype == np.float32
+
+    def test_integer_tensors_preserved(self):
+        t = Tensor(np.array([1, 2, 3]))
+        assert t.dtype.kind == "i"
+
+    def test_item(self):
+        assert Tensor(3.5).item() == pytest.approx(3.5)
+
+    def test_copy_(self, rng):
+        a = Tensor(np.zeros(3, dtype=np.float32))
+        a.copy_(Tensor(np.ones(3)))
+        np.testing.assert_allclose(a.data, 1.0)

@@ -1,0 +1,114 @@
+"""Autograd edge cases: unusual graphs, dtypes, and op corner cases."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, functional as F, no_grad
+
+
+class TestGraphShapes:
+    def test_long_diamond_chain(self, rng):
+        """Repeated fan-out/fan-in accumulates correctly."""
+        a = Tensor(rng.standard_normal(3) * 0.1, requires_grad=True)
+        x = a
+        for _ in range(5):
+            x = x * 2.0 + x  # each level multiplies grad by 3
+        x.sum().backward()
+        np.testing.assert_allclose(a.grad, np.full(3, 3.0 ** 5), rtol=1e-4)
+
+    def test_shared_subgraph_two_outputs(self, rng):
+        a = Tensor(rng.standard_normal(4), requires_grad=True)
+        hidden = a * 3.0
+        out = (hidden.sum() + (hidden * hidden).sum())
+        out.backward()
+        expected = 3.0 + 2 * 9.0 * a.data
+        np.testing.assert_allclose(a.grad, expected, rtol=1e-5)
+
+    def test_no_grad_island_inside_graph(self, rng):
+        a = Tensor(rng.standard_normal(3), requires_grad=True)
+        with no_grad():
+            frozen = (a * 2).detach()
+        out = (a * Tensor(frozen.data)).sum()
+        out.backward()
+        np.testing.assert_allclose(a.grad, 2 * a.data, rtol=1e-5)
+
+    def test_backward_through_getitem_then_op(self, rng):
+        a = Tensor(rng.standard_normal((4, 4)), requires_grad=True)
+        (a[1:3, :2].exp().sum()).backward()
+        assert np.all(a.grad[0] == 0)
+        assert np.all(a.grad[1, :2] != 0)
+        assert np.all(a.grad[:, 2:] == 0)
+
+    def test_scalar_tensor_ops(self):
+        a = Tensor(2.0, requires_grad=True)
+        (a * a * a).backward()
+        assert a.grad == pytest.approx(12.0)
+
+
+class TestDtypes:
+    def test_float16_ops_stay_fp16(self, rng):
+        a = Tensor(rng.standard_normal(4).astype(np.float16), requires_grad=True)
+        out = (a * 2).sum()
+        assert out.dtype == np.float16
+        out.backward()
+        assert a.grad.dtype == np.float16
+
+    def test_float64_preserved_when_explicit(self):
+        a = Tensor(np.array([1.0, 2.0]), dtype=np.float64)
+        assert a.dtype == np.float64
+
+    def test_integer_indexing_targets(self):
+        logits = Tensor(np.zeros((2, 3), dtype=np.float32), requires_grad=True)
+        loss = F.cross_entropy(logits, np.array([0, 2], dtype=np.int32))
+        assert np.isfinite(loss.item())
+
+
+class TestOpCorners:
+    def test_softmax_single_class(self):
+        x = Tensor(np.array([[5.0]]), requires_grad=True)
+        s = F.softmax(x)
+        np.testing.assert_allclose(s.data, [[1.0]])
+
+    def test_cross_entropy_all_ignored_is_zero(self, rng):
+        logits = Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+        targets = np.full(3, -1)
+        loss = F.cross_entropy(logits, targets, ignore_index=-1)
+        assert loss.item() == 0.0
+        loss.backward()
+        np.testing.assert_array_equal(logits.grad, 0.0)
+
+    def test_max_pool_on_constant_input_splits_grad(self):
+        """Ties in a window share the gradient (no double counting)."""
+        x = Tensor(np.ones((1, 1, 2, 2), dtype=np.float32), requires_grad=True)
+        F.max_pool2d(x, 2).sum().backward()
+        assert x.grad.sum() == pytest.approx(1.0)
+
+    def test_conv2d_1x1_kernel(self, rng):
+        x = Tensor(rng.standard_normal((1, 3, 4, 4)), requires_grad=True)
+        w = Tensor(rng.standard_normal((2, 3, 1, 1)), requires_grad=True)
+        out = F.conv2d(x, w)
+        assert out.shape == (1, 2, 4, 4)
+        ref = np.einsum("nchw,oc->nohw", x.data, w.data[:, :, 0, 0])
+        np.testing.assert_allclose(out.data, ref, rtol=1e-4, atol=1e-5)
+
+    def test_layer_norm_constant_row(self):
+        """A constant row has zero variance; eps keeps it finite."""
+        x = Tensor(np.full((2, 8), 3.0, dtype=np.float32), requires_grad=True)
+        g = Tensor(np.ones(8), requires_grad=True)
+        b = Tensor(np.zeros(8), requires_grad=True)
+        out = F.layer_norm(x, g, b)
+        assert np.isfinite(out.data).all()
+        np.testing.assert_allclose(out.data, 0.0, atol=1e-4)
+
+    def test_embedding_empty_batch(self, rng):
+        from repro.nn import Embedding
+
+        emb = Embedding(6, 3, rng=rng)
+        out = emb(np.zeros((0, 4), dtype=np.int64))
+        assert out.shape == (0, 4, 3)
+
+    def test_reshape_zero_copy_data_flow(self, rng):
+        a = Tensor(rng.standard_normal((2, 3)), requires_grad=True)
+        b = a.reshape(6).reshape(3, 2).reshape(2, 3)
+        (b * 2).sum().backward()
+        np.testing.assert_allclose(a.grad, 2.0)

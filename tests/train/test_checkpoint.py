@@ -1,0 +1,131 @@
+"""Checkpoint save/load tests — resumed runs must be bit-exact."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import DistributedOptimizer, ReduceOpType
+from repro.models import MLP, ResNetCIFAR
+from repro.optim import Adam, SGD
+from repro.train import ParallelTrainer, load_checkpoint, save_checkpoint
+
+
+def _task(seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((128, 6)).astype(np.float32)
+    y = (x[:, 0] > 0).astype(np.int64)
+    return x, y
+
+
+def _trainer(model, op=ReduceOpType.ADASUM, fp16=False, seed=0):
+    x, y = _task(seed)
+    dopt = DistributedOptimizer(
+        model, lambda ps: Adam(ps, 0.01), num_ranks=2, op=op, fp16=fp16
+    )
+    return ParallelTrainer(model, nn.CrossEntropyLoss(), dopt, x, y,
+                           microbatch=8, seed=seed), dopt
+
+
+class TestBareOptimizer:
+    def test_roundtrip(self, tmp_path):
+        model = MLP((6, 8, 2), rng=np.random.default_rng(0))
+        opt = Adam(model.parameters(), 0.01)
+        x, y = _task()
+        loss_fn = nn.CrossEntropyLoss()
+        from repro.train.trainer import compute_grads
+
+        for _ in range(3):
+            _, g = compute_grads(model, loss_fn, x[:16], y[:16])
+            for n, p in model.named_parameters():
+                p.grad = g[n]
+            opt.step()
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(path, model, optimizer=opt, extra={"epoch": 3})
+
+        model2 = MLP((6, 8, 2), rng=np.random.default_rng(99))
+        opt2 = Adam(model2.parameters(), 0.01)
+        extra = load_checkpoint(path, model2, optimizer=opt2)
+        assert extra == {"epoch": 3}
+        assert opt2.step_count == opt.step_count
+        for (n1, p1), (n2, p2) in zip(model.named_parameters(), model2.named_parameters()):
+            np.testing.assert_array_equal(p1.data, p2.data)
+        for idx in opt.state:
+            for key in opt.state[idx]:
+                np.testing.assert_array_equal(opt.state[idx][key], opt2.state[idx][key])
+
+    def test_buffers_restored(self, tmp_path):
+        m1 = ResNetCIFAR(n=1, width=4, rng=np.random.default_rng(0))
+        m1(np.random.default_rng(1).standard_normal((4, 3, 8, 8)).astype(np.float32))
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(path, m1)
+        m2 = ResNetCIFAR(n=1, width=4, rng=np.random.default_rng(5))
+        load_checkpoint(path, m2)
+        for (n1, b1), (n2, b2) in zip(m1.named_buffers(), m2.named_buffers()):
+            np.testing.assert_array_equal(b1, b2)
+
+
+class TestDistributedOptimizer:
+    def test_resume_is_bit_exact(self, tmp_path):
+        """Train 3 steps, checkpoint, train 3 more; vs 6 straight steps."""
+        model_a = MLP((6, 8, 2), rng=np.random.default_rng(0))
+        tr_a, dopt_a = _trainer(model_a)
+        tr_a.train_epoch(0, max_steps=3)
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(path, model_a, dist_opt=dopt_a)
+
+        model_b = MLP((6, 8, 2), rng=np.random.default_rng(42))
+        tr_b, dopt_b = _trainer(model_b)
+        load_checkpoint(path, model_b, dist_opt=dopt_b)
+        # Continue both from the same point with the same data stream.
+        for step, rank_idx in tr_a.iterator.epoch(1):
+            if step >= 3:
+                break
+            tr_a.train_step(rank_idx)
+        for step, rank_idx in tr_b.iterator.epoch(1):
+            if step >= 3:
+                break
+            tr_b.train_step(rank_idx)
+        for (n1, p1), (n2, p2) in zip(
+            model_a.named_parameters(), model_b.named_parameters()
+        ):
+            np.testing.assert_array_equal(p1.data, p2.data)
+
+    def test_per_rank_states_roundtrip(self, tmp_path):
+        model = MLP((6, 8, 2), rng=np.random.default_rng(0))
+        tr, dopt = _trainer(model)
+        tr.train_epoch(0, max_steps=2)
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(path, model, dist_opt=dopt)
+        model2 = MLP((6, 8, 2), rng=np.random.default_rng(1))
+        _, dopt2 = _trainer(model2)
+        load_checkpoint(path, model2, dist_opt=dopt2)
+        for o1, o2 in zip(dopt.rank_optimizers, dopt2.rank_optimizers):
+            assert o1.step_count == o2.step_count
+            for idx in o1.state:
+                for key in o1.state[idx]:
+                    np.testing.assert_array_equal(o1.state[idx][key], o2.state[idx][key])
+
+    def test_fp16_scale_restored(self, tmp_path):
+        model = MLP((6, 8, 2), rng=np.random.default_rng(0))
+        tr, dopt = _trainer(model, fp16=True)
+        dopt._scaler.scale_value = 123.0
+        dopt.skipped_steps = 7
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(path, model, dist_opt=dopt)
+        model2 = MLP((6, 8, 2), rng=np.random.default_rng(1))
+        _, dopt2 = _trainer(model2, fp16=True)
+        load_checkpoint(path, model2, dist_opt=dopt2)
+        assert dopt2._scaler.scale_value == 123.0
+        assert dopt2.skipped_steps == 7
+
+    def test_mismatched_rank_count_rejected(self, tmp_path):
+        model = MLP((6, 8, 2), rng=np.random.default_rng(0))
+        tr, dopt = _trainer(model)
+        tr.train_epoch(0, max_steps=1)
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(path, model, dist_opt=dopt)
+        model2 = MLP((6, 8, 2), rng=np.random.default_rng(1))
+        x, y = _task()
+        dopt2 = DistributedOptimizer(model2, lambda ps: Adam(ps, 0.01), num_ranks=4)
+        with pytest.raises(ValueError):
+            load_checkpoint(path, model2, dist_opt=dopt2)

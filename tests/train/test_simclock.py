@@ -1,0 +1,55 @@
+"""Simulated wall-clock model tests (system-efficiency machinery)."""
+
+import pytest
+
+from repro.comm import NetworkModel
+from repro.train import TrainingTimeModel
+
+
+def _model(**kw):
+    defaults = dict(
+        seconds_per_example=1e-3,
+        model_bytes=4_000_000,
+        num_workers=16,
+        gpus_per_node=4,
+        intra=NetworkModel.nccl_nvlink(),
+        inter=NetworkModel.infiniband(),
+    )
+    defaults.update(kw)
+    return TrainingTimeModel(**defaults)
+
+
+class TestStepTime:
+    def test_compute_plus_comm(self):
+        m = _model()
+        step = m.step_seconds(microbatch=32)
+        assert step > 32 * 1e-3  # at least the compute part
+        assert step == pytest.approx(32 * 1e-3 + m.allreduce_seconds())
+
+    def test_local_steps_amortize_comm(self):
+        """More local steps → fewer communications per example (Table 2)."""
+        m = _model(inter=NetworkModel.slow_tcp(), gpus_per_node=1)
+        t1 = m.epoch_seconds(dataset_size=64_000, microbatch=32, local_steps=1)
+        t16 = m.epoch_seconds(dataset_size=64_000, microbatch=32, local_steps=16)
+        assert t16 < t1
+
+    def test_adasum_slightly_slower_than_sum(self):
+        sum_m = _model(adasum=False)
+        ada_m = _model(adasum=True)
+        assert ada_m.allreduce_seconds() >= sum_m.allreduce_seconds()
+        # ... but within the same order (Figure 4 / Table 4 regime).
+        assert ada_m.allreduce_seconds() < 3 * sum_m.allreduce_seconds()
+
+    def test_throughput_scales_with_workers(self):
+        t16 = _model(num_workers=16).throughput(microbatch=32)
+        t64 = _model(num_workers=64, gpus_per_node=4).throughput(microbatch=32)
+        assert t64 > 2 * t16  # sublinear but clearly scaling
+
+    def test_time_to_accuracy_composes(self):
+        m = _model()
+        tta = m.time_to_accuracy(dataset_size=10_000, microbatch=32, epochs=3)
+        assert tta == pytest.approx(3 * m.epoch_seconds(10_000, 32))
+
+    def test_single_worker_no_comm(self):
+        m = _model(num_workers=1, gpus_per_node=1)
+        assert m.allreduce_seconds() == 0.0
