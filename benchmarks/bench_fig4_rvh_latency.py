@@ -9,7 +9,9 @@ import numpy as np
 import pytest
 
 from benchmarks.conftest import announce
+from repro.comm import Cluster, NetworkModel
 from repro.core import allreduce_adasum_cluster
+from repro.core.adasum_rvh import adasum_rvh
 from repro.experiments import run_fig4, validate_rvh_simulation
 from repro.utils import format_table
 
@@ -37,6 +39,32 @@ def test_fig4_latency_sweep(benchmark, save_result):
 def test_fig4_analytic_matches_execution(save_result):
     simulated, analytic = validate_rvh_simulation(ranks=8, n_floats=16384)
     assert simulated == pytest.approx(analytic, rel=0.5)
+
+
+def test_fig4_trace_matches_cost_tracker(results_dir):
+    """Tracing is observational: per-rank event totals equal the cost
+    counters exactly, and enabling the tracer perturbs nothing."""
+    net = NetworkModel.infiniband()
+    rng = np.random.default_rng(7)
+    grads = [rng.standard_normal(4096).astype(np.float32) for _ in range(8)]
+
+    traced = Cluster(8, network=net, trace=True)
+    traced_out = traced.run(adasum_rvh, rank_args=[(g,) for g in grads])
+    plain = Cluster(8, network=net)
+    plain_out = plain.run(adasum_rvh, rank_args=[(g,) for g in grads])
+
+    tracer = traced.tracer
+    # Exact fidelity: the trace reconstructs the cost model's numbers.
+    assert tracer.total_bytes() == traced.total_bytes()
+    assert tracer.max_clock() == traced.max_clock()
+    # And tracing did not perturb the run.
+    assert traced.max_clock() == plain.max_clock()
+    assert traced.total_bytes() == plain.total_bytes()
+    np.testing.assert_array_equal(traced_out[0], plain_out[0])
+
+    chrome = tracer.to_chrome_trace()
+    assert {e["tid"] for e in chrome["traceEvents"]} == set(range(8))
+    tracer.save_chrome_trace(results_dir / "fig4_rvh_trace.json")
 
 
 def test_fig4_executed_allreduce_benchmark(benchmark):

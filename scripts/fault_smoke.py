@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Tier-2 fault-injection smoke run with a hard wall-clock budget.
+
+Runs the ``faults``-marked pytest suite (hang detection + fault
+injection) as a subprocess and kills it if it exceeds the budget —
+the suite exercises deliberately-hung ranks, so a regression in hang
+detection would otherwise stall CI instead of failing it.
+
+Usage::
+
+    python scripts/fault_smoke.py            # default 120 s budget
+    FAULT_SMOKE_BUDGET=60 python scripts/fault_smoke.py
+
+Exit codes: 0 = suite passed, 1 = suite failed, 2 = budget exceeded.
+"""
+
+import os
+import subprocess
+import sys
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_BUDGET_S = 120.0
+
+
+def main() -> int:
+    budget = float(os.environ.get("FAULT_SMOKE_BUDGET", DEFAULT_BUDGET_S))
+    env = dict(os.environ)
+    src = os.path.join(REPO_ROOT, "src")
+    existing = env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = src + os.pathsep + existing if existing else src
+
+    cmd = [sys.executable, "-m", "pytest", "-m", "faults", "-q", "tests"]
+    print(f"fault smoke: {' '.join(cmd)} (budget {budget:g}s)")
+    start = time.monotonic()
+    try:
+        proc = subprocess.run(cmd, cwd=REPO_ROOT, env=env, timeout=budget)
+    except subprocess.TimeoutExpired:
+        print(f"fault smoke: BUDGET EXCEEDED after {budget:g}s — "
+              "a hang-detection regression is likely", file=sys.stderr)
+        return 2
+    elapsed = time.monotonic() - start
+    status = "passed" if proc.returncode == 0 else "FAILED"
+    print(f"fault smoke: {status} in {elapsed:.1f}s "
+          f"(budget {budget:g}s, exit {proc.returncode})")
+    return 0 if proc.returncode == 0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,6 +4,12 @@ Runs one of the paper's experiments and prints its table/figure data.
 ``python -m repro list`` shows what's available; ``--full`` switches to
 the larger (slower) profile, mirroring ``REPRO_FULL=1`` for the
 benchmark suite.
+
+``python -m repro trace ...`` executes one collective over the
+simulated cluster with comm tracing enabled (optionally under injected
+faults), prints per-rank summary statistics, and can export a
+Chrome-trace JSON (``--out trace.json``; open in ``chrome://tracing``
+or Perfetto).  See ``docs/simulator.md``.
 """
 
 from __future__ import annotations
@@ -12,6 +18,8 @@ import argparse
 import sys
 import time
 from typing import Callable, Dict, Tuple
+
+import numpy as np
 
 from repro import experiments
 from repro.utils import format_table
@@ -102,13 +110,117 @@ EXPERIMENTS: Dict[str, Tuple[Callable[[bool], str], str]] = {
 }
 
 
+TRACE_COLLECTIVES = ("adasum_rvh", "adasum_ring", "ring", "rd", "hierarchical")
+
+
+def _trace_collective_fn(name: str, gpus_per_node: int) -> Callable:
+    """Resolve a traceable collective to ``fn(comm, vector)``."""
+    from repro.comm import allreduce_recursive_doubling, allreduce_ring
+    from repro.comm.hierarchical import hierarchical_adasum_allreduce
+    from repro.core.adasum_ring import adasum_ring
+    from repro.core.adasum_rvh import adasum_rvh
+
+    return {
+        "adasum_rvh": adasum_rvh,
+        "adasum_ring": adasum_ring,
+        "ring": allreduce_ring,
+        "rd": allreduce_recursive_doubling,
+        "hierarchical": lambda comm, g: hierarchical_adasum_allreduce(
+            comm, g, gpus_per_node
+        ),
+    }[name]
+
+
+def _trace_main(argv) -> int:
+    """``python -m repro trace``: traced (and optionally faulty) collective."""
+    from repro.comm import Cluster, CommError, FaultPlan, NetworkModel
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro trace",
+        description="Run one collective over the simulated cluster with comm "
+                    "tracing (and optional fault injection) enabled.",
+    )
+    parser.add_argument("--collective", choices=TRACE_COLLECTIVES,
+                        default="adasum_rvh")
+    parser.add_argument("--ranks", type=int, default=8)
+    parser.add_argument("--floats", type=int, default=4096,
+                        help="gradient length per rank (float32 elements)")
+    parser.add_argument("--network",
+                        choices=("infiniband", "nccl_nvlink", "pcie", "slow_tcp"),
+                        default="infiniband")
+    parser.add_argument("--gpus-per-node", type=int, default=2,
+                        help="node width for --collective hierarchical")
+    parser.add_argument("--straggler", type=int, default=None,
+                        help="rank whose sends are delayed")
+    parser.add_argument("--straggler-factor", type=float, default=10.0)
+    parser.add_argument("--kill", type=int, default=None,
+                        help="rank killed mid-collective (after --kill-after-ops)")
+    parser.add_argument("--kill-after-ops", type=int, default=2)
+    parser.add_argument("--timeout", type=float, default=10.0,
+                        help="hang-detection deadline (wall seconds)")
+    parser.add_argument("--out", default=None,
+                        help="write a Chrome-trace JSON here")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    plan = None
+    if args.straggler is not None or args.kill is not None:
+        plan = FaultPlan()
+        for flag, victim in (("--straggler", args.straggler), ("--kill", args.kill)):
+            if victim is not None and not 0 <= victim < args.ranks:
+                parser.error(f"{flag} {victim} is out of range for --ranks {args.ranks}")
+        if args.straggler is not None:
+            plan.delay_rank(args.straggler, args.straggler_factor)
+        if args.kill is not None:
+            plan.kill_rank(args.kill, after_ops=args.kill_after_ops)
+
+    net = getattr(NetworkModel, args.network)()
+    cluster = Cluster(args.ranks, network=net, timeout=args.timeout,
+                      faults=plan, trace=True)
+    rng = np.random.default_rng(args.seed)
+    grads = [rng.standard_normal(args.floats).astype(np.float32)
+             for _ in range(args.ranks)]
+    fn = _trace_collective_fn(args.collective, args.gpus_per_node)
+
+    status = 0
+    try:
+        cluster.run(fn, rank_args=[(g,) for g in grads])
+        print(f"{args.collective} over {args.ranks} ranks completed: "
+              f"simulated latency {cluster.max_clock() * 1e3:.3f} ms, "
+              f"{cluster.total_bytes()} bytes on the wire")
+    except CommError as exc:
+        print(f"CommError: {exc}", file=sys.stderr)
+        status = 3
+
+    tracer = cluster.tracer
+    summary = tracer.summary()
+    rows = [
+        (r, s["sends"], s["recvs"], s["drops"], s["bytes_sent"],
+         f"{s['compute_s'] * 1e3:.3f}", f"{s['clock'] * 1e3:.3f}")
+        for r, s in sorted(summary["ranks"].items())
+    ]
+    print(format_table(
+        ["rank", "sends", "recvs", "drops", "bytes", "compute (ms)", "clock (ms)"],
+        rows,
+    ))
+    if args.out:
+        tracer.save_chrome_trace(args.out)
+        print(f"wrote {len(tracer.events)} events to {args.out} "
+              f"(open in chrome://tracing or Perfetto)")
+    return status
+
+
 def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv and argv[0] == "trace":
+        return _trace_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
-        description="Reproduce a table/figure from the Adasum paper.",
+        description="Reproduce a table/figure from the Adasum paper "
+                    "(or 'trace' a collective; see 'trace --help').",
     )
     parser.add_argument("experiment",
-                        help="experiment id (or 'list' / 'all')")
+                        help="experiment id (or 'list' / 'all' / 'trace')")
     parser.add_argument("--full", action="store_true",
                         help="run the larger (slower) profile")
     args = parser.parse_args(argv)
@@ -116,6 +228,7 @@ def main(argv=None) -> int:
     if args.experiment == "list":
         for name, (_, desc) in EXPERIMENTS.items():
             print(f"  {name:12s} {desc}")
+        print("  trace        traced collective run (python -m repro trace --help)")
         return 0
 
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]

@@ -12,7 +12,12 @@ This package replaces MPI/NCCL for the reproduction.  It provides:
   (NVLink/NCCL, InfiniBand, PCIe, slow TCP) plus analytic latency
   formulas for each collective (:mod:`repro.comm.netmodel`);
 * the tensor-fusion buffer with per-tensor boundary bookkeeping that
-  Adasum needs for per-layer dot products (:mod:`repro.comm.fusion`).
+  Adasum needs for per-layer dot products (:mod:`repro.comm.fusion`);
+* robustness and observability: hang detection with per-rank blocked
+  state (:mod:`repro.comm.transport`), deterministic fault injection —
+  stragglers, message drops with retry, rank kills
+  (:mod:`repro.comm.faults`) — and opt-in per-rank event tracing with
+  Chrome-trace export (:mod:`repro.comm.tracing`).
 """
 
 from repro.comm.netmodel import (
@@ -23,7 +28,15 @@ from repro.comm.netmodel import (
     nccl_allreduce_cost,
     hierarchical_allreduce_cost,
 )
-from repro.comm.transport import Cluster, Comm, CommError, GroupComm
+from repro.comm.transport import (
+    Cluster,
+    Comm,
+    CommError,
+    CommTimeoutError,
+    GroupComm,
+)
+from repro.comm.faults import FaultPlan, RankKilledError
+from repro.comm.tracing import CommTracer, TraceEvent
 from repro.comm.hierarchical import (
     hierarchical_allreduce,
     hierarchical_adasum_allreduce,
@@ -44,7 +57,12 @@ __all__ = [
     "Cluster",
     "Comm",
     "CommError",
+    "CommTimeoutError",
     "GroupComm",
+    "FaultPlan",
+    "RankKilledError",
+    "CommTracer",
+    "TraceEvent",
     "hierarchical_allreduce",
     "hierarchical_adasum_allreduce",
     "cross_node_peers",

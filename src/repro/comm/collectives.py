@@ -50,7 +50,7 @@ def allreduce_ring(comm: Comm, x: np.ndarray, op: ReduceOp = _sum) -> np.ndarray
         recv_idx = (r - step - 1) % p
         comm.send(flat[chunks[send_idx]], right)
         incoming = comm.recv(left)
-        comm.compute(incoming.nbytes)
+        comm.compute(incoming.nbytes, label="reduce")
         flat[chunks[recv_idx]] = op(flat[chunks[recv_idx]], incoming)
     # Allgather: circulate the reduced chunks.
     for step in range(p - 1):

@@ -51,7 +51,7 @@ def _local_reduce_scatter(comm: Comm, x: np.ndarray, group) -> tuple:
         recv_idx = (pos - step - 1) % g
         comm.send(flat[chunks[send_idx]], right)
         incoming = comm.recv(left)
-        comm.compute(incoming.nbytes)
+        comm.compute(incoming.nbytes, label="local-sum")
         flat[chunks[recv_idx]] += incoming
     own_idx = (pos + 1) % g
     lo = int(chunks[own_idx][0]) if len(chunks[own_idx]) else 0

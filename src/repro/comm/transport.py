@@ -6,21 +6,53 @@ peers through a :class:`Comm` handle offering blocking ``send``/``recv``
 carries a virtual clock advanced by the α–β :class:`NetworkModel`; a
 receive synchronizes the receiver's clock with the message's arrival
 time, so ``max(clock)`` after a collective is its simulated latency.
+
+Robustness contract (``tests/comm/test_hang_detection.py``): all
+blocking waits — mailbox receives and barriers — share one wall-clock
+deadline per :meth:`Cluster.run`.  A rank blocked past the deadline
+raises a diagnostic :class:`CommError` naming itself, its blocking op,
+its peer, and its simulated clock; the first failure on any rank aborts
+every other blocked rank promptly.  ``run`` never returns partial
+results: an unjoined thread is itself a :class:`CommError`.  Runs are
+generation-tagged so a stale thread left over from a timed-out run can
+never touch a later run's queues or barriers.
+
+Fault injection (:class:`~repro.comm.faults.FaultPlan`) and opt-in
+tracing (:class:`~repro.comm.tracing.CommTracer`) hook in here; see
+``docs/simulator.md``.
 """
 
 from __future__ import annotations
 
 import queue
 import threading
+import time
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.comm.faults import FaultPlan, RankKilledError
 from repro.comm.netmodel import NetworkModel
+from repro.comm.tracing import CommTracer
+
+#: Wall-clock granularity at which blocked receives notice an abort.
+_POLL_SECONDS = 0.02
 
 
 class CommError(RuntimeError):
-    """Raised when a simulated rank fails (original traceback attached)."""
+    """Raised when a simulated run fails (stuck ranks identified)."""
+
+
+class CommTimeoutError(CommError):
+    """A blocking wait exceeded the run deadline (diagnostics attached)."""
+
+
+class _AbortError(RuntimeError):
+    """Internal: this rank was unblocked because another rank failed."""
+
+
+class _StaleRankError(RuntimeError):
+    """Internal: a leftover thread from a previous run touched the cluster."""
 
 
 class _Message:
@@ -34,6 +66,17 @@ class _Message:
         self.nbytes = nbytes
 
 
+class _BarrierGroup:
+    """A barrier plus the clock list used to synchronize a rank group."""
+
+    __slots__ = ("barrier", "lock", "clocks")
+
+    def __init__(self, parties: int):
+        self.barrier = threading.Barrier(parties)
+        self.lock = threading.Lock()
+        self.clocks: List[float] = []
+
+
 class Comm:
     """Per-rank communicator handle.
 
@@ -44,66 +87,153 @@ class Comm:
     clock:
         Simulated elapsed seconds on this rank.
     bytes_sent:
-        Total payload bytes this rank has transmitted.
+        Total payload bytes this rank has transmitted (retransmissions
+        of dropped messages included — the wire carried them).
     """
 
     def __init__(self, rank: int, size: int, cluster: "Cluster"):
         self.rank = rank
         self.size = size
         self._cluster = cluster
+        self._generation = cluster._generation
         self.clock: float = 0.0
         self.bytes_sent: int = 0
         self.messages_sent: int = 0
 
     # ------------------------------------------------------------------
+    def _check_alive(self, op: str) -> None:
+        """Generation guard + fault-plan kill check before any comm op."""
+        cluster = self._cluster
+        if self._generation != cluster._generation:
+            raise _StaleRankError(
+                f"rank {self.rank}: thread from run generation {self._generation} "
+                f"is stale (cluster is on generation {cluster._generation})"
+            )
+        if cluster.faults is not None:
+            cluster.faults.on_op(self.rank, op, self.clock)
+
+    # ------------------------------------------------------------------
     # Point-to-point
     # ------------------------------------------------------------------
-    def send(self, payload: np.ndarray, dst: int, nbytes: Optional[int] = None) -> None:
+    def send(
+        self,
+        payload: np.ndarray,
+        dst: int,
+        nbytes: Optional[int] = None,
+        retries: Optional[int] = None,
+        backoff: Optional[float] = None,
+    ) -> None:
         """Send ``payload`` to rank ``dst`` (non-blocking, buffered).
 
         ``nbytes`` overrides the costed message size (used to model
         large transfers while shipping small placeholder arrays).
+
+        Under an active :class:`FaultPlan` a transmission attempt may be
+        dropped; the send then retries up to ``retries`` times (default:
+        the plan's ``max_retries``), charging exponential ``backoff``
+        simulated seconds before each retransmission.  FIFO order is
+        preserved because the retry completes before this call returns.
         """
         if not 0 <= dst < self.size or dst == self.rank:
             raise ValueError(f"rank {self.rank}: invalid destination {dst}")
+        self._check_alive("send")
         size_bytes = int(nbytes) if nbytes is not None else int(np.asarray(payload).nbytes)
-        net = self._cluster.network
-        self.clock += net.send_cost(size_bytes)
-        self.bytes_sent += size_bytes
-        self.messages_sent += 1
-        self._cluster._mailbox(self.rank, dst).put(
-            _Message(payload, arrival=self.clock, nbytes=size_bytes)
+        cluster = self._cluster
+        net = cluster.network
+        plan = cluster.faults
+        factor = plan.delay_factor(self.rank) if plan is not None else 1.0
+        max_retries = (
+            retries if retries is not None
+            else (plan.max_retries if plan is not None else 0)
         )
+        retry_backoff = (
+            backoff if backoff is not None
+            else (plan.backoff if plan is not None else 0.0)
+        )
+        attempt = 0
+        while True:
+            attempt += 1
+            t0 = self.clock
+            self.clock += net.send_cost(size_bytes) * factor
+            self.bytes_sent += size_bytes
+            self.messages_sent += 1
+            if plan is None or not plan.consume_drop(self.rank, dst):
+                break
+            # This attempt was lost in transit.
+            cluster._trace(self.rank, "drop", t0, self.clock, size_bytes, peer=dst)
+            if attempt > max_retries:
+                raise CommError(
+                    f"rank {self.rank}: message to rank {dst} ({size_bytes} bytes) "
+                    f"dropped; gave up after {attempt} attempt(s) "
+                    f"(retries={max_retries}) at simulated t={self.clock:.6g}"
+                )
+            self.clock += retry_backoff * (2 ** (attempt - 1))
+        cluster._deliver(
+            self.rank, dst, _Message(payload, arrival=self.clock, nbytes=size_bytes),
+            self._generation,
+        )
+        cluster._trace(self.rank, "send", t0, self.clock, size_bytes, peer=dst)
 
     def recv(self, src: int) -> np.ndarray:
-        """Blocking receive from rank ``src``; advances the clock."""
+        """Blocking receive from rank ``src``; advances the clock.
+
+        Blocks at most until the run deadline; a timeout raises a
+        :class:`CommTimeoutError` naming this rank, the expected source,
+        this rank's simulated clock, and every other blocked rank.
+        """
         if not 0 <= src < self.size or src == self.rank:
             raise ValueError(f"rank {self.rank}: invalid source {src}")
-        msg: _Message = self._cluster._mailbox(src, self.rank).get(
-            timeout=self._cluster.timeout
-        )
+        self._check_alive("recv")
+        t0 = self.clock
+        msg = self._cluster._wait_recv(self, src)
         self.clock = max(self.clock, msg.arrival)
+        self._cluster._trace(self.rank, "recv", t0, self.clock, msg.nbytes, peer=src)
         return msg.payload
 
-    def sendrecv(self, payload: np.ndarray, peer: int, nbytes: Optional[int] = None) -> np.ndarray:
-        """Exchange with ``peer`` (send then receive)."""
-        self.send(payload, peer, nbytes=nbytes)
+    def sendrecv(
+        self,
+        payload: np.ndarray,
+        peer: int,
+        nbytes: Optional[int] = None,
+        retries: Optional[int] = None,
+        backoff: Optional[float] = None,
+    ) -> np.ndarray:
+        """Exchange with ``peer`` (send then receive).
+
+        ``retries``/``backoff`` configure drop retransmission for the
+        send side (see :meth:`send`).
+        """
+        self.send(payload, peer, nbytes=nbytes, retries=retries, backoff=backoff)
         return self.recv(peer)
 
     # ------------------------------------------------------------------
     # Local cost accounting
     # ------------------------------------------------------------------
-    def compute(self, nbytes: int) -> None:
-        """Charge local reduction arithmetic over ``nbytes`` to the clock."""
+    def compute(self, nbytes: int, label: Optional[str] = None) -> None:
+        """Charge local reduction arithmetic over ``nbytes`` to the clock.
+
+        ``label`` names the arithmetic phase in traces (e.g.
+        ``"dot-products"``); it has no effect on the cost model.
+        """
+        t0 = self.clock
         self.clock += self._cluster.network.reduce_cost(int(nbytes))
+        self._cluster._trace(self.rank, "compute", t0, self.clock, int(nbytes),
+                             label=label)
 
     def advance(self, seconds: float) -> None:
         """Advance the clock by an externally-modeled cost (e.g. compute)."""
+        t0 = self.clock
         self.clock += seconds
+        self._cluster._trace(self.rank, "advance", t0, self.clock)
 
-    def barrier(self) -> None:
-        """Synchronize all ranks (clocks advance to the global max)."""
-        self._cluster._barrier_sync(self)
+    def barrier(self, group: Optional[Sequence[int]] = None) -> None:
+        """Synchronize ranks (clocks advance to the group max).
+
+        ``group`` (global ranks, this rank included) restricts the
+        barrier to a sub-group; the default synchronizes the whole
+        cluster.  Waits at most until the run deadline.
+        """
+        self._cluster._barrier_sync(self, group)
 
 
 class GroupComm:
@@ -113,7 +243,8 @@ class GroupComm:
     ``group`` (a sorted list of global ranks), translating peers to
     global ranks underneath.  This is what lets single-level collectives
     (ring, RVH, AdasumRVH) run unmodified inside the cross-node stage of
-    a hierarchical allreduce.
+    a hierarchical allreduce — including barriers and the cost counters
+    the benchmarks read.
     """
 
     def __init__(self, base: Comm, group):
@@ -129,21 +260,34 @@ class GroupComm:
     def clock(self) -> float:
         return self._base.clock
 
-    def send(self, payload, dst: int, nbytes=None) -> None:
-        self._base.send(payload, self._group[dst], nbytes=nbytes)
+    @property
+    def bytes_sent(self) -> int:
+        return self._base.bytes_sent
+
+    @property
+    def messages_sent(self) -> int:
+        return self._base.messages_sent
+
+    def send(self, payload, dst: int, nbytes=None, retries=None, backoff=None) -> None:
+        self._base.send(payload, self._group[dst], nbytes=nbytes,
+                        retries=retries, backoff=backoff)
 
     def recv(self, src: int):
         return self._base.recv(self._group[src])
 
-    def sendrecv(self, payload, peer: int, nbytes=None):
-        self.send(payload, peer, nbytes=nbytes)
+    def sendrecv(self, payload, peer: int, nbytes=None, retries=None, backoff=None):
+        self.send(payload, peer, nbytes=nbytes, retries=retries, backoff=backoff)
         return self.recv(peer)
 
-    def compute(self, nbytes: int) -> None:
-        self._base.compute(nbytes)
+    def compute(self, nbytes: int, label: Optional[str] = None) -> None:
+        self._base.compute(nbytes, label=label)
 
     def advance(self, seconds: float) -> None:
         self._base.advance(seconds)
+
+    def barrier(self) -> None:
+        """Synchronize the ranks of this sub-group only."""
+        self._base.barrier(group=self._group)
 
 
 class Cluster:
@@ -157,42 +301,209 @@ class Cluster:
         α–β model used to cost every message; defaults to zero-cost
         (pure functional execution).
     timeout:
-        Seconds a blocking receive waits before declaring deadlock.
+        Wall-clock budget (seconds) shared by *all* blocking waits of
+        one :meth:`run` — the hang-detection deadline.
+    faults:
+        Optional :class:`FaultPlan` injecting delays, drops, and kills.
+    trace:
+        When true, attach a :class:`CommTracer` recording every op.
     """
 
-    def __init__(self, size: int, network: Optional[NetworkModel] = None, timeout: float = 60.0):
+    def __init__(
+        self,
+        size: int,
+        network: Optional[NetworkModel] = None,
+        timeout: float = 60.0,
+        faults: Optional[FaultPlan] = None,
+        trace: bool = False,
+    ):
         if size < 1:
             raise ValueError("cluster size must be >= 1")
         self.size = size
         self.network = network or NetworkModel(alpha=0.0, beta=0.0, gamma=0.0, name="free")
         self.timeout = timeout
+        self.faults = faults
+        self.tracer: Optional[CommTracer] = CommTracer() if trace else None
+        self._generation = 0
         self._queues: Dict[Tuple[int, int], queue.Queue] = {}
         self._queues_lock = threading.Lock()
-        self._barrier = threading.Barrier(size)
-        self._barrier_lock = threading.Lock()
-        self._barrier_clocks: List[float] = []
+        self._state_lock = threading.Lock()
+        self._blocked: Dict[int, Tuple[str, Optional[int], float]] = {}
+        self._barrier_groups: Dict[Tuple[int, ...], _BarrierGroup] = {}
+        self._active_barriers: List[threading.Barrier] = []
+        self._abort = threading.Event()
+        self._abort_reason: Optional[Tuple[int, BaseException]] = None
+        self._deadline = time.monotonic() + timeout
+        self.comms: List[Comm] = []
 
+    # ------------------------------------------------------------------
+    # Tracing
+    # ------------------------------------------------------------------
+    def enable_tracing(self) -> CommTracer:
+        """Attach (or return the existing) :class:`CommTracer`."""
+        if self.tracer is None:
+            self.tracer = CommTracer()
+        return self.tracer
+
+    def _trace(self, rank, op, t0, t1, nbytes=0, peer=None, label=None) -> None:
+        if self.tracer is not None:
+            self.tracer.record(rank, op, t0, t1, nbytes, peer=peer, label=label)
+
+    # ------------------------------------------------------------------
+    # Mailboxes (always under the queues lock — a stale daemon thread
+    # from a timed-out run must never race a new run's reset)
+    # ------------------------------------------------------------------
     def _mailbox(self, src: int, dst: int) -> queue.Queue:
-        key = (src, dst)
-        q = self._queues.get(key)
-        if q is None:
-            with self._queues_lock:
-                q = self._queues.setdefault(key, queue.Queue())
-        return q
+        with self._queues_lock:
+            return self._queues.setdefault((src, dst), queue.Queue())
 
-    def _barrier_sync(self, comm: Comm) -> None:
-        with self._barrier_lock:
-            self._barrier_clocks.append(comm.clock)
-        self._barrier.wait()
-        with self._barrier_lock:
-            max_clock = max(self._barrier_clocks)
+    def _deliver(self, src: int, dst: int, msg: _Message, generation: int) -> None:
+        if generation != self._generation:
+            raise _StaleRankError(
+                f"rank {src}: stale send from generation {generation} discarded"
+            )
+        self._mailbox(src, dst).put(msg)
+
+    # ------------------------------------------------------------------
+    # Blocked-rank bookkeeping (hang diagnostics)
+    # ------------------------------------------------------------------
+    def _set_blocked(self, rank: int, op: str, peer: Optional[int], clock: float) -> None:
+        with self._state_lock:
+            self._blocked[rank] = (op, peer, clock)
+
+    def _clear_blocked(self, rank: int) -> None:
+        with self._state_lock:
+            self._blocked.pop(rank, None)
+
+    def _stuck_snapshot(self) -> str:
+        """Human-readable list of every currently blocked rank."""
+        with self._state_lock:
+            entries = sorted(self._blocked.items())
+        if not entries:
+            return "no ranks blocked in comm ops"
+        parts = []
+        for rank, (op, peer, clock) in entries:
+            where = f"{op}(peer={peer})" if peer is not None else op
+            parts.append(f"rank {rank} blocked on {where} since simulated t={clock:.6g}")
+        return "; ".join(parts)
+
+    def _abort_context(self, rank: int, op: str, clock: float) -> str:
+        reason = self._abort_reason
+        cause = (
+            f"rank {reason[0]} failed: {reason[1]!r}" if reason is not None
+            else "the run was aborted"
+        )
+        return (
+            f"rank {rank}: aborted while blocked on {op} at simulated "
+            f"t={clock:.6g} because {cause}"
+        )
+
+    def _trigger_abort(self, rank: int, exc: BaseException) -> None:
+        """Record the first failure and wake every blocked rank."""
+        with self._state_lock:
+            if self._abort_reason is None:
+                self._abort_reason = (rank, exc)
+            self._abort.set()
+            barriers = list(self._active_barriers)
+        for b in barriers:
+            b.abort()
+
+    # ------------------------------------------------------------------
+    # Blocking primitives (all share the run deadline)
+    # ------------------------------------------------------------------
+    def _wait_recv(self, comm: Comm, src: int) -> _Message:
+        q = self._mailbox(src, comm.rank)
+        op = f"recv(src={src})"
+        self._set_blocked(comm.rank, "recv", src, comm.clock)
+        try:
+            while True:
+                if comm._generation != self._generation:
+                    raise _StaleRankError(
+                        f"rank {comm.rank}: stale {op} from generation "
+                        f"{comm._generation} abandoned"
+                    )
+                if self._abort.is_set():
+                    raise _AbortError(self._abort_context(comm.rank, op, comm.clock))
+                remaining = self._deadline - time.monotonic()
+                if remaining <= 0:
+                    raise CommTimeoutError(
+                        f"rank {comm.rank}: recv from rank {src} timed out after "
+                        f"{self.timeout:.3g}s wall clock (simulated "
+                        f"t={comm.clock:.6g}); {self._stuck_snapshot()}"
+                    )
+                try:
+                    return q.get(timeout=min(_POLL_SECONDS, remaining))
+                except queue.Empty:
+                    continue
+        finally:
+            self._clear_blocked(comm.rank)
+
+    def _get_barrier_group(self, comm: Comm, key: Tuple[int, ...]) -> _BarrierGroup:
+        with self._state_lock:
+            if self._abort.is_set():
+                raise _AbortError(self._abort_context(comm.rank, "barrier", comm.clock))
+            grp = self._barrier_groups.get(key)
+            if grp is None:
+                grp = _BarrierGroup(len(key))
+                self._barrier_groups[key] = grp
+                self._active_barriers.append(grp.barrier)
+            return grp
+
+    def _barrier_wait(self, grp: _BarrierGroup, comm: Comm, parties: int) -> int:
+        self._set_blocked(comm.rank, "barrier", None, comm.clock)
+        try:
+            remaining = self._deadline - time.monotonic()
+            if remaining <= 0:
+                raise CommTimeoutError(
+                    f"rank {comm.rank}: barrier timed out after {self.timeout:.3g}s "
+                    f"wall clock (simulated t={comm.clock:.6g}); "
+                    f"{self._stuck_snapshot()}"
+                )
+            try:
+                return grp.barrier.wait(timeout=remaining)
+            except threading.BrokenBarrierError:
+                if comm._generation != self._generation:
+                    raise _StaleRankError(
+                        f"rank {comm.rank}: stale barrier wait abandoned"
+                    ) from None
+                if self._abort.is_set():
+                    raise _AbortError(
+                        self._abort_context(comm.rank, "barrier", comm.clock)
+                    ) from None
+                raise CommTimeoutError(
+                    f"rank {comm.rank}: barrier desync — gave up after "
+                    f"{self.timeout:.3g}s with {grp.barrier.n_waiting}/{parties} "
+                    f"ranks arrived (simulated t={comm.clock:.6g}); "
+                    f"{self._stuck_snapshot()}"
+                ) from None
+        finally:
+            self._clear_blocked(comm.rank)
+
+    def _barrier_sync(self, comm: Comm, group: Optional[Sequence[int]] = None) -> None:
+        comm._check_alive("barrier")
+        ranks = tuple(range(self.size)) if group is None else tuple(sorted(group))
+        if comm.rank not in ranks:
+            raise ValueError(f"rank {comm.rank} not in barrier group {list(ranks)}")
+        if len(ranks) == 1:
+            return
+        t0 = comm.clock
+        grp = self._get_barrier_group(comm, ranks)
+        with grp.lock:
+            grp.clocks.append(comm.clock)
+        self._barrier_wait(grp, comm, len(ranks))
+        with grp.lock:
+            max_clock = max(grp.clocks)
         comm.clock = max_clock
         # Second phase so the list can be reset safely once all read it.
-        if self._barrier.wait() == 0:
-            with self._barrier_lock:
-                self._barrier_clocks.clear()
-        self._barrier.wait()
+        if self._barrier_wait(grp, comm, len(ranks)) == 0:
+            with grp.lock:
+                grp.clocks.clear()
+        self._barrier_wait(grp, comm, len(ranks))
+        self._trace(comm.rank, "barrier", t0, comm.clock)
 
+    # ------------------------------------------------------------------
+    # Run
+    # ------------------------------------------------------------------
     def run(
         self,
         fn: Callable[..., Any],
@@ -201,14 +512,35 @@ class Cluster:
         """Run ``fn(comm, *args)`` on every rank; return per-rank results.
 
         ``rank_args[r]`` supplies extra positional arguments for rank
-        ``r``.  Exceptions on any rank are re-raised as
-        :class:`CommError` after all threads have been joined.
+        ``r``.  Any failure — a rank exception, an injected kill, a
+        blocking wait past the deadline, or a thread that never exits —
+        raises :class:`CommError` identifying every affected rank.
+        Partial results are never returned.
         """
         if rank_args is None:
             rank_args = [()] * self.size
         if len(rank_args) != self.size:
             raise ValueError(f"need {self.size} argument tuples, got {len(rank_args)}")
-        self._queues.clear()
+
+        # New generation: stale threads from a previous (timed-out) run
+        # see the bump and abandon; their queue references are to the
+        # old objects replaced below.
+        self._generation += 1
+        generation = self._generation
+        for b in self._active_barriers:
+            b.abort()  # wake leftover waiters from a previous run
+        with self._queues_lock:
+            self._queues = {}
+        with self._state_lock:
+            self._blocked = {}
+            self._barrier_groups = {}
+            self._active_barriers = []
+            self._abort = threading.Event()
+            self._abort_reason = None
+        if self.faults is not None:
+            self.faults.reset()
+        self._deadline = time.monotonic() + self.timeout
+
         results: List[Any] = [None] * self.size
         errors: List[Tuple[int, BaseException]] = []
         self.comms = [Comm(r, self.size, self) for r in range(self.size)]
@@ -218,6 +550,8 @@ class Cluster:
                 results[rank] = fn(self.comms[rank], *rank_args[rank])
             except BaseException as exc:  # noqa: BLE001 - reported to caller
                 errors.append((rank, exc))
+                if generation == self._generation:
+                    self._trigger_abort(rank, exc)
 
         if self.size == 1:
             runner(0)
@@ -228,13 +562,47 @@ class Cluster:
             ]
             for t in threads:
                 t.start()
+            # Blocked ranks give up at the deadline on their own; the
+            # grace period only covers unwinding, so a thread still
+            # alive afterwards is hung outside the comm layer.
+            grace = max(0.5, 0.1 * self.timeout)
+            join_by = self._deadline + grace
             for t in threads:
-                t.join(timeout=self.timeout + 10)
+                t.join(timeout=max(0.0, join_by - time.monotonic()))
+            alive = [t for t in threads if t.is_alive()]
+            if alive:
+                hung = sorted(int(t.name.split("-", 1)[1]) for t in alive)
+                self._trigger_abort(hung[0], CommTimeoutError("rank never exited"))
+                msg = (
+                    f"Cluster.run: rank(s) {hung} never exited within "
+                    f"{self.timeout + grace:.3g}s ({self._stuck_snapshot()}; "
+                    f"ranks hung outside comm ops cannot be interrupted); "
+                    f"partial results discarded"
+                )
+                if errors:
+                    msg += "; " + str(self._aggregate_error(errors))
+                raise CommError(msg)
         if errors:
-            rank, exc = errors[0]
-            raise CommError(f"rank {rank} failed: {exc!r}") from exc
+            raise self._aggregate_error(errors)
         return results
 
+    def _aggregate_error(self, errors: List[Tuple[int, BaseException]]) -> CommError:
+        """One CommError naming every failed/stuck rank, worst first."""
+        errors = sorted(errors, key=lambda e: e[0])
+        primary = [(r, e) for r, e in errors
+                   if not isinstance(e, (_AbortError, _StaleRankError))]
+        lines = []
+        for rank, exc in errors:
+            if isinstance(exc, (CommError, RankKilledError, _AbortError, _StaleRankError)):
+                lines.append(str(exc))  # already self-describing, names the rank
+            else:
+                lines.append(f"rank {rank} failed: {exc!r}")
+        err = CommError("; ".join(lines))
+        cause = (primary[0][1] if primary else errors[0][1])
+        err.__cause__ = cause.__cause__ if isinstance(cause, CommError) and cause.__cause__ else cause
+        return err
+
+    # ------------------------------------------------------------------
     def max_clock(self) -> float:
         """Simulated latency of the last :meth:`run` (max over ranks)."""
         return max(c.clock for c in self.comms)

@@ -62,7 +62,7 @@ def adasum_ring(
         acc = None
     else:
         incoming = comm.recv(r - 1)
-        comm.compute(2 * flat.nbytes)  # dot products + combination
+        comm.compute(2 * flat.nbytes, label="adasum-chain")  # dots + combination
         acc = _combine(incoming, flat, layout)
         if r < p - 1:
             comm.send(acc, r + 1)

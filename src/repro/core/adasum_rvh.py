@@ -122,16 +122,16 @@ def _adasum_rvh_level(
     """
     rank = comm.rank
     mid = x.size // 2
+    # The half-exchange goes through ``sendrecv`` so an active FaultPlan
+    # can retransmit dropped halves without algorithm-level changes.
     if (rank // d) % 2 == 0:  # Left neighbor (lines 3-7)
         nghr = rank + d
-        comm.send(x[mid:], nghr)  # send right half
         a = x[:mid]
-        b = comm.recv(nghr)  # receive neighbor's left half
+        b = comm.sendrecv(x[mid:], nghr)  # swap halves: keep left, get theirs
         my_start = start
     else:  # Right neighbor (lines 8-13)
         nghr = rank - d
-        comm.send(x[:mid], nghr)  # send left half
-        a = comm.recv(nghr)  # receive neighbor's right half
+        a = comm.sendrecv(x[:mid], nghr)  # swap halves: keep right, get theirs
         b = x[mid:]
         my_start = start + mid
 
@@ -139,20 +139,19 @@ def _adasum_rvh_level(
     # Lines 15-17: partial dot products finished via group allreduce.
     ranges = _layer_ranges(a.size, my_start, layout)
     v = _partial_products(a, b, ranges)
-    comm.compute(3 * a.nbytes)
+    comm.compute(3 * a.nbytes, label="dot-products")
     group = [(rank // d2) * d2 + i for i in range(d2)]
     v = allreduce_group(comm, v, group)
     # Line 18: apply the Adasum combination on the owned half.
     xp = _apply_combination(a, b, v, ranges)
-    comm.compute(2 * xp.nbytes)
+    comm.compute(2 * xp.nbytes, label="adasum-combine")
 
     # Line 19-21: recurse until all ranks share slices of one vector.
     if d2 < comm.size:
         xp = _adasum_rvh_level(comm, xp, d2, my_start, layout)
 
     # Lines 22-24: allgather phase — exchange halves on the way out.
-    comm.send(xp, nghr)
-    y = comm.recv(nghr)
+    y = comm.sendrecv(xp, nghr)
     if (rank // d) % 2 == 0:
         return np.concatenate([xp, y])
     return np.concatenate([y, xp])

@@ -110,7 +110,9 @@ def orthogonality_ratio(grads: Sequence[np.ndarray], tree: bool = True) -> float
     minimum ``1/n`` when they are parallel with equal norms.
     """
     combine = adasum_tree if tree else adasum_linear
-    combined = combine(list(grads)).astype(np.float64, copy=False)
+    # Flatten before the dot product: for >=2-D gradients (conv kernels)
+    # ``combined @ combined`` would be a matmul, not an inner product.
+    combined = combine(list(grads)).reshape(-1).astype(np.float64, copy=False)
     num = float(combined @ combined)
     den = sum(float(g.reshape(-1).astype(np.float64) @ g.reshape(-1).astype(np.float64))
               for g in grads)

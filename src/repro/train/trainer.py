@@ -17,11 +17,13 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.comm.tracing import CommTracer
 from repro.core.distributed_optimizer import DistributedOptimizer
 from repro.core.orthogonality import OrthogonalityProbe
 from repro.data.sampler import BatchIterator, ShardedSampler
 from repro.nn.module import Module
 from repro.train.metrics import Meter
+from repro.train.simclock import TrainingTimeModel
 
 
 def compute_grads(
@@ -64,6 +66,15 @@ class ParallelTrainer:
         Optional orthogonality probe sampled on raw per-rank gradients.
     seed:
         Shuffling seed.
+    tracer:
+        Optional :class:`~repro.comm.tracing.CommTracer`; each step
+        records one ``compute`` and one ``allreduce`` event per
+        simulated rank (gradient bytes attached), timestamped on a
+        simulated clock.
+    time_model:
+        Optional :class:`~repro.train.simclock.TrainingTimeModel` that
+        stamps trace durations; without it events are zero-duration
+        (ordering only).
     """
 
     def __init__(
@@ -77,6 +88,8 @@ class ParallelTrainer:
         accumulation: int = 1,
         probe: Optional[OrthogonalityProbe] = None,
         seed: int = 0,
+        tracer: Optional[CommTracer] = None,
+        time_model: Optional[TrainingTimeModel] = None,
     ):
         if accumulation < 1:
             raise ValueError("accumulation must be >= 1")
@@ -92,6 +105,9 @@ class ParallelTrainer:
         self.iterator = BatchIterator(self.sampler, microbatch * accumulation)
         self.loss_meter = Meter("loss")
         self.global_step = 0
+        self.tracer = tracer
+        self.time_model = time_model
+        self.sim_time = 0.0
 
     @property
     def effective_batch(self) -> int:
@@ -120,11 +136,36 @@ class ParallelTrainer:
             grad_dicts.append(grads)
         if self.probe is not None:
             self.probe.record(grad_dicts, step=self.global_step)
+        if self.tracer is not None:
+            self._trace_step(grad_dicts)
         self.dist_opt.step(grad_dicts)
         self.global_step += 1
         mean_loss = float(np.mean(losses))
         self.loss_meter.update(mean_loss)
         return mean_loss
+
+    def _trace_step(self, grad_dicts: Sequence[Dict[str, np.ndarray]]) -> None:
+        """Record one compute + one allreduce event per simulated rank.
+
+        All ranks are synchronous, so they share the step's simulated
+        timeline; durations come from ``time_model`` when present.
+        """
+        tm = self.time_model
+        compute_s = (
+            tm.seconds_per_example * self.microbatch * self.accumulation
+            if tm is not None else 0.0
+        )
+        comm_s = tm.allreduce_seconds() if tm is not None else 0.0
+        t0 = self.sim_time
+        t1 = t0 + compute_s
+        t2 = t1 + comm_s
+        for rank, grads in enumerate(grad_dicts):
+            grad_bytes = sum(int(g.nbytes) for g in grads.values())
+            self.tracer.record(rank, "compute", t0, t1, grad_bytes,
+                               label=f"step-{self.global_step}")
+            self.tracer.record(rank, "allreduce", t1, t2, grad_bytes,
+                               label=self.dist_opt.op.value)
+        self.sim_time = t2
 
     def _rank_gradient(self, idx: np.ndarray) -> Tuple[float, Dict[str, np.ndarray]]:
         """One rank's (possibly accumulated) local gradient."""

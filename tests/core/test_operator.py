@@ -185,6 +185,21 @@ class TestOrthogonalityRatio:
     def test_zero_gradients(self):
         assert orthogonality_ratio([np.zeros(4)] * 2) == 1.0
 
+    def test_conv_shaped_gradients(self, rng):
+        """Regression: >=2-D gradients (conv kernels) used to TypeError
+        because ``combined @ combined`` became a matmul instead of an
+        inner product.  The ratio must match the flattened computation."""
+        kernels = [rng.standard_normal((8, 4, 3, 3)).astype(np.float32)
+                   for _ in range(4)]
+        r = orthogonality_ratio(kernels)
+        flat = orthogonality_ratio([k.reshape(-1) for k in kernels])
+        assert r == pytest.approx(flat, rel=1e-6)
+        assert 0.0 <= r <= 4.0
+
+    def test_conv_shaped_parallel_is_one_over_n(self, rng):
+        k = rng.standard_normal((4, 2, 3, 3)).astype(np.float32)
+        assert orthogonality_ratio([k] * 4) == pytest.approx(0.25, rel=1e-4)
+
 
 class TestHypothesisInvariants:
     @settings(max_examples=60, deadline=None)

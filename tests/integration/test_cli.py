@@ -30,3 +30,32 @@ class TestCli:
         for fn, desc in EXPERIMENTS.values():
             assert callable(fn)
             assert len(desc) > 5
+
+
+class TestTraceCommand:
+    def test_trace_runs_and_exports(self, capsys, tmp_path):
+        out_path = tmp_path / "trace.json"
+        code = main(["trace", "--collective", "adasum_rvh", "--ranks", "4",
+                     "--floats", "256", "--out", str(out_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "completed" in out
+        assert "bytes on the wire" in out
+        assert out_path.exists()
+
+    def test_trace_straggler(self, capsys):
+        code = main(["trace", "--collective", "ring", "--ranks", "4",
+                     "--floats", "256", "--straggler", "1",
+                     "--straggler-factor", "10"])
+        assert code == 0
+        assert "completed" in capsys.readouterr().out
+
+    def test_trace_kill_exits_nonzero_with_diagnostic(self, capsys):
+        code = main(["trace", "--collective", "adasum_rvh", "--ranks", "4",
+                     "--floats", "256", "--kill", "2", "--timeout", "5"])
+        assert code == 3
+        assert "rank 2 killed" in capsys.readouterr().err
+
+    def test_trace_unknown_collective(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["trace", "--collective", "nope"])

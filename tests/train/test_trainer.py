@@ -97,6 +97,47 @@ class TestParallelTrainer:
         loss = tr.train_epoch(0, max_steps=4)
         assert np.isfinite(loss)
 
+    def test_tracer_records_steps(self):
+        from repro.comm import CommTracer
+        from repro.train import TrainingTimeModel
+
+        x, y = _task(seed=0)
+        model = MLP((6, 16, 2), rng=np.random.default_rng(0))
+        dopt = DistributedOptimizer(model, lambda ps: SGD(ps, 0.3),
+                                    num_ranks=2, op=ReduceOpType.ADASUM)
+        tracer = CommTracer()
+        tmodel = TrainingTimeModel(seconds_per_example=1e-4,
+                                   model_bytes=4096, num_workers=2)
+        tr = ParallelTrainer(model, nn.CrossEntropyLoss(), dopt, x, y,
+                             microbatch=8, seed=0,
+                             tracer=tracer, time_model=tmodel)
+        tr.train_epoch(0, max_steps=3)
+        # One compute + one allreduce span per rank per step.
+        for rank in range(2):
+            evts = tracer.per_rank(rank)
+            assert sum(e.op == "compute" for e in evts) == 3
+            assert sum(e.op == "allreduce" for e in evts) == 3
+        computes = [e for e in tracer.per_rank(0) if e.op == "compute"]
+        assert computes[0].duration == pytest.approx(1e-4 * 8)
+        assert tracer.max_clock() == pytest.approx(tr.sim_time)
+        assert tr.sim_time > 0.0
+
+    def test_tracer_does_not_change_training(self):
+        from repro.comm import CommTracer
+
+        tr_a, _, _ = _trainer(num_ranks=2, seed=3)
+        x, y = _task(seed=3)
+        model = MLP((6, 16, 2), rng=np.random.default_rng(3))
+        dopt = DistributedOptimizer(model, lambda ps: SGD(ps, 0.3),
+                                    num_ranks=2, op=ReduceOpType.AVERAGE)
+        tr_b = ParallelTrainer(model, nn.CrossEntropyLoss(), dopt, x, y,
+                               microbatch=8, seed=3, tracer=CommTracer())
+        tr_a.train_epoch(0, max_steps=3)
+        tr_b.train_epoch(0, max_steps=3)
+        for (_, p1), (_, p2) in zip(tr_a.model.named_parameters(),
+                                    tr_b.model.named_parameters()):
+            np.testing.assert_array_equal(p1.data, p2.data)
+
 
 class TestMeter:
     def test_mean_and_history(self):
