@@ -1,16 +1,76 @@
 """Micro-benchmarks of the core kernels (operator, reductions, engine).
 
 Not a paper artifact — these track the reproduction's own performance so
-regressions in the NumPy kernels are visible.
+regressions in the NumPy kernels are visible.  Everything here is marked
+``perf`` and excluded from the tier-1 suite; run explicitly::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_kernels.py -m perf
+
+The dict-based and flat (arena) reducer benches are kept side by side so
+the flat-buffer speedup stays measurable; the train-step benches time
+the full pipeline (forward/backward into the arena, flat reduction,
+optimizer), serial and with ``parallel_ranks=True``.
 """
 
 import numpy as np
+import pytest
 
-from repro.core import adasum, adasum_tree
-from repro.core.reduction import AdasumReducer, SumReducer
-from repro.models import LeNet5
 from repro import nn
+from repro.core import (
+    DistributedOptimizer,
+    GradientArena,
+    ReduceOpType,
+    adasum,
+    adasum_tree,
+)
+from repro.core.reduction import AdasumReducer, SumReducer
+from repro.models import LeNet5, MiniBERT
+from repro.optim import SGD, Adam
+from repro.train import ParallelTrainer
 from repro.train.trainer import compute_grads
+
+pytestmark = pytest.mark.perf
+
+
+def _lenet_grad_dicts(num_ranks=8):
+    rng = np.random.default_rng(0)
+    model = LeNet5(rng=rng)
+    return [
+        {n: rng.standard_normal(p.shape).astype(np.float32)
+         for n, p in model.named_parameters()}
+        for _ in range(num_ranks)
+    ]
+
+
+def _lenet_trainer(parallel_ranks):
+    rng = np.random.default_rng(0)
+    model = LeNet5(rng=rng)
+    x = rng.standard_normal((256, 1, 28, 28)).astype(np.float32)
+    y = rng.integers(0, 10, 256)
+    dopt = DistributedOptimizer(
+        model, lambda ps: SGD(ps, 0.01, momentum=0.9),
+        num_ranks=4, op=ReduceOpType.ADASUM, adasum_pre_optimizer=True,
+    )
+    trainer = ParallelTrainer(model, nn.CrossEntropyLoss(), dopt, x, y,
+                              microbatch=8, parallel_ranks=parallel_ranks)
+    indices = next(iter(trainer.iterator.epoch(0)))[1]
+    trainer.train_step(indices)  # warm kernel caches / replicas
+    return trainer, indices
+
+
+def _minibert_trainer(parallel_ranks):
+    rng = np.random.default_rng(0)
+    model = MiniBERT(rng=rng)
+    x = rng.integers(0, 64, (128, 32))
+    y = rng.integers(0, 64, (128, 32))
+    dopt = DistributedOptimizer(
+        model, lambda ps: Adam(ps, 1e-3), num_ranks=4, op=ReduceOpType.ADASUM,
+    )
+    trainer = ParallelTrainer(model, nn.CrossEntropyLoss(), dopt, x, y,
+                              microbatch=8, parallel_ranks=parallel_ranks)
+    indices = next(iter(trainer.iterator.epoch(0)))[1]
+    trainer.train_step(indices)
+    return trainer, indices
 
 
 def test_pairwise_adasum_1m(benchmark):
@@ -29,28 +89,30 @@ def test_tree_reduction_16_ranks(benchmark):
 
 
 def test_per_layer_reducer_lenet_sized(benchmark):
-    rng = np.random.default_rng(0)
-    model = LeNet5(rng=rng)
-    dicts = [
-        {n: rng.standard_normal(p.shape).astype(np.float32)
-         for n, p in model.named_parameters()}
-        for _ in range(8)
-    ]
+    dicts = _lenet_grad_dicts(8)
     reducer = AdasumReducer()
     out = benchmark(reducer.reduce, dicts)
     assert set(out) == set(dicts[0])
 
 
+def test_per_layer_reducer_lenet_flat(benchmark):
+    arena = GradientArena.from_grad_dicts(_lenet_grad_dicts(8))
+    reducer = AdasumReducer()
+    out = benchmark(reducer.reduce_arena, arena)
+    assert out.shape == (arena.layout.total_size,)
+
+
 def test_sum_reducer_lenet_sized(benchmark):
-    rng = np.random.default_rng(0)
-    model = LeNet5(rng=rng)
-    dicts = [
-        {n: rng.standard_normal(p.shape).astype(np.float32)
-         for n, p in model.named_parameters()}
-        for _ in range(8)
-    ]
+    dicts = _lenet_grad_dicts(8)
     out = benchmark(SumReducer().reduce, dicts)
     assert set(out) == set(dicts[0])
+
+
+def test_sum_reducer_lenet_flat(benchmark):
+    arena = GradientArena.from_grad_dicts(_lenet_grad_dicts(8))
+    reducer = SumReducer()
+    out = benchmark(reducer.reduce_arena, arena)
+    assert out.shape == (arena.layout.total_size,)
 
 
 def test_lenet_forward_backward(benchmark):
@@ -60,4 +122,28 @@ def test_lenet_forward_backward(benchmark):
     x = rng.standard_normal((16, 1, 28, 28)).astype(np.float32)
     y = rng.integers(0, 10, 16)
     loss, grads = benchmark(compute_grads, model, loss_fn, x, y)
+    assert np.isfinite(loss)
+
+
+def test_lenet_train_step_serial(benchmark):
+    trainer, indices = _lenet_trainer(parallel_ranks=False)
+    loss = benchmark(trainer.train_step, indices)
+    assert np.isfinite(loss)
+
+
+def test_lenet_train_step_parallel(benchmark):
+    trainer, indices = _lenet_trainer(parallel_ranks=True)
+    loss = benchmark(trainer.train_step, indices)
+    assert np.isfinite(loss)
+
+
+def test_minibert_train_step_serial(benchmark):
+    trainer, indices = _minibert_trainer(parallel_ranks=False)
+    loss = benchmark(trainer.train_step, indices)
+    assert np.isfinite(loss)
+
+
+def test_minibert_train_step_parallel(benchmark):
+    trainer, indices = _minibert_trainer(parallel_ranks=True)
+    loss = benchmark(trainer.train_step, indices)
     assert np.isfinite(loss)

@@ -1,0 +1,214 @@
+#!/usr/bin/env python
+"""Kernel-benchmark snapshot for the perf trajectory (``BENCH_PR2.json``).
+
+Runs the hot-path microbenchmarks (reduction kernels, LeNet/MiniBERT
+train steps) under a wall-clock budget and writes
+``results/BENCH_PR2.json`` with per-op mean/stddev in milliseconds.
+
+The first ever run of this script records the ``baseline`` section;
+subsequent runs refresh the ``current`` section while preserving the
+baseline, so a PR can demonstrate its speedup against the tree it
+started from and future PRs inherit a perf trajectory.
+
+Ops that the library does not support yet (e.g. the flat-buffer arena
+before the PR that introduces it) are skipped, which is what makes the
+same script usable on both sides of an optimisation.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_snapshot.py [--budget 90] \
+        [--out results/BENCH_PR2.json] [--baseline]
+
+``--baseline`` forces this run to overwrite the baseline section.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import statistics
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro import nn  # noqa: E402
+from repro.core import DistributedOptimizer, ReduceOpType, adasum, adasum_tree  # noqa: E402
+from repro.core.arena import GradientArena  # noqa: E402
+from repro.core.reduction import AdasumReducer, SumReducer  # noqa: E402
+from repro.models import LeNet5, MiniBERT  # noqa: E402
+from repro.optim import SGD, Adam  # noqa: E402
+from repro.train import ParallelTrainer  # noqa: E402
+from repro.train.trainer import compute_grads  # noqa: E402
+
+
+def _lenet_grad_dicts(num_ranks: int = 8):
+    rng = np.random.default_rng(0)
+    model = LeNet5(rng=rng)
+    return [
+        {n: rng.standard_normal(p.shape).astype(np.float32)
+         for n, p in model.named_parameters()}
+        for _ in range(num_ranks)
+    ]
+
+
+def _lenet_trainer(parallel_ranks: bool):
+    rng = np.random.default_rng(0)
+    model = LeNet5(rng=rng)
+    x = rng.standard_normal((256, 1, 28, 28)).astype(np.float32)
+    y = rng.integers(0, 10, 256)
+    dopt = DistributedOptimizer(
+        model, lambda ps: SGD(ps, 0.01, momentum=0.9),
+        num_ranks=4, op=ReduceOpType.ADASUM, adasum_pre_optimizer=True,
+    )
+    kwargs = {"parallel_ranks": True} if parallel_ranks else {}
+    trainer = ParallelTrainer(model, nn.CrossEntropyLoss(), dopt, x, y,
+                              microbatch=8, **kwargs)
+    indices = next(iter(trainer.iterator.epoch(0)))[1]
+    return trainer, indices
+
+
+def _minibert_trainer(parallel_ranks: bool):
+    rng = np.random.default_rng(0)
+    model = MiniBERT(rng=rng)
+    x = rng.integers(0, 64, (128, 32))
+    y = rng.integers(0, 64, (128, 32))
+    dopt = DistributedOptimizer(
+        model, lambda ps: Adam(ps, 1e-3),
+        num_ranks=4, op=ReduceOpType.ADASUM,
+    )
+    kwargs = {"parallel_ranks": True} if parallel_ranks else {}
+    trainer = ParallelTrainer(model, nn.CrossEntropyLoss(), dopt, x, y,
+                              microbatch=8, **kwargs)
+    indices = next(iter(trainer.iterator.epoch(0)))[1]
+    return trainer, indices
+
+
+def build_ops():
+    """Return ``[(name, setup() -> thunk)]``; setup may raise to skip."""
+    rng = np.random.default_rng(0)
+
+    def pairwise_setup():
+        g1 = rng.standard_normal(1 << 20).astype(np.float32)
+        g2 = rng.standard_normal(1 << 20).astype(np.float32)
+        return lambda: adasum(g1, g2)
+
+    def tree_setup():
+        grads = [rng.standard_normal(1 << 16).astype(np.float32) for _ in range(16)]
+        return lambda: adasum_tree(grads)
+
+    def adasum_reducer_setup():
+        # Times the reduction the training pipeline runs per step: since
+        # the flat-buffer arena became the gradient container this is
+        # reduce_arena over zero-copy rows (same math, same result as
+        # the historical dict reduce this op used to time).
+        arena = GradientArena.from_grad_dicts(_lenet_grad_dicts(8))
+        reducer = AdasumReducer()
+        return lambda: reducer.reduce_arena(arena)
+
+    def sum_reducer_setup():
+        arena = GradientArena.from_grad_dicts(_lenet_grad_dicts(8))
+        reducer = SumReducer()
+        return lambda: reducer.reduce_arena(arena)
+
+    def compute_grads_setup():
+        model = LeNet5(rng=np.random.default_rng(0))
+        loss_fn = nn.CrossEntropyLoss()
+        x = rng.standard_normal((16, 1, 28, 28)).astype(np.float32)
+        y = rng.integers(0, 10, 16)
+        return lambda: compute_grads(model, loss_fn, x, y)
+
+    def train_step_setup(factory, parallel):
+        def setup():
+            trainer, indices = factory(parallel)
+            trainer.train_step(indices)  # warm caches / replicas
+            return lambda: trainer.train_step(indices)
+        return setup
+
+    return [
+        ("pairwise_adasum_1m", pairwise_setup),
+        ("adasum_tree_16r_64k", tree_setup),
+        ("adasum_reducer_lenet_8r", adasum_reducer_setup),
+        ("sum_reducer_lenet_8r", sum_reducer_setup),
+        ("lenet_compute_grads_b16", compute_grads_setup),
+        ("lenet_train_step_r4", train_step_setup(_lenet_trainer, False)),
+        ("lenet_train_step_r4_parallel", train_step_setup(_lenet_trainer, True)),
+        ("minibert_train_step_r4", train_step_setup(_minibert_trainer, False)),
+        ("minibert_train_step_r4_parallel", train_step_setup(_minibert_trainer, True)),
+    ]
+
+
+def bench_op(thunk, budget_s: float, min_rounds: int = 5, max_rounds: int = 60):
+    """Time ``thunk`` repeatedly within ``budget_s``; returns (mean, stddev, n)."""
+    thunk()  # warmup
+    times = []
+    t_start = time.perf_counter()
+    while len(times) < max_rounds:
+        t0 = time.perf_counter()
+        thunk()
+        times.append((time.perf_counter() - t0) * 1000.0)
+        if len(times) >= min_rounds and time.perf_counter() - t_start > budget_s:
+            break
+    mean = statistics.fmean(times)
+    stddev = statistics.stdev(times) if len(times) > 1 else 0.0
+    return mean, stddev, len(times)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--budget", type=float, default=90.0,
+                        help="total wall-clock budget in seconds")
+    parser.add_argument("--out", default=None, help="output JSON path")
+    parser.add_argument("--baseline", action="store_true",
+                        help="record this run as the baseline section")
+    args = parser.parse_args(argv)
+
+    root = pathlib.Path(__file__).resolve().parent.parent
+    out_path = pathlib.Path(args.out) if args.out else root / "results" / "BENCH_PR2.json"
+
+    try:  # hot-loop temporaries should not churn mmap (see docs/performance.md)
+        from repro.tensor import tune_allocator
+        tune_allocator()
+    except ImportError:
+        pass
+
+    ops = build_ops()
+    per_op_budget = args.budget / max(len(ops), 1)
+    results = {}
+    for name, setup in ops:
+        try:
+            thunk = setup()
+        except (TypeError, NotImplementedError, AttributeError) as exc:
+            print(f"  skip {name}: {type(exc).__name__}: {exc}")
+            continue
+        mean, stddev, n = bench_op(thunk, per_op_budget)
+        results[name] = {"mean_ms": round(mean, 4), "stddev_ms": round(stddev, 4),
+                         "rounds": n}
+        print(f"  {name}: {mean:.3f} ms ± {stddev:.3f} ({n} rounds)")
+
+    payload = {"schema": "bench-snapshot-v1", "ops": {}}
+    if out_path.exists():
+        payload = json.loads(out_path.read_text())
+    if args.baseline or "baseline" not in payload:
+        payload["baseline"] = results
+    payload["current"] = results
+    payload["ops"] = sorted(set(payload.get("baseline", {})) | set(results))
+    if payload.get("baseline"):
+        speedups = {}
+        for op in payload["ops"]:
+            base = payload["baseline"].get(op, {}).get("mean_ms")
+            cur = results.get(op, {}).get("mean_ms")
+            if base and cur:
+                speedups[op] = round(base / cur, 3)
+        payload["speedup_vs_baseline"] = speedups
+    out_path.parent.mkdir(exist_ok=True)
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

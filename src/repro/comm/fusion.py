@@ -64,6 +64,24 @@ class FusedTensorLayout:
         return out
 
 
+def layout_of(tensors: Sequence[Tuple[str, np.ndarray]]) -> FusedTensorLayout:
+    """Build a :class:`FusedTensorLayout` covering *all* named tensors.
+
+    Unlike :meth:`FusionBuffer.plan` there is no size threshold — the
+    result is the single contiguous layout used by
+    :class:`~repro.core.arena.GradientArena` to give every rank one flat
+    gradient buffer with named zero-copy views.
+    """
+    names, slices, shapes = [], [], []
+    offset = 0
+    for name, arr in tensors:
+        names.append(name)
+        shapes.append(tuple(arr.shape))
+        slices.append((offset, offset + int(arr.size)))
+        offset += int(arr.size)
+    return FusedTensorLayout(tuple(names), tuple(slices), tuple(shapes))
+
+
 class FusionBuffer:
     """Reusable fusion buffer with a byte-size threshold.
 

@@ -7,7 +7,11 @@ Modules
     application, whole-model and per-layer.
 ``reduction``
     ``GradientReducer`` strategy objects (Sum / Average / Adasum) that
-    the training simulator plugs in.
+    the training simulator plugs in, each with a flat-buffer fast path.
+``arena``
+    ``GradientArena`` — one contiguous flat gradient buffer per rank
+    with named zero-copy views (the fused-tensor layout of §4.4.3)
+    feeding the flat reducer kernels.
 ``adasum_rvh``
     Algorithm 1 — recursive vector halving with Adasum — executed
     verbatim over the simulated message-passing cluster.
@@ -32,12 +36,16 @@ Modules
 
 from repro.core.operator import (
     adasum,
+    adasum_flat,
     adasum_scale_factors,
     adasum_tree,
+    adasum_tree_flat,
     adasum_linear,
+    adasum_linear_flat,
     adasum_per_layer,
     orthogonality_ratio,
 )
+from repro.core.arena import GradientArena, layer_id_index
 from repro.core.reduction import (
     GradientReducer,
     SumReducer,
@@ -68,11 +76,16 @@ from repro.core.distributed_optimizer import allreduce, make_reducer
 
 __all__ = [
     "adasum",
+    "adasum_flat",
     "adasum_scale_factors",
     "adasum_tree",
+    "adasum_tree_flat",
     "adasum_linear",
+    "adasum_linear_flat",
     "adasum_per_layer",
     "orthogonality_ratio",
+    "GradientArena",
+    "layer_id_index",
     "GradientReducer",
     "SumReducer",
     "AverageReducer",

@@ -1,0 +1,172 @@
+"""Flat per-rank gradient buffers — the paper's fused-tensor layout (§4.4.3).
+
+A :class:`GradientArena` holds one contiguous buffer per simulated rank,
+preallocated once from the model's parameter layout.  Each layer's
+gradient lives at a fixed ``(offset, length)`` slice of its rank's row,
+exposed as a named zero-copy view shaped like the parameter.  The
+training loop writes gradients straight into the views and the reducers
+(:mod:`repro.core.reduction`) run flat in-place kernels over whole rows,
+consulting the shared :class:`~repro.comm.fusion.FusedTensorLayout` for
+per-layer boundaries — the same bookkeeping Horovod's fusion buffer
+keeps, so Adasum's per-layer dot products need no dict plumbing.
+
+Every flat code path is bit-exact with the historical dict-of-arrays
+path (property-tested in ``tests/core/test_arena.py``): identical
+per-layer fp64 accumulation, identical recursion order, identical
+rounding points.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.comm.fusion import FusedTensorLayout, layout_of
+
+
+class GradientArena:
+    """``num_ranks`` contiguous flat gradient buffers with named views.
+
+    Parameters
+    ----------
+    layout:
+        Per-layer ``(offset, length)`` bookkeeping; identical across
+        ranks so it is never communicated.
+    num_ranks:
+        Number of simulated ranks (buffer rows).
+    dtype:
+        Storage dtype of the gradients (reduction scalars still
+        accumulate in float64 regardless).
+    """
+
+    def __init__(
+        self,
+        layout: FusedTensorLayout,
+        num_ranks: int,
+        dtype=np.float32,
+    ):
+        if num_ranks < 1:
+            raise ValueError("num_ranks must be >= 1")
+        self.layout = layout
+        self.num_ranks = num_ranks
+        self.dtype = np.dtype(dtype)
+        self.data = np.zeros((num_ranks, layout.total_size), dtype=self.dtype)
+        # Named zero-copy views, one dict per rank.  A view is a shaped
+        # window into the rank's row: writing through it fills the flat
+        # buffer directly.
+        self._views: List[Dict[str, np.ndarray]] = []
+        for rank in range(num_ranks):
+            row = self.data[rank]
+            views = {
+                name: row[lo:hi].reshape(shape)
+                for name, (lo, hi), shape in zip(
+                    layout.names, layout.slices, layout.shapes
+                )
+            }
+            self._views.append(views)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_model(cls, model, num_ranks: int, dtype=np.float32) -> "GradientArena":
+        """Preallocate from a model's parameter layout (declaration order)."""
+        named = [(name, p.data) for name, p in model.named_parameters()]
+        if not named:
+            raise ValueError("model has no parameters")
+        return cls(layout_of(named), num_ranks, dtype=dtype)
+
+    @classmethod
+    def from_grad_dicts(
+        cls, grad_dicts: Sequence[Mapping[str, np.ndarray]], dtype=None
+    ) -> "GradientArena":
+        """Build an arena holding existing per-rank gradient dicts."""
+        if not grad_dicts:
+            raise ValueError("need at least one rank's gradients")
+        first = grad_dicts[0]
+        if dtype is None:
+            dtype = next(iter(first.values())).dtype if first else np.float32
+        arena = cls(layout_of(list(first.items())), len(grad_dicts), dtype=dtype)
+        arena.load_dicts(grad_dicts)
+        return arena
+
+    # ------------------------------------------------------------------
+    @property
+    def num_layers(self) -> int:
+        return len(self.layout.names)
+
+    def row(self, rank: int) -> np.ndarray:
+        """Rank ``rank``'s flat buffer (zero-copy)."""
+        return self.data[rank]
+
+    def views(self, rank: int) -> Dict[str, np.ndarray]:
+        """Named, shaped zero-copy views into rank ``rank``'s row."""
+        return self._views[rank]
+
+    def view(self, rank: int, name: str) -> np.ndarray:
+        return self._views[rank][name]
+
+    def __iter__(self) -> Iterator[Dict[str, np.ndarray]]:
+        return iter(self._views)
+
+    def zero_(self) -> None:
+        self.data.fill(0)
+
+    def zero_rank_(self, rank: int) -> None:
+        self.data[rank].fill(0)
+
+    # ------------------------------------------------------------------
+    def load_dicts(self, grad_dicts: Sequence[Mapping[str, np.ndarray]]) -> None:
+        """Copy per-rank gradient dicts into the arena rows."""
+        if len(grad_dicts) != self.num_ranks:
+            raise ValueError(
+                f"expected {self.num_ranks} gradient dicts, got {len(grad_dicts)}"
+            )
+        for rank, gdict in enumerate(grad_dicts):
+            views = self._views[rank]
+            if set(gdict.keys()) != set(views.keys()):
+                raise ValueError(f"rank {rank} layer names differ from the layout")
+            for name, view in views.items():
+                np.copyto(view, gdict[name])
+
+    def write_row(self, rank: int, grads: Mapping[str, np.ndarray]) -> None:
+        """Copy one rank's named gradients into its row."""
+        views = self._views[rank]
+        for name, view in views.items():
+            np.copyto(view, grads[name])
+
+    def unpack(self, flat: np.ndarray, copy: bool = True) -> Dict[str, np.ndarray]:
+        """Split a flat combined buffer back into named, shaped tensors."""
+        if flat.size != self.layout.total_size:
+            raise ValueError(
+                f"buffer size {flat.size} != layout {self.layout.total_size}"
+            )
+        out = {}
+        for name, (lo, hi), shape in zip(
+            self.layout.names, self.layout.slices, self.layout.shapes
+        ):
+            view = flat[lo:hi].reshape(shape)
+            out[name] = view.copy() if copy else view
+        return out
+
+    def to_dicts(self) -> List[Dict[str, np.ndarray]]:
+        """Materialize per-rank dicts (copies — for interop/debugging)."""
+        return [
+            {name: view.copy() for name, view in views.items()}
+            for views in self._views
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"GradientArena(ranks={self.num_ranks}, layers={self.num_layers}, "
+            f"size={self.layout.total_size}, dtype={self.dtype})"
+        )
+
+
+def layer_id_index(layout: FusedTensorLayout) -> np.ndarray:
+    """Flat index mapping each buffer element to its layer ordinal.
+
+    Used to expand per-layer Adasum scale factors to per-element vectors
+    with one ``np.take`` instead of a python loop over slices.
+    """
+    sizes = [hi - lo for lo, hi in layout.slices]
+    return np.repeat(np.arange(len(sizes)), sizes)

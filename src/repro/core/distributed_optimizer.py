@@ -155,6 +155,29 @@ class DistributedOptimizer:
         else:
             self._step_pre_optimizer(grad_dicts)
 
+    def step_arena(self, arena) -> None:
+        """Apply one distributed update from a filled :class:`GradientArena`.
+
+        The flat-buffer equivalent of :meth:`step`: per-rank gradients
+        live in the arena rows and the reduction runs the reducer's flat
+        kernels over them — bit-identical results, no per-layer dict
+        temporaries.  The fp16 wire format still flows through the dict
+        codec, so that mode falls back to per-layer views.
+        """
+        if arena.num_ranks != self.num_ranks:
+            raise ValueError(
+                f"expected a {self.num_ranks}-rank arena, got {arena.num_ranks}"
+            )
+        if self.fp16:
+            # Views are zero-copy; the codec allocates fresh encoded
+            # tensors anyway, so nothing is lost falling back here.
+            self.step([arena.views(r) for r in range(self.num_ranks)])
+            return
+        if self.post_optimizer_mode:
+            self._step_post_optimizer_arena(arena)
+        else:
+            self._step_pre_optimizer_arena(arena)
+
     def _communicate(self, dicts):
         """Apply the fp16 wire format to the tensors about to be reduced.
 
@@ -187,6 +210,36 @@ class DistributedOptimizer:
             self._params[name].grad = combined[name]
         assert self.optimizer is not None
         self.optimizer.step()
+        self.model.zero_grad()
+
+    def _step_pre_optimizer_arena(self, arena) -> None:
+        """Flat path: reduce rows, hand zero-copy grad views to the optimizer."""
+        combined = self.reducer.reduce_arena(arena)
+        views = arena.unpack(combined, copy=False)
+        for name in self._param_names:
+            self._params[name].grad = views[name]
+        assert self.optimizer is not None
+        self.optimizer.step()
+        self.model.zero_grad()
+
+    def _step_post_optimizer_arena(self, arena) -> None:
+        """Figure 3 over flat buffers: the arena rows are rewritten in
+        place from local gradients to post-optimizer model deltas, then
+        reduced flat."""
+        starts = {name: p.data.copy() for name, p in self._params.items()}
+        for rank in range(self.num_ranks):
+            views = arena.views(rank)
+            for name, p in self._params.items():
+                np.copyto(p.data, starts[name])
+                p.grad = views[name]
+            self.rank_optimizers[rank].step()
+            # The local gradient is consumed; its row becomes the delta.
+            for name, p in self._params.items():
+                np.subtract(p.data, starts[name], out=views[name])
+        combined = self.reducer.reduce_arena(arena)
+        delta = arena.unpack(combined, copy=False)
+        for name, p in self._params.items():
+            np.copyto(p.data, starts[name] + delta[name])
         self.model.zero_grad()
 
     def _step_post_optimizer(self, grad_dicts) -> None:

@@ -19,6 +19,7 @@ the paper's "ring" implementation corresponds to.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, List, Mapping, Sequence, Tuple
 
 import numpy as np
@@ -44,13 +45,246 @@ def adasum_scale_factors(g1: np.ndarray, g2: np.ndarray) -> Tuple[float, float]:
     return s1, s2
 
 
-def adasum(g1: np.ndarray, g2: np.ndarray) -> np.ndarray:
-    """Pairwise Adasum of two same-shaped gradients."""
+def adasum(
+    g1: np.ndarray, g2: np.ndarray, out: np.ndarray = None
+) -> np.ndarray:
+    """Pairwise Adasum of two same-shaped gradients.
+
+    ``out`` (same shape/dtype as ``g1``) receives the result in place
+    when given; scalar accumulation still happens in float64.
+    """
     if g1.shape != g2.shape:
         raise ValueError(f"shape mismatch: {g1.shape} vs {g2.shape}")
     s1, s2 = adasum_scale_factors(g1, g2)
-    out = s1 * g1.astype(np.float64, copy=False) + s2 * g2.astype(np.float64, copy=False)
-    return out.astype(g1.dtype, copy=False)
+    combined = s1 * g1.astype(np.float64, copy=False) + s2 * g2.astype(
+        np.float64, copy=False
+    )
+    if out is None:
+        return combined.astype(g1.dtype, copy=False)
+    np.copyto(out, combined, casting="same_kind")
+    return out
+
+
+# ----------------------------------------------------------------------
+# Flat-buffer kernels (fused-tensor path, paper §4.4.3)
+# ----------------------------------------------------------------------
+def _flat_pair_scales(
+    a: np.ndarray, b: np.ndarray, boundaries: Sequence[int]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-layer ``(s1, s2)`` scale vectors for two float64 flat rows.
+
+    Each layer's dot/norms are plain ``np.dot`` over the contiguous
+    float64 slice — the identical accumulation the dict path performs on
+    ``g.reshape(-1).astype(np.float64)``, so scale factors match bit for
+    bit.
+    """
+    n_layers = len(boundaries) - 1
+    s1 = np.empty(n_layers)
+    s2 = np.empty(n_layers)
+    for layer in range(n_layers):
+        lo, hi = boundaries[layer], boundaries[layer + 1]
+        x, y = a[lo:hi], b[lo:hi]
+        dot = float(x @ y)
+        n1 = float(x @ x)
+        n2 = float(y @ y)
+        s1[layer] = 1.0 - dot / (2.0 * n1) if n1 > _EPS else 1.0
+        s2[layer] = 1.0 - dot / (2.0 * n2) if n2 > _EPS else 1.0
+    return s1, s2
+
+
+def _adasum_flat_pair(
+    a: np.ndarray,
+    b: np.ndarray,
+    boundaries: Sequence[int],
+    tmp: np.ndarray,
+    out: np.ndarray,
+) -> None:
+    """In-place pairwise Adasum of float64 rows ``a``, ``b`` into ``out``.
+
+    ``out`` may alias ``a``.  ``tmp`` is a caller-provided float64
+    scratch row.  Each layer slice is scaled by its float64 scalar — the
+    same multiplication the dict path performs per layer — so results
+    are bit-identical while the row-wide add stays a single fused pass.
+    """
+    s1, s2 = _flat_pair_scales(a, b, boundaries)
+    for layer in range(len(boundaries) - 1):
+        lo, hi = boundaries[layer], boundaries[layer + 1]
+        np.multiply(b[lo:hi], s2[layer], out=tmp[lo:hi])
+        np.multiply(a[lo:hi], s1[layer], out=out[lo:hi])
+    out += tmp
+
+
+def _flat_boundaries(size: int, boundaries) -> List[int]:
+    if boundaries is None:
+        return [0, size]
+    bounds = list(boundaries)
+    if bounds[0] != 0 or bounds[-1] != size:
+        raise ValueError(f"boundaries {bounds[0]}..{bounds[-1]} != buffer [0, {size})")
+    return bounds
+
+
+def adasum_flat(
+    g1: np.ndarray,
+    g2: np.ndarray,
+    boundaries: Sequence[int] = None,
+    out: np.ndarray = None,
+) -> np.ndarray:
+    """Pairwise Adasum over flat 1-D buffers with per-layer boundaries.
+
+    ``boundaries`` delimits layers in the flat buffer
+    (``layout.boundaries()``); ``None`` treats the whole buffer as one
+    layer (whole-model Adasum).  Equivalent to slicing both buffers per
+    layer and calling :func:`adasum` on each slice, but runs in-place
+    vectorized kernels over the full row.
+    """
+    if g1.shape != g2.shape or g1.ndim != 1:
+        raise ValueError(f"flat buffers required: {g1.shape} vs {g2.shape}")
+    bounds = _flat_boundaries(g1.size, boundaries)
+    a = g1.astype(np.float64)
+    b = g2.astype(np.float64, copy=False)
+    tmp = np.empty(g1.size)
+    _adasum_flat_pair(a, b, bounds, tmp, out=a)
+    if out is None:
+        return a.astype(g1.dtype, copy=False)
+    np.copyto(out, a, casting="same_kind")
+    return out
+
+
+class _FlatReducePlan:
+    """Reusable scratch rows + prebound per-layer kernels for one geometry.
+
+    The pairwise combine is called ``ranks - 1`` times per reduction and
+    every call runs 3 dots + 2 scalings per layer; for models with many
+    small layers the NumPy dispatch cost of those calls rivals the
+    arithmetic.  The plan owns the two float64 scratch rows, the
+    storage-dtype winner buffer, and — since the scratches are reused
+    for every pair — the per-layer slice *views* and their bound
+    ``ndarray.dot`` methods, so the hot loop does no view construction
+    and no attribute lookups.
+    """
+
+    __slots__ = ("key", "ab", "a64", "b64", "win", "layers")
+
+    def __init__(self, size, bounds, nwin, dtype) -> None:
+        self.key = (size, tuple(bounds), nwin, dtype)
+        self.ab = np.empty((2, size))
+        self.a64 = self.ab[0]
+        self.b64 = self.ab[1]
+        self.win = np.empty((nwin, size), dtype=dtype)
+        self.layers: List[tuple] = []
+        for lo, hi in zip(bounds[:-1], bounds[1:]):
+            x = self.a64[lo:hi]
+            y = self.b64[lo:hi]
+            self.layers.append((x, y, x.dot, y.dot))
+
+    def _combine_loaded(self, dst: np.ndarray) -> None:
+        """Adasum the two loaded scratch rows into ``dst``.
+
+        Bit-identical to the dict path's pairwise combine: float64 dots
+        per layer (``float(x @ y)`` accumulation), one rounded multiply
+        per operand, and a float64 add that rounds once into the storage
+        dtype — ``np.add(..., out=dst, dtype=np.float64)`` is exactly
+        ``(s1*g1 + s2*g2).astype(dtype)`` minus the intermediate pass.
+        """
+        mult = np.multiply
+        for x, y, xdot, ydot in self.layers:
+            dot = float(xdot(y))
+            n1 = float(xdot(x))
+            n2 = float(ydot(y))
+            s1 = 1.0 - dot / (2.0 * n1) if n1 > _EPS else 1.0
+            s2 = 1.0 - dot / (2.0 * n2) if n2 > _EPS else 1.0
+            mult(y, s2, out=y)
+            mult(x, s1, out=x)
+        np.add(self.a64, self.b64, out=dst, dtype=np.float64, casting="same_kind")
+
+    def combine_pair(self, src2: np.ndarray, dst: np.ndarray) -> None:
+        """Combine two *adjacent* rows (``src2`` is ``(2, size)``) into ``dst``.
+
+        Loading both operands with one 2-row widening copy halves the
+        dispatch cost of the loads; ``dst`` may alias a source row since
+        both rows are consumed into the scratches first.
+        """
+        np.copyto(self.ab, src2, casting="same_kind")
+        self._combine_loaded(dst)
+
+    def combine(self, x_src: np.ndarray, y_src: np.ndarray, dst: np.ndarray) -> None:
+        """``dst = narrow(Adasum(widen(x_src), widen(y_src)))``."""
+        np.copyto(self.a64, x_src, casting="same_kind")
+        np.copyto(self.b64, y_src, casting="same_kind")
+        self._combine_loaded(dst)
+
+
+#: One cached plan per thread — training and benchmarks hammer a single
+#: geometry, while property tests sweep many tiny ones (cheap to rebuild).
+_plan_cache = threading.local()
+
+
+def _flat_reduce_plan(size, bounds, nwin, dtype) -> _FlatReducePlan:
+    plan = getattr(_plan_cache, "plan", None)
+    if plan is None or plan.key != (size, tuple(bounds), nwin, dtype):
+        plan = _FlatReducePlan(size, bounds, nwin, dtype)
+        _plan_cache.plan = plan
+    return plan
+
+
+def _adasum_flat_reduce(
+    data: np.ndarray, boundaries: Sequence[int], tree: bool
+) -> np.ndarray:
+    """Tree or linear Adasum over the rows of a ``(ranks, size)`` buffer.
+
+    Matches the dict path bit for bit: every pairwise result rounds
+    through the storage dtype (the dict path's ``astype(g1.dtype)``
+    after each combine) before being re-widened to float64 for the next
+    level's scalar accumulation.  Because of that rounding, the narrow
+    row *is* the authoritative intermediate — so winners are stored in
+    the storage dtype and float64 exists only in the plan's two scratch
+    rows, which stay cache-resident across the whole reduction instead
+    of widening all ranks up front.  ``data`` itself is never written.
+    """
+    ranks, size = data.shape
+    if ranks == 1:
+        return data[0].copy()
+    bounds = _flat_boundaries(size, boundaries)
+    plan = _flat_reduce_plan(size, bounds, max(1, ranks // 2), data.dtype)
+    win = plan.win
+    if tree:
+        # Winners pack compactly into ``win[0:n]`` after every level, so
+        # each pair is adjacent and loads with one 2-row widening copy.
+        combine_pair = plan.combine_pair
+        for k in range(ranks // 2):
+            combine_pair(data[2 * k : 2 * k + 2], win[k])
+        n = ranks // 2
+        while n > 1:
+            for m in range(n // 2):
+                combine_pair(win[2 * m : 2 * m + 2], win[m])
+            n //= 2
+        return win[0].copy()
+    acc = win[0]
+    plan.combine(data[0], data[1], acc)
+    for r in range(2, ranks):
+        plan.combine(acc, data[r], acc)
+    return acc.copy()
+
+
+def adasum_tree_flat(
+    data: np.ndarray, boundaries: Sequence[int] = None
+) -> np.ndarray:
+    """Binary-tree Adasum over ``(ranks, size)`` flat rows (power of two)."""
+    ranks = data.shape[0]
+    if ranks == 0:
+        raise ValueError("adasum_tree_flat needs at least one gradient row")
+    if ranks & (ranks - 1):
+        raise ValueError(f"adasum_tree_flat requires a power-of-two count, got {ranks}")
+    return _adasum_flat_reduce(data, boundaries, tree=True)
+
+
+def adasum_linear_flat(
+    data: np.ndarray, boundaries: Sequence[int] = None
+) -> np.ndarray:
+    """Linear (left-fold) Adasum over ``(ranks, size)`` flat rows."""
+    if data.shape[0] == 0:
+        raise ValueError("adasum_linear_flat needs at least one gradient row")
+    return _adasum_flat_reduce(data, boundaries, tree=False)
 
 
 def adasum_tree(grads: Sequence[np.ndarray]) -> np.ndarray:

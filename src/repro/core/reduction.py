@@ -20,7 +20,13 @@ from typing import Dict, List, Mapping, Sequence
 
 import numpy as np
 
-from repro.core.operator import adasum_linear, adasum_per_layer, adasum_tree
+from repro.core.operator import (
+    adasum_linear,
+    adasum_linear_flat,
+    adasum_per_layer,
+    adasum_tree,
+    adasum_tree_flat,
+)
 
 
 def _check_consistent(grad_dicts: Sequence[Mapping[str, np.ndarray]]) -> List[str]:
@@ -33,6 +39,25 @@ def _check_consistent(grad_dicts: Sequence[Mapping[str, np.ndarray]]) -> List[st
     return names
 
 
+def _flat_sum(data: np.ndarray, boundaries: Sequence[int] = None) -> np.ndarray:
+    """Float64 axis-0 sum of flat rows, bit-exact with the dict path.
+
+    One subtlety: for a single-element layer the dict path sums a
+    contiguous ``(ranks, 1)`` stack, where NumPy applies pairwise
+    summation instead of the row-sequential order used for wider
+    layers.  Those columns are re-summed from a contiguous copy so the
+    association matches exactly.
+    """
+    total = np.sum(data, axis=0, dtype=np.float64)
+    if boundaries is not None:
+        for lo, hi in zip(boundaries[:-1], boundaries[1:]):
+            if hi - lo == 1:
+                total[lo] = np.sum(
+                    np.ascontiguousarray(data[:, lo]), dtype=np.float64
+                )
+    return total
+
+
 class GradientReducer:
     """Strategy interface: combine one gradient dict per rank into one.
 
@@ -40,6 +65,12 @@ class GradientReducer:
     the reduction: synchronous SGD reduces raw gradients before the
     optimizer step, while Adasum with stateful optimizers (Adam/LAMB)
     reduces the post-optimizer model delta (paper Figure 3).
+
+    Each reducer also ships a *flat* code path (``reduce_flat`` /
+    ``reduce_arena``) operating on one contiguous buffer per rank with
+    per-layer boundaries from the fusion layout — the fused-tensor
+    architecture of paper §4.4.3.  Flat results are bit-exact with
+    ``reduce`` on the equivalent dicts (property-tested).
     """
 
     name: str = "base"
@@ -49,6 +80,16 @@ class GradientReducer:
         self, grad_dicts: Sequence[Mapping[str, np.ndarray]]
     ) -> Dict[str, np.ndarray]:
         raise NotImplementedError
+
+    def reduce_flat(
+        self, data: np.ndarray, boundaries: Sequence[int] = None
+    ) -> np.ndarray:
+        """Combine ``(ranks, size)`` flat rows into one flat buffer."""
+        raise NotImplementedError
+
+    def reduce_arena(self, arena) -> np.ndarray:
+        """Combine a :class:`~repro.core.arena.GradientArena`'s rows."""
+        return self.reduce_flat(arena.data, arena.layout.boundaries())
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
@@ -68,6 +109,12 @@ class SumReducer(GradientReducer):
             for n in names
         }
 
+    def reduce_flat(self, data, boundaries=None):
+        # Axis-0 accumulation order per element is identical to the
+        # per-layer dict sums, so this is bit-exact with ``reduce``.
+        total = _flat_sum(data, boundaries)
+        return total.astype(data.dtype)
+
 
 class AverageReducer(GradientReducer):
     """Mean across ranks (Sum with an implicit 1/N learning-rate factor)."""
@@ -83,6 +130,11 @@ class AverageReducer(GradientReducer):
             ).astype(grad_dicts[0][n].dtype)
             for n in names
         }
+
+    def reduce_flat(self, data, boundaries=None):
+        total = _flat_sum(data, boundaries)
+        total /= data.shape[0]
+        return total.astype(data.dtype)
 
 
 class AdasumReducer(GradientReducer):
@@ -125,6 +177,16 @@ class AdasumReducer(GradientReducer):
             out[name] = combined[offset : offset + sizes[name]].reshape(shapes[name])
             offset += sizes[name]
         return out
+
+    def reduce_flat(self, data, boundaries=None):
+        n = data.shape[0]
+        if self.tree and n & (n - 1):
+            raise ValueError(f"tree Adasum needs power-of-two ranks, got {n}")
+        # Whole-model mode ignores layer boundaries (one flat vector).
+        bounds = boundaries if self.per_layer else None
+        if self.tree:
+            return adasum_tree_flat(data, bounds)
+        return adasum_linear_flat(data, bounds)
 
     def __repr__(self) -> str:
         return f"AdasumReducer(per_layer={self.per_layer}, tree={self.tree})"

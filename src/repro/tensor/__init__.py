@@ -22,6 +22,13 @@ Public API
 
 from repro.tensor.tensor import Tensor, tensor, no_grad, is_grad_enabled
 from repro.tensor import functional
+from repro.tensor.functional import (
+    clear_kernel_caches,
+    kernel_cache_stats,
+    kernel_specialization_enabled,
+    set_kernel_specialization,
+    tune_allocator,
+)
 from repro.tensor.gradcheck import gradcheck, numerical_gradient
 
 __all__ = [
@@ -30,6 +37,11 @@ __all__ = [
     "no_grad",
     "is_grad_enabled",
     "functional",
+    "clear_kernel_caches",
+    "kernel_cache_stats",
+    "kernel_specialization_enabled",
+    "set_kernel_specialization",
+    "tune_allocator",
     "gradcheck",
     "numerical_gradient",
 ]

@@ -13,15 +13,19 @@ Figure 1, loss meters) plug in without touching the training loop.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+import copy
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.comm.tracing import CommTracer
+from repro.core.arena import GradientArena
 from repro.core.distributed_optimizer import DistributedOptimizer
 from repro.core.orthogonality import OrthogonalityProbe
 from repro.data.sampler import BatchIterator, ShardedSampler
 from repro.nn.module import Module
+from repro.tensor import set_kernel_specialization, tune_allocator
 from repro.train.metrics import Meter
 from repro.train.simclock import TrainingTimeModel
 
@@ -41,6 +45,35 @@ def compute_grads(
         name: np.array(p.grad, copy=True) for name, p in model.named_parameters()
     }
     return float(loss.data), grads
+
+
+def compute_grads_into(
+    model: Module,
+    loss_fn: Callable,
+    xb: np.ndarray,
+    yb: np.ndarray,
+    out: Mapping[str, np.ndarray],
+    accumulate: bool = False,
+) -> float:
+    """Forward + backward writing gradients into preallocated buffers.
+
+    The zero-copy variant of :func:`compute_grads`: ``out`` maps layer
+    names to destination arrays (typically
+    :meth:`~repro.core.arena.GradientArena.views`).  With
+    ``accumulate=True`` gradients add into the destinations instead of
+    overwriting (local gradient accumulation).  Returns the loss value.
+    """
+    model.zero_grad()
+    logits = model(xb)
+    loss = loss_fn(logits, yb)
+    loss.backward()
+    for name, p in model.named_parameters():
+        dest = out[name]
+        if accumulate:
+            dest += p.grad
+        else:
+            np.copyto(dest, p.grad)
+    return float(loss.data)
 
 
 class ParallelTrainer:
@@ -75,6 +108,25 @@ class ParallelTrainer:
         Optional :class:`~repro.train.simclock.TrainingTimeModel` that
         stamps trace durations; without it events are zero-duration
         (ordering only).
+    parallel_ranks:
+        Execute the simulated ranks' forward/backward passes
+        concurrently on a thread pool over per-rank model replicas
+        (NumPy's BLAS kernels release the GIL).  Each rank writes only
+        its own arena row and the reduction always runs after a barrier
+        in fixed rank order, so results are bit-identical to serial
+        execution.  Models whose forward pass mutates shared state in a
+        rank-order-dependent way (registered buffers such as BatchNorm
+        running stats, or active Dropout consuming a shared RNG) are
+        rejected, since serial execution orders those effects.
+    specialize_kernels:
+        Allow validated single-GEMM conv kernels inside ``train_step``
+        (on by default; scoped to the step and restored after).  The
+        specialized kernels are accepted per shape only after a
+        byte-identity probe against the einsum reference, but probing
+        itself perturbs allocator state, which on some geometries
+        changes the bytes of *unrelated* contractions later in the
+        process.  Pass ``False`` when a training run must replay a
+        historical byte-for-byte trajectory.
     """
 
     def __init__(
@@ -90,9 +142,12 @@ class ParallelTrainer:
         seed: int = 0,
         tracer: Optional[CommTracer] = None,
         time_model: Optional[TrainingTimeModel] = None,
+        parallel_ranks: bool = False,
+        specialize_kernels: bool = True,
     ):
         if accumulation < 1:
             raise ValueError("accumulation must be >= 1")
+        tune_allocator()
         self.model = model
         self.loss_fn = loss_fn
         self.dist_opt = dist_opt
@@ -108,6 +163,45 @@ class ParallelTrainer:
         self.tracer = tracer
         self.time_model = time_model
         self.sim_time = 0.0
+        # Flat-buffer gradient pipeline: every rank's gradients live in
+        # one preallocated contiguous row; reduction runs flat kernels.
+        self.arena = GradientArena.from_model(model, self.num_ranks)
+        self._use_arena_step = hasattr(dist_opt, "step_arena")
+        # Opt the hot training loop into validated kernel specialization
+        # (scoped to train_step; see docs/performance.md for why this is
+        # not on globally).
+        self.specialize_kernels = specialize_kernels
+        self.parallel_ranks = parallel_ranks
+        self._replicas: List[Module] = []
+        self._executor: Optional[ThreadPoolExecutor] = None
+        if parallel_ranks:
+            self._check_parallel_safe(model)
+            # Rank 0 computes on the shared model; other ranks get
+            # replicas re-synced from it at the start of every step.
+            self._replicas = [model] + [
+                copy.deepcopy(model) for _ in range(self.num_ranks - 1)
+            ]
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.num_ranks,
+                thread_name_prefix="rank",
+            )
+
+    @staticmethod
+    def _check_parallel_safe(model: Module) -> None:
+        """Reject models whose forward pass has rank-order-dependent effects."""
+        if any(True for _ in model.named_buffers()):
+            raise ValueError(
+                "parallel_ranks=True requires a model without registered "
+                "buffers: running stats update in rank order under serial "
+                "execution, which threads cannot reproduce"
+            )
+        for mod in model.modules():
+            if type(mod).__name__ == "Dropout" and getattr(mod, "p", 0.0) > 0.0:
+                raise ValueError(
+                    "parallel_ranks=True requires inactive dropout (p == 0): "
+                    "serial ranks consume the dropout RNG in rank order, "
+                    "which threads cannot reproduce"
+                )
 
     @property
     def effective_batch(self) -> int:
@@ -128,21 +222,51 @@ class ParallelTrainer:
 
     def train_step(self, rank_indices: Sequence[np.ndarray]) -> float:
         """One synchronous update from per-rank sample indices."""
-        grad_dicts: List[Dict[str, np.ndarray]] = []
-        losses = []
-        for idx in rank_indices:
-            loss, grads = self._rank_gradient(idx)
-            losses.append(loss)
-            grad_dicts.append(grads)
+        prior = set_kernel_specialization(self.specialize_kernels)
+        try:
+            return self._train_step(rank_indices)
+        finally:
+            set_kernel_specialization(prior)
+
+    def _train_step(self, rank_indices: Sequence[np.ndarray]) -> float:
+        if self.parallel_ranks and len(rank_indices) > 1:
+            losses = self._compute_parallel(rank_indices)
+        else:
+            losses = [
+                self._rank_gradient(rank, idx, self.model)
+                for rank, idx in enumerate(rank_indices)
+            ]
+        # Zero-copy per-rank views for instrumentation; the reduction
+        # itself runs flat over the arena rows.
+        grad_dicts = [self.arena.views(rank) for rank in range(len(rank_indices))]
         if self.probe is not None:
             self.probe.record(grad_dicts, step=self.global_step)
         if self.tracer is not None:
             self._trace_step(grad_dicts)
-        self.dist_opt.step(grad_dicts)
+        if self._use_arena_step and len(rank_indices) == self.num_ranks:
+            self.dist_opt.step_arena(self.arena)
+        else:
+            self.dist_opt.step(grad_dicts)
         self.global_step += 1
         mean_loss = float(np.mean(losses))
         self.loss_meter.update(mean_loss)
         return mean_loss
+
+    def _compute_parallel(self, rank_indices: Sequence[np.ndarray]) -> List[float]:
+        """Concurrent per-rank forward/backward over model replicas.
+
+        Replicas are re-synced from the shared model before the fan-out;
+        each rank writes exclusively into its own arena row and the
+        barrier (result collection in rank order) precedes any
+        reduction, making the step bit-identical to serial execution.
+        """
+        for replica in self._replicas[1:]:
+            replica.copy_params_from(self.model)
+        futures = [
+            self._executor.submit(self._rank_gradient, rank, idx, self._replicas[rank])
+            for rank, idx in enumerate(rank_indices)
+        ]
+        return [f.result() for f in futures]
 
     def _trace_step(self, grad_dicts: Sequence[Dict[str, np.ndarray]]) -> None:
         """Record one compute + one allreduce event per simulated rank.
@@ -167,20 +291,25 @@ class ParallelTrainer:
                                label=self.dist_opt.op.value)
         self.sim_time = t2
 
-    def _rank_gradient(self, idx: np.ndarray) -> Tuple[float, Dict[str, np.ndarray]]:
-        """One rank's (possibly accumulated) local gradient."""
+    def _rank_gradient(self, rank: int, idx: np.ndarray, model: Module) -> float:
+        """One rank's (possibly accumulated) local gradient, written
+        straight into the rank's arena row; returns the loss."""
+        views = self.arena.views(rank)
         if self.accumulation == 1:
-            return compute_grads(self.model, self.loss_fn, self.x[idx], self.y[idx])
-        total: Dict[str, np.ndarray] = {}
+            return compute_grads_into(
+                model, self.loss_fn, self.x[idx], self.y[idx], views
+            )
         losses = []
         for k in range(self.accumulation):
             sub = idx[k * self.microbatch : (k + 1) * self.microbatch]
-            loss, grads = compute_grads(self.model, self.loss_fn, self.x[sub], self.y[sub])
-            losses.append(loss)
-            for name, g in grads.items():
-                if name in total:
-                    total[name] += g
-                else:
-                    total[name] = g
-        inv = 1.0 / self.accumulation
-        return float(np.mean(losses)), {n: g * inv for n, g in total.items()}
+            losses.append(
+                compute_grads_into(
+                    model, self.loss_fn, self.x[sub], self.y[sub], views,
+                    accumulate=k > 0,
+                )
+            )
+        # Scale in place on the flat row — no per-layer dict of scaled
+        # copies; NumPy's promotion keeps float32 * python-float exact.
+        row = self.arena.row(rank)
+        np.multiply(row, 1.0 / self.accumulation, out=row)
+        return float(np.mean(losses))

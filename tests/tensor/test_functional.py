@@ -232,3 +232,61 @@ class TestEmbeddingDropout:
         out = F.dropout(x, 0.5, training=True, rng=rng)
         out.sum().backward()
         np.testing.assert_allclose((x.grad > 0), (out.data > 0))
+
+
+class TestKernelSpecialization:
+    """The opt-in validated-GEMM switch (see docs/performance.md)."""
+
+    def test_off_by_default(self):
+        from repro.tensor import kernel_specialization_enabled
+
+        assert kernel_specialization_enabled() is False
+
+    def test_set_returns_prior_and_restores(self):
+        from repro.tensor import (
+            kernel_specialization_enabled,
+            set_kernel_specialization,
+        )
+
+        prior = set_kernel_specialization(True)
+        try:
+            assert prior is False
+            assert kernel_specialization_enabled() is True
+            assert set_kernel_specialization(True) is True
+        finally:
+            set_kernel_specialization(False)
+        assert kernel_specialization_enabled() is False
+
+    def test_specialized_conv_bit_equal_and_verdicts_cached(self, rng):
+        from repro.tensor import (
+            clear_kernel_caches,
+            kernel_cache_stats,
+            set_kernel_specialization,
+        )
+
+        x = Tensor(rng.standard_normal((2, 3, 8, 8)).astype(np.float32),
+                   requires_grad=True)
+        w = Tensor(rng.standard_normal((4, 3, 3, 3)).astype(np.float32),
+                   requires_grad=True)
+        out_ref = F.conv2d(x, w, padding=1)
+        out_ref.sum().backward()
+        gx_ref, gw_ref = x.grad.copy(), w.grad.copy()
+
+        x.grad = None
+        w.grad = None
+        clear_kernel_caches()
+        prior = set_kernel_specialization(True)
+        try:
+            out = F.conv2d(x, w, padding=1)
+            out.sum().backward()
+            # Accepted or rejected, every per-shape verdict comes from a
+            # byte-identity probe, so results never change.
+            assert out.data.tobytes() == out_ref.data.tobytes()
+            assert x.grad.tobytes() == gx_ref.tobytes()
+            assert w.grad.tobytes() == gw_ref.tobytes()
+            stats = kernel_cache_stats()
+            assert stats["gemm_verdicts"]["entries"] > 0
+        finally:
+            set_kernel_specialization(prior)
+        clear_kernel_caches()
+        assert kernel_cache_stats()["gemm_verdicts"]["entries"] == 0
