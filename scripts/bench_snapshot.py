@@ -128,6 +128,50 @@ def build_ops():
             return lambda: trainer.train_step(indices)
         return setup
 
+    def _elastic_trainer(schedule=None, n=4096):
+        from repro.elastic import ElasticTrainer
+        from repro.models import MLP
+        erng = np.random.default_rng(0)
+        x = erng.standard_normal((n, 8)).astype(np.float32)
+        y = (x @ erng.standard_normal((8, 3))).argmax(axis=1)
+        model = MLP((8, 16, 3), rng=np.random.default_rng(0))
+        return ElasticTrainer(
+            model, nn.CrossEntropyLoss(), lambda ps: SGD(ps, 0.1), x, y,
+            microbatch=4, num_ranks=8, op=ReduceOpType.ADASUM, seed=0,
+            schedule=schedule, timeout=10.0,
+        )
+
+    def elastic_step_setup():
+        # One clean elastic step: serial gradients + the Adasum tree run
+        # as a real collective on the simulated 8-rank cluster.
+        trainer = _elastic_trainer()
+        state = {"epoch": 0}
+        trainer.iterator.begin_epoch(0)
+        trainer._step_with_recovery()  # warm
+
+        def thunk():
+            if not trainer.iterator.has_next():
+                state["epoch"] += 1
+                trainer.iterator.begin_epoch(state["epoch"])
+            trainer._step_with_recovery()
+        return thunk
+
+    def elastic_recovery_setup():
+        # The recovery path end-to-end: a rank is killed mid-reduction,
+        # the supervisor classifies/evicts/rolls back/rebuilds 8 -> 7
+        # and retries the step to its first post-recovery commit.  The
+        # delta vs elastic_step_8r is the recovery-path overhead.
+        from repro.elastic import ElasticSchedule
+
+        def thunk():
+            trainer = _elastic_trainer(
+                schedule=ElasticSchedule().kill(0, 3), n=64
+            )
+            trainer.train_epoch(0, max_steps=1)
+            assert trainer.num_ranks == 7 and trainer.recovery_seconds
+        thunk()  # validate once before timing
+        return thunk
+
     return [
         ("pairwise_adasum_1m", pairwise_setup),
         ("adasum_tree_16r_64k", tree_setup),
@@ -138,6 +182,8 @@ def build_ops():
         ("lenet_train_step_r4_parallel", train_step_setup(_lenet_trainer, True)),
         ("minibert_train_step_r4", train_step_setup(_minibert_trainer, False)),
         ("minibert_train_step_r4_parallel", train_step_setup(_minibert_trainer, True)),
+        ("elastic_step_8r", elastic_step_setup),
+        ("elastic_recovery_8to7", elastic_recovery_setup),
     ]
 
 
@@ -181,7 +227,7 @@ def main(argv=None) -> int:
     for name, setup in ops:
         try:
             thunk = setup()
-        except (TypeError, NotImplementedError, AttributeError) as exc:
+        except (TypeError, NotImplementedError, AttributeError, ImportError) as exc:
             print(f"  skip {name}: {type(exc).__name__}: {exc}")
             continue
         mean, stddev, n = bench_op(thunk, per_op_budget)

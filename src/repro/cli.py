@@ -96,6 +96,20 @@ def _production(fast: bool) -> str:
     return format_table(["configuration", "accuracy"], r.rows())
 
 
+def _elastic_recovery(fast: bool) -> str:
+    r = experiments.run_elastic_recovery(fast=fast)
+    header = (
+        f"{r.epochs} epochs x {r.samples_per_epoch} samples each "
+        f"(equal budget; every sample exactly once per epoch)\n"
+        f"final-loss gap, kills vs failure-free: {r.loss_gap:.4f}\n"
+    )
+    return header + format_table(
+        ["run", "world", "final loss", "test acc", "recoveries",
+         "max recovery (ms)"],
+        r.rows(),
+    )
+
+
 EXPERIMENTS: Dict[str, Tuple[Callable[[bool], str], str]] = {
     "fig1": (_fig1, "per-layer gradient orthogonality (ResNet + BERT)"),
     "fig2": (_fig2, "error vs exact-Hessian sequential emulation"),
@@ -107,6 +121,8 @@ EXPERIMENTS: Dict[str, Tuple[Callable[[bool], str], str]] = {
     "table3": (_table3, "BERT algorithmic efficiency (4 variants)"),
     "table4": (_table4, "BERT system efficiency at 64/256/512 GPUs"),
     "production": (_production, "§5.5 production LSTM proxy"),
+    "elastic_recovery": (_elastic_recovery,
+                         "rank failures vs failure-free at equal sample budget"),
 }
 
 
@@ -210,17 +226,128 @@ def _trace_main(argv) -> int:
     return status
 
 
+def _elastic_main(argv) -> int:
+    """``python -m repro elastic``: elastic training run with injected kills."""
+    from repro import nn
+    from repro.core import ReduceOpType
+    from repro.models import MLP
+    from repro.optim import SGD
+    from repro.elastic import ElasticSchedule, ElasticTrainer, StragglerPolicy
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro elastic",
+        description="Train a small classifier elastically on the simulated "
+                    "cluster: ranks killed mid-run are evicted, the world "
+                    "re-shards, and training continues at an equal sample "
+                    "budget.  See docs/elastic.md.",
+    )
+    parser.add_argument("--ranks", type=int, default=8)
+    parser.add_argument("--epochs", type=int, default=3)
+    parser.add_argument("--samples", type=int, default=480)
+    parser.add_argument("--microbatch", type=int, default=4)
+    parser.add_argument("--lr", type=float, default=0.2)
+    parser.add_argument("--op", choices=("adasum", "sum", "average"),
+                        default="adasum")
+    parser.add_argument("--fp16", action="store_true",
+                        help="fp16 wire format with dynamic loss scaling")
+    parser.add_argument("--kill", action="append", default=[],
+                        metavar="STEP:RANK",
+                        help="kill global RANK during the reduction of STEP "
+                             "(repeatable, e.g. --kill 3:2 --kill 9:0)")
+    parser.add_argument("--straggle", default=None, metavar="RANK:FACTOR",
+                        help="persistently delay RANK's sends by FACTOR")
+    parser.add_argument("--straggler-policy", choices=("wait", "drop"),
+                        default="wait")
+    parser.add_argument("--min-ranks", type=int, default=1)
+    parser.add_argument("--checkpoint", default=None,
+                        help="write periodic .npz checkpoints here")
+    parser.add_argument("--checkpoint-every", type=int, default=5,
+                        help="committed steps between checkpoints")
+    parser.add_argument("--resume", default=None,
+                        help="resume from a checkpoint (any saved world size)")
+    parser.add_argument("--timeout", type=float, default=10.0)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    schedule = ElasticSchedule()
+    for spec in args.kill:
+        try:
+            step_s, rank_s = spec.split(":")
+            schedule.kill(int(step_s), int(rank_s))
+        except ValueError:
+            parser.error(f"--kill expects STEP:RANK, got {spec!r}")
+    if args.straggle is not None:
+        try:
+            rank_s, factor_s = args.straggle.split(":")
+            schedule.delay(int(rank_s), float(factor_s))
+        except ValueError:
+            parser.error(f"--straggle expects RANK:FACTOR, got {args.straggle!r}")
+    have_faults = bool(args.kill) or args.straggle is not None
+
+    rng = np.random.default_rng(args.seed)
+    x = rng.standard_normal((args.samples, 10)).astype(np.float32)
+    y = (x @ rng.standard_normal((10, 3))).argmax(axis=1)
+    model = MLP((10, 32, 3), rng=np.random.default_rng(args.seed))
+
+    from repro.comm import NetworkModel
+    network = (
+        NetworkModel(alpha=1e-6, beta=2e-9, gamma=0.0, name="lossy")
+        if args.straggle is not None else None
+    )
+    trainer = ElasticTrainer(
+        model, nn.CrossEntropyLoss(), lambda ps: SGD(ps, lr=args.lr), x, y,
+        microbatch=args.microbatch, num_ranks=args.ranks,
+        op=ReduceOpType[args.op.upper()], fp16=args.fp16, seed=args.seed,
+        schedule=schedule if have_faults else None,
+        straggler=StragglerPolicy(mode=args.straggler_policy),
+        network=network, timeout=args.timeout, min_ranks=args.min_ranks,
+        checkpoint_path=args.checkpoint,
+        checkpoint_every=args.checkpoint_every if args.checkpoint else None,
+    )
+    start_epoch = 0
+    if args.resume is not None:
+        saved = trainer.restore_from_checkpoint(args.resume)
+        start_epoch = int(saved["iterator"]["epoch"])
+        print(f"resumed from {args.resume}: step {trainer.global_step}, "
+              f"epoch {start_epoch}, saved world "
+              f"{len(saved['global_ranks'])} -> current {trainer.num_ranks}")
+        if trainer.iterator.has_next():
+            loss = trainer.finish_epoch()
+            print(f"epoch {start_epoch} (resumed mid-epoch): loss {loss:.4f} "
+                  f"over {trainer.num_ranks} ranks")
+        start_epoch += 1
+
+    for epoch in range(start_epoch, args.epochs):
+        loss = trainer.train_epoch(epoch)
+        visited = len(set(trainer.epoch_visited))
+        print(f"epoch {epoch}: loss {loss:.4f} over {trainer.num_ranks} ranks "
+              f"({visited}/{len(x)} samples visited)")
+    for rec in trainer.recoveries:
+        print(f"  recovery at step {rec['step']}: {rec['kind']} of global "
+              f"ranks {rec['dead_global_ranks']} -> world {rec['world_size']}")
+    if trainer.recovery_seconds:
+        print(f"  recovery overhead: "
+              f"{max(trainer.recovery_seconds) * 1e3:.1f} ms max "
+              f"(kill to first post-recovery committed step)")
+    print(f"final world: {list(trainer.membership)} "
+          f"(simulated comm time {trainer.sim_time * 1e3:.3f} ms)")
+    return 0
+
+
 def main(argv=None) -> int:
     argv = sys.argv[1:] if argv is None else list(argv)
     if argv and argv[0] == "trace":
         return _trace_main(argv[1:])
+    if argv and argv[0] == "elastic":
+        return _elastic_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Reproduce a table/figure from the Adasum paper "
                     "(or 'trace' a collective; see 'trace --help').",
     )
     parser.add_argument("experiment",
-                        help="experiment id (or 'list' / 'all' / 'trace')")
+                        help="experiment id (or 'list' / 'all' / 'trace' / "
+                             "'elastic')")
     parser.add_argument("--full", action="store_true",
                         help="run the larger (slower) profile")
     args = parser.parse_args(argv)
@@ -229,6 +356,7 @@ def main(argv=None) -> int:
         for name, (_, desc) in EXPERIMENTS.items():
             print(f"  {name:12s} {desc}")
         print("  trace        traced collective run (python -m repro trace --help)")
+        print("  elastic      elastic training run (python -m repro elastic --help)")
         return 0
 
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]

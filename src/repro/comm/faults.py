@@ -26,11 +26,19 @@ can be reused across runs deterministically.
 from __future__ import annotations
 
 import threading
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 
 class RankKilledError(RuntimeError):
-    """Raised inside a simulated rank killed by a :class:`FaultPlan`."""
+    """Raised inside a simulated rank killed by a :class:`FaultPlan`.
+
+    ``rank`` identifies the killed rank so supervisors (the elastic
+    runtime) can react without parsing the message.
+    """
+
+    def __init__(self, message: str, rank: Optional[int] = None):
+        super().__init__(message)
+        self.rank = rank
 
 
 class FaultPlan:
@@ -115,6 +123,7 @@ class FaultPlan:
             if done >= self._kills[rank]:
                 raise RankKilledError(
                     f"rank {rank} killed by fault plan at comm op #{done + 1} "
-                    f"({op}, simulated t={clock:.6g})"
+                    f"({op}, simulated t={clock:.6g})",
+                    rank=rank,
                 )
             self._ops_done[rank] = done + 1

@@ -40,11 +40,55 @@ _POLL_SECONDS = 0.02
 
 
 class CommError(RuntimeError):
-    """Raised when a simulated run fails (stuck ranks identified)."""
+    """Raised when a simulated run fails (stuck ranks identified).
+
+    Structured attributes let callers (the elastic runtime's failure
+    classifier) react without string-matching the message:
+
+    * ``rank_errors`` — maps rank → the exception that rank raised on
+      its own (kills, timeouts, user errors); ranks that merely echoed
+      the abort of another rank's failure are excluded.
+    * ``hung_ranks`` — ranks whose threads never exited the run.
+    """
+
+    def __init__(self, message: str = ""):
+        super().__init__(message)
+        self.rank_errors: Dict[int, BaseException] = {}
+        self.hung_ranks: List[int] = []
+
+    @property
+    def killed_ranks(self) -> List[int]:
+        """Ranks that died to an injected :class:`RankKilledError`."""
+        return sorted(
+            r for r, e in self.rank_errors.items() if isinstance(e, RankKilledError)
+        )
+
+    @property
+    def timeout_ranks(self) -> List[int]:
+        """Ranks whose blocking wait hit the run deadline."""
+        return sorted(
+            r for r, e in self.rank_errors.items() if isinstance(e, CommTimeoutError)
+        )
 
 
 class CommTimeoutError(CommError):
-    """A blocking wait exceeded the run deadline (diagnostics attached)."""
+    """A blocking wait exceeded the run deadline (diagnostics attached).
+
+    ``rank``/``op``/``peer`` identify the blocked wait structurally
+    (``peer`` is ``None`` for barriers).
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        rank: Optional[int] = None,
+        op: Optional[str] = None,
+        peer: Optional[int] = None,
+    ):
+        super().__init__(message)
+        self.rank = rank
+        self.op = op
+        self.peer = peer
 
 
 class _AbortError(RuntimeError):
@@ -429,7 +473,8 @@ class Cluster:
                     raise CommTimeoutError(
                         f"rank {comm.rank}: recv from rank {src} timed out after "
                         f"{self.timeout:.3g}s wall clock (simulated "
-                        f"t={comm.clock:.6g}); {self._stuck_snapshot()}"
+                        f"t={comm.clock:.6g}); {self._stuck_snapshot()}",
+                        rank=comm.rank, op="recv", peer=src,
                     )
                 try:
                     return q.get(timeout=min(_POLL_SECONDS, remaining))
@@ -457,7 +502,8 @@ class Cluster:
                 raise CommTimeoutError(
                     f"rank {comm.rank}: barrier timed out after {self.timeout:.3g}s "
                     f"wall clock (simulated t={comm.clock:.6g}); "
-                    f"{self._stuck_snapshot()}"
+                    f"{self._stuck_snapshot()}",
+                    rank=comm.rank, op="barrier",
                 )
             try:
                 return grp.barrier.wait(timeout=remaining)
@@ -474,7 +520,8 @@ class Cluster:
                     f"rank {comm.rank}: barrier desync — gave up after "
                     f"{self.timeout:.3g}s with {grp.barrier.n_waiting}/{parties} "
                     f"ranks arrived (simulated t={comm.clock:.6g}); "
-                    f"{self._stuck_snapshot()}"
+                    f"{self._stuck_snapshot()}",
+                    rank=comm.rank, op="barrier",
                 ) from None
         finally:
             self._clear_blocked(comm.rank)
@@ -580,8 +627,15 @@ class Cluster:
                     f"partial results discarded"
                 )
                 if errors:
-                    msg += "; " + str(self._aggregate_error(errors))
-                raise CommError(msg)
+                    agg = self._aggregate_error(errors)
+                    msg += "; " + str(agg)
+                    hung_err = CommError(msg)
+                    hung_err.rank_errors = dict(agg.rank_errors)
+                    hung_err.__cause__ = agg.__cause__
+                else:
+                    hung_err = CommError(msg)
+                hung_err.hung_ranks = list(hung)
+                raise hung_err
         if errors:
             raise self._aggregate_error(errors)
         return results
@@ -598,6 +652,7 @@ class Cluster:
             else:
                 lines.append(f"rank {rank} failed: {exc!r}")
         err = CommError("; ".join(lines))
+        err.rank_errors = {r: e for r, e in primary}
         cause = (primary[0][1] if primary else errors[0][1])
         err.__cause__ = cause.__cause__ if isinstance(cause, CommError) and cause.__cause__ else cause
         return err

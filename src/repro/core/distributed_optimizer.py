@@ -51,13 +51,18 @@ class ReduceOpType(enum.Enum):
     ADASUM = "adasum"
 
 
-def make_reducer(op: ReduceOpType, per_layer: bool = True, tree: bool = True) -> GradientReducer:
+def make_reducer(
+    op: ReduceOpType,
+    per_layer: bool = True,
+    tree: bool = True,
+    allow_non_pow2: bool = False,
+) -> GradientReducer:
     """Build the reducer implementing ``op``."""
     if op is ReduceOpType.SUM:
         return SumReducer()
     if op is ReduceOpType.AVERAGE:
         return AverageReducer()
-    return AdasumReducer(per_layer=per_layer, tree=tree)
+    return AdasumReducer(per_layer=per_layer, tree=tree, allow_non_pow2=allow_non_pow2)
 
 
 def allreduce(
@@ -94,6 +99,9 @@ class DistributedOptimizer:
         step (valid for SGD-family optimizers; Figure 3 mode otherwise).
     per_layer, tree:
         Adasum application granularity and recursion order.
+    allow_non_pow2:
+        Accept non-power-of-two rank counts in tree mode (elastic
+        worlds); see :class:`~repro.core.reduction.AdasumReducer`.
     fp16:
         Communicate in fp16 with dynamic scaling (§4.4.1): each rank's
         contribution is scaled, cast to fp16 and checked for overflow
@@ -111,13 +119,19 @@ class DistributedOptimizer:
         per_layer: bool = True,
         tree: bool = True,
         fp16: bool = False,
+        allow_non_pow2: bool = False,
     ):
         if num_ranks < 1:
             raise ValueError("num_ranks must be >= 1")
         self.model = model
         self.num_ranks = num_ranks
         self.op = op
-        self.reducer = make_reducer(op, per_layer=per_layer, tree=tree)
+        self.per_layer = per_layer
+        self.tree = tree
+        self.allow_non_pow2 = allow_non_pow2
+        self.reducer = make_reducer(
+            op, per_layer=per_layer, tree=tree, allow_non_pow2=allow_non_pow2
+        )
         self.adasum_pre_optimizer = adasum_pre_optimizer
         self._param_names = [name for name, _ in model.named_parameters()]
         self._params = dict(model.named_parameters())
@@ -173,10 +187,11 @@ class DistributedOptimizer:
             # tensors anyway, so nothing is lost falling back here.
             self.step([arena.views(r) for r in range(self.num_ranks)])
             return
-        if self.post_optimizer_mode:
-            self._step_post_optimizer_arena(arena)
-        else:
-            self._step_pre_optimizer_arena(arena)
+        ctx = self.prepare_wire_arena(arena)
+        if ctx["skip"]:
+            return
+        combined = self.reducer.reduce_arena(arena)
+        self.apply_reduced_flat(combined, arena, ctx)
 
     def _communicate(self, dicts):
         """Apply the fp16 wire format to the tensors about to be reduced.
@@ -199,6 +214,105 @@ class DistributedOptimizer:
         ]
 
     # ------------------------------------------------------------------
+    # Split-step API: the elastic runtime separates the local half of a
+    # distributed step (delta rewrite, fp16 wire encode) from the apply
+    # half, because the reduction in between runs as a collective on the
+    # simulated cluster — and may fail, shrink the world, and be retried
+    # over a different participant set.
+    # ------------------------------------------------------------------
+    def prepare_wire_arena(self, arena, ranks: Optional[Sequence[int]] = None) -> Dict:
+        """Rewrite arena rows into wire tensors; returns the step context.
+
+        For post-optimizer Adasum (Figure 3) each participating rank's
+        row is rewritten in place from its local gradient to its
+        post-optimizer model delta (the model is restored to the shared
+        starting point afterwards).  With ``fp16`` the rows then pass
+        through the dynamic-scaling wire format in place; an overflow
+        backs the scale off and marks the step skipped.
+
+        ``ranks`` selects which arena rows participate (default: all) —
+        the hook the straggler drop policy uses.  The returned context
+        carries ``skip`` and, in post-optimizer mode, the starting
+        parameter values needed by :meth:`apply_reduced_flat`.
+        """
+        if ranks is None:
+            ranks = list(range(arena.num_ranks))
+        else:
+            ranks = list(ranks)
+        ctx: Dict = {"ranks": ranks, "starts": None, "skip": False}
+        if self.post_optimizer_mode:
+            ctx["starts"] = self._rewrite_rows_to_deltas(arena, ranks)
+        if self.fp16 and self._encode_wire_rows(arena, ranks):
+            ctx["skip"] = True
+            self.model.zero_grad()
+        return ctx
+
+    def apply_reduced_flat(self, combined: np.ndarray, arena, ctx: Optional[Dict] = None) -> None:
+        """Apply a reduced flat buffer produced from prepared arena rows."""
+        if ctx is not None and ctx.get("skip"):
+            return
+        if self.post_optimizer_mode:
+            starts = ctx["starts"] if ctx is not None else None
+            if starts is None:
+                raise ValueError(
+                    "post-optimizer apply needs the context returned by "
+                    "prepare_wire_arena (starting parameter values)"
+                )
+            delta = arena.unpack(combined, copy=False)
+            for name, p in self._params.items():
+                np.copyto(p.data, starts[name] + delta[name])
+        else:
+            views = arena.unpack(combined, copy=False)
+            for name in self._param_names:
+                self._params[name].grad = views[name]
+            assert self.optimizer is not None
+            self.optimizer.step()
+        self.model.zero_grad()
+
+    def _rewrite_rows_to_deltas(self, arena, ranks: Sequence[int]) -> Dict[str, np.ndarray]:
+        """Figure 3 local half: turn each rank's gradient row into its
+        post-optimizer model delta, in place; returns the start params."""
+        starts = {name: p.data.copy() for name, p in self._params.items()}
+        for rank in ranks:
+            views = arena.views(rank)
+            for name, p in self._params.items():
+                np.copyto(p.data, starts[name])
+                p.grad = views[name]
+            self.rank_optimizers[rank].step()
+            # The local gradient is consumed; its row becomes the delta.
+            for name, p in self._params.items():
+                np.subtract(p.data, starts[name], out=views[name])
+        # Leave the model at the shared starting point until apply.
+        for name, p in self._params.items():
+            np.copyto(p.data, starts[name])
+        self.model.zero_grad()
+        return starts
+
+    def _encode_wire_rows(self, arena, ranks: Sequence[int]) -> bool:
+        """fp16 wire format in place on flat rows; returns True to skip.
+
+        Elementwise identical to the dict codec path (scale → fp16 cast
+        → overflow check → decode): scaling a contiguous row is the same
+        float32-times-scalar multiply the per-layer views would see.
+        """
+        scale_used = self._scaler.scale_value
+        overflow = False
+        encoded = []
+        with np.errstate(over="ignore"):
+            for r in ranks:
+                enc = (arena.row(r) * scale_used).astype(np.float16)
+                if not np.isfinite(enc).all():
+                    overflow = True
+                encoded.append(enc)
+        if self._scaler.update(overflow):
+            self.skipped_steps += 1
+            return True
+        inv = 1.0 / scale_used
+        for r, enc in zip(ranks, encoded):
+            np.multiply(enc.astype(np.float32), inv, out=arena.row(r))
+        return False
+
+    # ------------------------------------------------------------------
     def _step_pre_optimizer(self, grad_dicts) -> None:
         """allreduce(gradients) then one shared optimizer update."""
         grad_dicts = self._communicate(grad_dicts)
@@ -210,36 +324,6 @@ class DistributedOptimizer:
             self._params[name].grad = combined[name]
         assert self.optimizer is not None
         self.optimizer.step()
-        self.model.zero_grad()
-
-    def _step_pre_optimizer_arena(self, arena) -> None:
-        """Flat path: reduce rows, hand zero-copy grad views to the optimizer."""
-        combined = self.reducer.reduce_arena(arena)
-        views = arena.unpack(combined, copy=False)
-        for name in self._param_names:
-            self._params[name].grad = views[name]
-        assert self.optimizer is not None
-        self.optimizer.step()
-        self.model.zero_grad()
-
-    def _step_post_optimizer_arena(self, arena) -> None:
-        """Figure 3 over flat buffers: the arena rows are rewritten in
-        place from local gradients to post-optimizer model deltas, then
-        reduced flat."""
-        starts = {name: p.data.copy() for name, p in self._params.items()}
-        for rank in range(self.num_ranks):
-            views = arena.views(rank)
-            for name, p in self._params.items():
-                np.copyto(p.data, starts[name])
-                p.grad = views[name]
-            self.rank_optimizers[rank].step()
-            # The local gradient is consumed; its row becomes the delta.
-            for name, p in self._params.items():
-                np.subtract(p.data, starts[name], out=views[name])
-        combined = self.reducer.reduce_arena(arena)
-        delta = arena.unpack(combined, copy=False)
-        for name, p in self._params.items():
-            np.copyto(p.data, starts[name] + delta[name])
         self.model.zero_grad()
 
     def _step_post_optimizer(self, grad_dicts) -> None:

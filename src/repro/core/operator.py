@@ -305,6 +305,58 @@ def adasum_tree(grads: Sequence[np.ndarray]) -> np.ndarray:
     return level[0]
 
 
+def largest_pow2_below(n: int) -> int:
+    """Largest power of two strictly less than ``n`` (``n >= 2``)."""
+    if n < 2:
+        raise ValueError(f"need n >= 2, got {n}")
+    p = 1 << (n.bit_length() - 1)
+    return p if p < n else p // 2
+
+
+def adasum_tree_any(grads: Sequence[np.ndarray]) -> np.ndarray:
+    """Binary-tree Adasum for *any* rank count (elastic world geometry).
+
+    A power-of-two count reduces exactly like :func:`adasum_tree`.  A
+    non-power-of-two count ``n`` splits at the largest power of two
+    ``p < n``::
+
+        Adasum(g[0:n]) = Adasum(Adasum(g[0:p]), Adasum(g[p:n]))
+
+    so every power-of-two block is bit-exact against the reference
+    :func:`adasum_tree` on that block, and shrunk worlds (e.g. 8 -> 5
+    after three rank failures) keep a well-defined tree geometry.  For
+    ``n = 5`` this is ``Adasum(adasum_tree(g[0:4]), g[4])``.
+    """
+    n = len(grads)
+    if n == 0:
+        raise ValueError("adasum_tree_any needs at least one gradient")
+    if n & (n - 1) == 0:
+        return adasum_tree(grads)
+    p = largest_pow2_below(n)
+    return adasum(adasum_tree_any(grads[:p]), adasum_tree_any(grads[p:]))
+
+
+def adasum_tree_any_flat(
+    data: np.ndarray, boundaries: Sequence[int] = None
+) -> np.ndarray:
+    """Flat-buffer :func:`adasum_tree_any` over ``(ranks, size)`` rows.
+
+    Power-of-two counts dispatch to the fast :func:`adasum_tree_flat`
+    kernel; the non-power-of-two combine applies :func:`adasum_flat` in
+    the same recursion order as :func:`adasum_tree_any`, so results are
+    bit-exact with the dict path on equivalent per-layer inputs.
+    """
+    n = data.shape[0]
+    if n == 0:
+        raise ValueError("adasum_tree_any_flat needs at least one gradient row")
+    if n & (n - 1) == 0:
+        return adasum_tree_flat(data, boundaries)
+    p = largest_pow2_below(n)
+    left = adasum_tree_any_flat(data[:p], boundaries)
+    right = adasum_tree_any_flat(data[p:], boundaries)
+    return adasum_flat(left, right, boundaries, out=left)
+
+
 def adasum_linear(grads: Sequence[np.ndarray]) -> np.ndarray:
     """Linear (left-fold) application — the "ring" variant of §4.2.3.
 
@@ -319,13 +371,18 @@ def adasum_linear(grads: Sequence[np.ndarray]) -> np.ndarray:
 
 
 def adasum_per_layer(
-    grad_dicts: Sequence[Mapping[str, np.ndarray]], tree: bool = True
+    grad_dicts: Sequence[Mapping[str, np.ndarray]],
+    tree: bool = True,
+    allow_non_pow2: bool = False,
 ) -> Dict[str, np.ndarray]:
     """Apply Adasum independently per layer (paper Section 3.6).
 
     ``grad_dicts[r]`` maps layer name → gradient on rank ``r``.  The
     per-layer application adapts to each layer's own orthogonality
-    instead of the whole flattened model's.
+    instead of the whole flattened model's.  ``allow_non_pow2`` selects
+    the elastic :func:`adasum_tree_any` geometry so shrunk worlds with a
+    non-power-of-two rank count still reduce (power-of-two counts are
+    unchanged bit for bit).
     """
     if not grad_dicts:
         raise ValueError("need at least one rank's gradients")
@@ -333,7 +390,10 @@ def adasum_per_layer(
     for d in grad_dicts[1:]:
         if list(d.keys()) != names:
             raise ValueError("ranks disagree on layer names/order")
-    combine = adasum_tree if tree else adasum_linear
+    if tree:
+        combine = adasum_tree_any if allow_non_pow2 else adasum_tree
+    else:
+        combine = adasum_linear
     return {name: combine([d[name] for d in grad_dicts]) for name in names}
 
 

@@ -25,6 +25,8 @@ from repro.core.operator import (
     adasum_linear_flat,
     adasum_per_layer,
     adasum_tree,
+    adasum_tree_any,
+    adasum_tree_any_flat,
     adasum_tree_flat,
 )
 
@@ -148,29 +150,47 @@ class AdasumReducer(GradientReducer):
     tree:
         Binary-tree recursion (AdasumRVH order); ``False`` uses the
         linear/"ring" order (§4.2.3 ablation).
+    allow_non_pow2:
+        Accept non-power-of-two rank counts in tree mode via the elastic
+        geometry (:func:`~repro.core.operator.adasum_tree_any`), which
+        splits at the largest power of two below ``n``.  Power-of-two
+        counts stay bit-exact with the strict tree.  Off by default so
+        accidental odd worlds still fail loudly in non-elastic code.
     """
 
     name = "adasum"
     post_optimizer = True
 
-    def __init__(self, per_layer: bool = True, tree: bool = True):
+    def __init__(
+        self,
+        per_layer: bool = True,
+        tree: bool = True,
+        allow_non_pow2: bool = False,
+    ):
         self.per_layer = per_layer
         self.tree = tree
+        self.allow_non_pow2 = allow_non_pow2
 
     def reduce(self, grad_dicts):
         names = _check_consistent(grad_dicts)
         n = len(grad_dicts)
-        if self.tree and n & (n - 1):
+        if self.tree and n & (n - 1) and not self.allow_non_pow2:
             raise ValueError(f"tree Adasum needs power-of-two ranks, got {n}")
         if self.per_layer:
-            return adasum_per_layer(grad_dicts, tree=self.tree)
+            return adasum_per_layer(
+                grad_dicts, tree=self.tree, allow_non_pow2=self.allow_non_pow2
+            )
         # Whole-model: flatten, combine, unflatten.
         shapes = {name: grad_dicts[0][name].shape for name in names}
         sizes = {name: grad_dicts[0][name].size for name in names}
         flats = [
             np.concatenate([d[name].reshape(-1) for name in names]) for d in grad_dicts
         ]
-        combined = adasum_tree(flats) if self.tree else adasum_linear(flats)
+        if self.tree:
+            tree_fn = adasum_tree_any if self.allow_non_pow2 else adasum_tree
+            combined = tree_fn(flats)
+        else:
+            combined = adasum_linear(flats)
         out: Dict[str, np.ndarray] = {}
         offset = 0
         for name in names:
@@ -180,13 +200,18 @@ class AdasumReducer(GradientReducer):
 
     def reduce_flat(self, data, boundaries=None):
         n = data.shape[0]
-        if self.tree and n & (n - 1):
+        if self.tree and n & (n - 1) and not self.allow_non_pow2:
             raise ValueError(f"tree Adasum needs power-of-two ranks, got {n}")
         # Whole-model mode ignores layer boundaries (one flat vector).
         bounds = boundaries if self.per_layer else None
         if self.tree:
+            if self.allow_non_pow2:
+                return adasum_tree_any_flat(data, bounds)
             return adasum_tree_flat(data, bounds)
         return adasum_linear_flat(data, bounds)
 
     def __repr__(self) -> str:
-        return f"AdasumReducer(per_layer={self.per_layer}, tree={self.tree})"
+        return (
+            f"AdasumReducer(per_layer={self.per_layer}, tree={self.tree}, "
+            f"allow_non_pow2={self.allow_non_pow2})"
+        )

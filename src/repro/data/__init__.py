@@ -21,7 +21,7 @@ from repro.data.synthetic import (
     train_test_split,
 )
 from repro.data.text_like import SyntheticTextCorpus, mask_tokens
-from repro.data.sampler import ShardedSampler, BatchIterator
+from repro.data.sampler import BatchIterator, ElasticBatchIterator, ShardedSampler
 
 __all__ = [
     "make_mnist_like",
@@ -32,4 +32,5 @@ __all__ = [
     "mask_tokens",
     "ShardedSampler",
     "BatchIterator",
+    "ElasticBatchIterator",
 ]

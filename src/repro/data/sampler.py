@@ -29,12 +29,37 @@ class ShardedSampler:
         self.num_ranks = num_ranks
         self.seed = seed
 
-    def epoch_shards(self, epoch: int) -> List[np.ndarray]:
-        """Per-rank index arrays for ``epoch`` (equal length, disjoint)."""
+    def epoch_order(self, epoch: int) -> np.ndarray:
+        """The full epoch permutation — depends only on ``seed + epoch``,
+        never on the rank count, which is what makes resharding to a new
+        world size deterministic and comparable across runs."""
         rng = np.random.default_rng(self.seed + epoch)
-        order = rng.permutation(self.n_samples)
-        usable = (self.n_samples // self.num_ranks) * self.num_ranks
-        return [order[r:usable:self.num_ranks] for r in range(self.num_ranks)]
+        return rng.permutation(self.n_samples)
+
+    def epoch_shards(self, epoch: int, drop_tail: bool = True) -> List[np.ndarray]:
+        """Per-rank index arrays for ``epoch`` (disjoint).
+
+        With ``drop_tail`` (default, the historical behaviour) the
+        ``n_samples % num_ranks`` leftover indices are dropped so every
+        shard has equal length; ``drop_tail=False`` deals *every* index,
+        leaving the first ``n_samples % num_ranks`` shards one longer —
+        the union of the shards is then exactly the full index set.
+        """
+        order = self.epoch_order(epoch)
+        if drop_tail:
+            usable = (self.n_samples // self.num_ranks) * self.num_ranks
+            return [order[r:usable:self.num_ranks] for r in range(self.num_ranks)]
+        return [order[r::self.num_ranks] for r in range(self.num_ranks)]
+
+    def reshard(self, num_ranks: int) -> "ShardedSampler":
+        """A sampler over the same samples and seed for a new world size.
+
+        Because :meth:`epoch_order` ignores the rank count, the resharded
+        sampler deals the *same* epoch permutation to ``num_ranks`` ranks
+        — the elastic runtime uses this when the world shrinks so the
+        survivors cover the failed ranks' samples deterministically.
+        """
+        return ShardedSampler(self.n_samples, num_ranks, seed=self.seed)
 
 
 class BatchIterator:
@@ -60,3 +85,118 @@ class BatchIterator:
         for step in range(steps):
             lo, hi = step * self.microbatch, (step + 1) * self.microbatch
             yield step, [shard[lo:hi] for shard in shards]
+
+
+class ElasticBatchIterator:
+    """Batch iteration that survives mid-epoch world-size changes.
+
+    Instead of fixing per-rank shards up front, a cursor walks the
+    world-size-independent epoch permutation
+    (:meth:`ShardedSampler.epoch_order`); each step deals the next
+    ``num_ranks * microbatch`` indices round-robin to the current ranks.
+    Because progress is a position in the *shared* order, resharding
+    mid-epoch (``reshard``) redistributes only the not-yet-consumed
+    samples — everything already committed stays visited, everything
+    after the cursor is covered by the new world, and no index is seen
+    twice.
+
+    For a static world whose ``num_ranks * microbatch`` divides
+    ``n_samples`` the dealt batches are *identical* to
+    :class:`BatchIterator`'s: step ``s``'s rank-``r`` batch is
+    ``order[s*R*b + r : (s+1)*R*b : R]`` under both schemes.
+
+    ``next_step()`` peeks the upcoming per-rank index arrays without
+    consuming them; ``commit()`` advances the cursor.  The split is what
+    lets the elastic runtime *retry* a failed step over a shrunk world:
+    uncommitted indices are re-dealt to the survivors.
+
+    With ``drop_tail=False`` (the default here, unlike
+    :class:`BatchIterator`) the final short chunk of an epoch is still
+    dealt — trailing ranks may receive fewer or zero indices — so every
+    sample is visited exactly once per epoch.
+    """
+
+    def __init__(
+        self,
+        n_samples: int,
+        microbatch: int,
+        num_ranks: int,
+        seed: int = 0,
+        drop_tail: bool = False,
+    ):
+        if microbatch < 1:
+            raise ValueError("microbatch must be >= 1")
+        if num_ranks < 1:
+            raise ValueError("num_ranks must be >= 1")
+        if n_samples < 1:
+            raise ValueError("need at least one sample")
+        self.n_samples = n_samples
+        self.microbatch = microbatch
+        self.num_ranks = num_ranks
+        self.seed = seed
+        self.drop_tail = drop_tail
+        self.epoch = 0
+        self.cursor = 0
+        self._order = self._permute(0)
+
+    def _permute(self, epoch: int) -> np.ndarray:
+        return np.random.default_rng(self.seed + epoch).permutation(self.n_samples)
+
+    # -- epoch / world lifecycle ---------------------------------------
+    def begin_epoch(self, epoch: int) -> None:
+        """Reset the cursor onto ``epoch``'s permutation."""
+        self.epoch = epoch
+        self.cursor = 0
+        self._order = self._permute(epoch)
+
+    def reshard(self, num_ranks: int) -> None:
+        """Change the world size; takes effect at the next ``next_step``."""
+        if num_ranks < 1:
+            raise ValueError("num_ranks must be >= 1")
+        self.num_ranks = num_ranks
+
+    # -- iteration -----------------------------------------------------
+    @property
+    def take(self) -> int:
+        """Indices consumed per committed step at the current world size."""
+        return self.num_ranks * self.microbatch
+
+    def remaining(self) -> int:
+        return len(self._order) - self.cursor
+
+    def has_next(self) -> bool:
+        rem = self.remaining()
+        return rem >= self.take if self.drop_tail else rem > 0
+
+    def next_step(self) -> List[np.ndarray]:
+        """Peek the upcoming per-rank index arrays (no cursor movement)."""
+        if not self.has_next():
+            raise ValueError("epoch exhausted; call begin_epoch first")
+        chunk = self._order[self.cursor : self.cursor + self.take]
+        return [chunk[r :: self.num_ranks] for r in range(self.num_ranks)]
+
+    def commit(self) -> None:
+        """Consume the indices most recently returned by ``next_step``."""
+        self.cursor = min(self.cursor + self.take, len(self._order))
+
+    def steps_per_epoch(self) -> int:
+        """Steps left in a full epoch at the current world size."""
+        if self.drop_tail:
+            return self.n_samples // self.take
+        return -(-self.n_samples // self.take)
+
+    # -- snapshot support ----------------------------------------------
+    def state(self) -> dict:
+        """Progress as plain values (for checkpoints / in-memory snapshots)."""
+        return {
+            "epoch": int(self.epoch),
+            "cursor": int(self.cursor),
+            "num_ranks": int(self.num_ranks),
+        }
+
+    def restore(self, state: dict) -> None:
+        """Resume from a :meth:`state` snapshot (rebuilds the epoch order)."""
+        self.epoch = int(state["epoch"])
+        self.num_ranks = int(state["num_ranks"])
+        self._order = self._permute(self.epoch)
+        self.cursor = int(state["cursor"])

@@ -1,0 +1,118 @@
+"""The elastic reduction, run as a real collective on the simulated transport.
+
+The non-elastic trainer reduces arena rows with in-process kernels
+(:meth:`GradientReducer.reduce_arena`); the elastic runtime must instead
+run the reduction *through the cluster*, because the synchronization
+point is where failures bite: an injected kill, a hang, or a straggler
+delay all surface inside :meth:`Cluster.run` here and nowhere else.
+
+Bit-exactness contract (tested in ``tests/elastic/test_collective.py``):
+
+* Adasum tree mode runs pairwise divide-and-conquer over the
+  participants — rank ``lo`` combines its subtree with the subtree
+  received from rank ``lo + p`` via ``adasum_flat`` — which reproduces
+  :func:`~repro.core.operator.adasum_tree_any_flat` (and therefore the
+  reference ``adasum_tree`` for power-of-two counts) bit for bit,
+  because both recursions split at the same point and
+  ``adasum_flat``'s float64 accumulation is deterministic.
+* Sum / Average / linear-Adasum gather the participant rows to the
+  subgroup root in rank order and apply the reducer's own
+  ``reduce_flat`` on the stacked rows — trivially identical to the
+  in-process path.
+
+Only the subgroup root ends up with the combined row (the supervisor
+applies it centrally); a broadcast would only add simulated latency.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.comm.transport import Cluster, GroupComm
+from repro.core.operator import adasum_flat, largest_pow2_below
+from repro.core.reduction import AdasumReducer, GradientReducer
+
+
+def _tree_combine(sub, acc: np.ndarray, bounds, lo: int, hi: int) -> np.ndarray:
+    """Divide-and-conquer Adasum over subgroup ranks [lo, hi).
+
+    Every rank walks the same recursion but acts only in its own half;
+    afterwards subgroup rank ``lo`` holds ``adasum_tree_any`` of the
+    participants' rows.  Non-power-of-two spans split at the largest
+    power of two below ``n``, exactly like
+    :func:`~repro.core.operator.adasum_tree_any`.
+    """
+    n = hi - lo
+    if n <= 1:
+        return acc
+    p = n // 2 if n & (n - 1) == 0 else largest_pow2_below(n)
+    if sub.rank < lo + p:
+        acc = _tree_combine(sub, acc, bounds, lo, lo + p)
+        if sub.rank == lo:
+            other = sub.recv(lo + p)
+            sub.compute(acc.nbytes, label="adasum")
+            adasum_flat(acc, other, bounds, out=acc)
+    else:
+        acc = _tree_combine(sub, acc, bounds, lo + p, hi)
+        if sub.rank == lo + p:
+            sub.send(acc, lo)
+    return acc
+
+
+def elastic_reduce(
+    cluster: Cluster,
+    data: np.ndarray,
+    boundaries: Optional[Sequence[int]],
+    reducer: GradientReducer,
+    participants: Optional[Sequence[int]] = None,
+) -> np.ndarray:
+    """Reduce ``data`` rows over ``cluster``; returns the combined row.
+
+    ``data`` is the ``(world, size)`` arena buffer of the current world
+    (``cluster.size`` rows).  ``participants`` restricts the reduction
+    to a subset of local ranks (straggler drops, empty tail batches);
+    non-participants run no communication at all.  Failures inside the
+    collective propagate as the :class:`CommError` of
+    :meth:`Cluster.run` for the supervisor to classify.
+    """
+    if data.shape[0] != cluster.size:
+        raise ValueError(
+            f"data has {data.shape[0]} rows for a {cluster.size}-rank cluster"
+        )
+    participants = (
+        sorted(participants) if participants is not None else list(range(cluster.size))
+    )
+    if not participants:
+        raise ValueError("need at least one participant")
+    part_set = set(participants)
+    adasum_tree_mode = isinstance(reducer, AdasumReducer) and reducer.tree
+    # Whole-model Adasum ignores layer boundaries (one flat block).
+    bounds = boundaries if getattr(reducer, "per_layer", True) else None
+
+    def fn(comm):
+        if comm.rank not in part_set:
+            return None
+        acc = data[comm.rank].copy()
+        if len(participants) == 1:
+            return acc
+        sub = GroupComm(comm, participants)
+        if adasum_tree_mode:
+            acc = _tree_combine(sub, acc, bounds, 0, sub.size)
+            return acc if sub.rank == 0 else None
+        # Gather rows to the subgroup root, reduce with the in-process
+        # kernel (rank order matches the row-stack order exactly).
+        if sub.rank == 0:
+            rows: List[np.ndarray] = [acc]
+            for src in range(1, sub.size):
+                rows.append(sub.recv(src))
+            sub.compute(acc.nbytes * (sub.size - 1), label=reducer.name)
+            return reducer.reduce_flat(np.stack(rows), boundaries)
+        sub.send(acc, 0)
+        return None
+
+    results = cluster.run(fn)
+    combined = results[participants[0]]
+    assert combined is not None, "subgroup root returned no reduction"
+    return combined

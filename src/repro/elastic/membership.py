@@ -1,0 +1,75 @@
+"""World membership across failures.
+
+Ranks are identified by their *original* global id (their index in the
+initial world), which stays stable no matter how many worlds come and
+go: when rank 3 of an 8-rank run dies, the survivors keep their ids
+``[0, 1, 2, 4, 5, 6, 7]`` and simply renumber their *local* positions
+in the rebuilt 7-rank cluster.  Keeping the stable ids is what makes
+optimizer-state re-partitioning and fault schedules (both keyed by
+global id) well-defined across membership changes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+class Membership:
+    """The set of live ranks, identified by original global ids."""
+
+    def __init__(self, world_size: int):
+        if world_size < 1:
+            raise ValueError("world_size must be >= 1")
+        self.initial_size = world_size
+        self.global_ranks: List[int] = list(range(world_size))
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Current world size (number of live ranks)."""
+        return len(self.global_ranks)
+
+    def __contains__(self, global_rank: int) -> bool:
+        return global_rank in self.global_ranks
+
+    def __iter__(self):
+        return iter(self.global_ranks)
+
+    def __repr__(self) -> str:
+        return f"Membership({self.global_ranks})"
+
+    # ------------------------------------------------------------------
+    def local_of(self, global_rank: int) -> int:
+        """Local index of ``global_rank`` in the current world."""
+        return self.global_ranks.index(global_rank)
+
+    def global_of(self, local_rank: int) -> int:
+        """Original global id of current local rank ``local_rank``."""
+        return self.global_ranks[local_rank]
+
+    def remove(self, dead: Iterable[int]) -> List[int]:
+        """Drop ranks from the world; returns the ids actually removed."""
+        dead = sorted(set(dead))
+        removed = [g for g in dead if g in self.global_ranks]
+        if len(removed) >= self.size:
+            raise ValueError(f"cannot remove all live ranks ({removed})")
+        self.global_ranks = [g for g in self.global_ranks if g not in removed]
+        return removed
+
+    def rank_map_from(self, snapshot_globals: Sequence[int]) -> List[int]:
+        """Map each current local rank to its slot in an older world.
+
+        ``snapshot_globals`` is the ``global_ranks`` list at
+        snapshot/checkpoint time; entry ``i`` of the result is the
+        snapshot optimizer slot whose state belongs to current local
+        rank ``i``.  Membership only shrinks, so every live rank must
+        appear in the snapshot — a missing id means the snapshot
+        predates that rank, which cannot happen.
+        """
+        lookup = {g: i for i, g in enumerate(snapshot_globals)}
+        missing = [g for g in self.global_ranks if g not in lookup]
+        if missing:
+            raise ValueError(
+                f"live ranks {missing} absent from snapshot world {list(snapshot_globals)}"
+            )
+        return [lookup[g] for g in self.global_ranks]

@@ -1,0 +1,70 @@
+"""In-memory last-good-step state for elastic recovery.
+
+A :class:`WorldSnapshot` is everything the supervisor needs to rewind
+to the last committed step and continue in a *different* world: model
+parameters and buffers, optimizer states keyed by the *global* rank ids
+that owned them, the fp16 scaler, and the trainer's progress cursor
+(epoch, position in the epoch permutation, counters).  It lives in
+memory — cheap enough to refresh every committed step — while the
+on-disk ``train/checkpoint.py`` format covers cross-process resume.
+
+Optimizer states are stored per global id so that after a shrink the
+survivors can be re-partitioned by membership
+(:meth:`~repro.elastic.membership.Membership.rank_map_from`): new local
+rank ``i`` receives the state of the global rank now sitting at
+position ``i``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.optim.optimizer import Optimizer
+
+
+def pack_optimizer_state(opt: Optimizer) -> dict:
+    """Deep-copy an optimizer's state (slot-indexed arrays + counter)."""
+    return {
+        "step_count": opt.step_count,
+        "state": {
+            idx: {key: np.array(arr, copy=True) for key, arr in slot.items()}
+            for idx, slot in opt.state.items()
+        },
+    }
+
+
+def restore_optimizer_state(opt: Optimizer, packed: dict) -> None:
+    """Load a :func:`pack_optimizer_state` copy into ``opt`` in place.
+
+    The packed arrays are copied again so the snapshot survives being
+    restored more than once (repeated failures rolling back to the same
+    snapshot).
+    """
+    opt.step_count = int(packed["step_count"])
+    opt.state.clear()
+    for idx, slot in packed["state"].items():
+        opt.state[int(idx)] = {
+            key: np.array(arr, copy=True) for key, arr in slot.items()
+        }
+
+
+@dataclasses.dataclass
+class WorldSnapshot:
+    """Last-good-step state, sufficient to rebuild any shrunk world."""
+
+    params: Dict[str, np.ndarray]
+    buffers: Dict[str, np.ndarray]
+    opt_globals: List[int]          # global id owning opt_states[i]
+    opt_states: List[dict]          # per-rank states (or one shared state)
+    shared_optimizer: bool          # pre-optimizer mode: one state total
+    skipped_steps: int
+    scaler: Optional[dict]          # fp16 dynamic-scaling state, or None
+    iterator: dict                  # ElasticBatchIterator.state()
+    global_step: int
+    commits: int
+    visited_len: int                # epoch_visited length at snapshot time
+    losses_len: int                 # epoch losses recorded at snapshot time
+    sim_time: float

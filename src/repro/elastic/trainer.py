@@ -1,0 +1,531 @@
+"""The elastic training supervisor.
+
+``ElasticTrainer`` drives the same synchronous data-parallel update as
+:class:`~repro.train.trainer.ParallelTrainer`, but the per-step
+reduction runs as a real collective on a simulated
+:class:`~repro.comm.transport.Cluster` — and when that collective fails
+(a killed rank, a hang), the supervisor recovers instead of aborting:
+
+1. **classify** the failure from the structured error attributes
+   (:func:`~repro.elastic.failures.classify_failure`);
+2. **evict** the dead ranks from the :class:`Membership`;
+3. **rewind** model, optimizer states, fp16 scaler, and data cursor to
+   the in-memory last-good-step :class:`WorldSnapshot`;
+4. **rebuild** the world for the new size — fresh cluster, a
+   ``DistributedOptimizer`` with ``allow_non_pow2=True`` (the Adasum
+   tree re-grows for any survivor count), a re-shaped
+   :class:`~repro.core.arena.GradientArena`, and per-rank optimizer
+   states re-partitioned from the snapshot by global id;
+5. **retry** the interrupted step: the uncommitted cursor region is
+   re-dealt over the survivors, so every sample is still visited
+   exactly once per epoch.
+
+Failure-free elastic runs are bit-identical to ``ParallelTrainer`` with
+the same seed (same serial gradient order, same dealt batches when the
+effective batch divides the dataset, and a transport collective that
+reproduces ``adasum_tree_flat`` exactly) — asserted in
+``tests/elastic/test_elastic_trainer.py``.
+
+Stragglers never raise; they are detected after successful steps by
+comparing per-rank send rates from the communication trace, and a
+``drop`` :class:`StragglerPolicy` excludes them from the next few
+reductions (their samples still advance the data budget) before
+re-probing.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.comm.faults import RankKilledError
+from repro.comm.netmodel import NetworkModel
+from repro.comm.transport import Cluster, CommError
+from repro.core.arena import GradientArena
+from repro.core.distributed_optimizer import DistributedOptimizer, ReduceOpType
+from repro.core.orthogonality import OrthogonalityProbe
+from repro.data.sampler import ElasticBatchIterator
+from repro.nn.module import Module
+from repro.tensor import set_kernel_specialization, tune_allocator
+from repro.train.checkpoint import (
+    load_checkpoint,
+    read_checkpoint_meta,
+    save_checkpoint,
+)
+from repro.train.metrics import Meter
+from repro.train.trainer import compute_grads_into
+
+from repro.elastic.collective import elastic_reduce
+from repro.elastic.failures import FailureReport, StragglerPolicy, classify_failure
+from repro.elastic.membership import Membership
+from repro.elastic.schedule import ElasticSchedule
+from repro.elastic.state import (
+    WorldSnapshot,
+    pack_optimizer_state,
+    restore_optimizer_state,
+)
+
+
+class ElasticTrainer:
+    """Failure-surviving data-parallel training over the simulated cluster.
+
+    Parameters mirror :class:`~repro.train.trainer.ParallelTrainer`
+    where they overlap; the elastic-specific ones:
+
+    schedule:
+        Optional :class:`ElasticSchedule` of step-indexed faults
+        (kills, drops, delays by global rank id).
+    straggler:
+        :class:`StragglerPolicy`; default waits (pure synchronous).
+    network:
+        :class:`NetworkModel` costing the collective's messages.  A
+        nonzero model is required for straggler *detection* (rates need
+        durations); correctness never depends on it.
+    timeout:
+        Wall-clock hang-detection budget per collective.
+    snapshot_every:
+        Committed steps between in-memory snapshots (1 = every step;
+        larger values trade rollback distance for snapshot cost).
+    checkpoint_path / checkpoint_every:
+        Optional on-disk checkpointing cadence (committed steps).
+    min_ranks:
+        Abort (re-raise) if recovery would shrink the world below this.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        loss_fn: Callable,
+        optimizer_factory: Callable,
+        x: np.ndarray,
+        y: np.ndarray,
+        microbatch: int,
+        num_ranks: int,
+        op: ReduceOpType = ReduceOpType.ADASUM,
+        adasum_pre_optimizer: bool = False,
+        per_layer: bool = True,
+        tree: bool = True,
+        fp16: bool = False,
+        seed: int = 0,
+        schedule: Optional[ElasticSchedule] = None,
+        straggler: Optional[StragglerPolicy] = None,
+        network: Optional[NetworkModel] = None,
+        timeout: float = 10.0,
+        snapshot_every: int = 1,
+        checkpoint_path=None,
+        checkpoint_every: Optional[int] = None,
+        min_ranks: int = 1,
+        probe: Optional[OrthogonalityProbe] = None,
+        specialize_kernels: bool = True,
+    ):
+        if microbatch < 1:
+            raise ValueError("microbatch must be >= 1")
+        if snapshot_every < 1:
+            raise ValueError("snapshot_every must be >= 1")
+        tune_allocator()
+        self.model = model
+        self.loss_fn = loss_fn
+        self.optimizer_factory = optimizer_factory
+        self.x, self.y = x, y
+        self.microbatch = microbatch
+        self.op = op
+        self.adasum_pre_optimizer = adasum_pre_optimizer
+        self.per_layer = per_layer
+        self.tree = tree
+        self.fp16 = fp16
+        self.seed = seed
+        self.schedule = schedule
+        self.straggler = straggler or StragglerPolicy()
+        self.network = network
+        self.timeout = timeout
+        self.snapshot_every = snapshot_every
+        self.checkpoint_path = checkpoint_path
+        self.checkpoint_every = checkpoint_every
+        self.min_ranks = min_ranks
+        self.probe = probe
+        self.specialize_kernels = specialize_kernels
+
+        self.membership = Membership(num_ranks)
+        self.iterator = ElasticBatchIterator(
+            len(x), microbatch, num_ranks, seed=seed, drop_tail=False
+        )
+        self.loss_meter = Meter("loss")
+        self.global_step = 0
+        self.commits = 0
+        self.sim_time = 0.0
+        self.epoch_visited: List[int] = []
+        self.recoveries: List[Dict] = []
+        self.recovery_seconds: List[float] = []
+        self._epoch_losses: List[float] = []
+        self._dropped: Dict[int, int] = {}   # global rank -> drop steps left
+        self._recovering_since: Optional[float] = None
+        self._snapshot: Optional[WorldSnapshot] = None
+
+        self._build_world()
+        self._take_snapshot()
+
+    # ------------------------------------------------------------------
+    # World lifecycle
+    # ------------------------------------------------------------------
+    def _build_world(self) -> None:
+        """(Re)build cluster, optimizer, and arena for the current world."""
+        size = self.membership.size
+        self.cluster = Cluster(
+            size, network=self.network, timeout=self.timeout, trace=True
+        )
+        self.dist_opt = DistributedOptimizer(
+            self.model,
+            self.optimizer_factory,
+            num_ranks=size,
+            op=self.op,
+            adasum_pre_optimizer=self.adasum_pre_optimizer,
+            per_layer=self.per_layer,
+            tree=self.tree,
+            fp16=self.fp16,
+            allow_non_pow2=True,
+        )
+        self.arena = GradientArena.from_model(self.model, size)
+        self.iterator.reshard(size)
+
+    @property
+    def num_ranks(self) -> int:
+        return self.membership.size
+
+    @property
+    def effective_batch(self) -> int:
+        return self.microbatch * self.membership.size
+
+    def steps_per_epoch(self) -> int:
+        return self.iterator.steps_per_epoch()
+
+    # ------------------------------------------------------------------
+    # Snapshot / rollback
+    # ------------------------------------------------------------------
+    def _take_snapshot(self) -> None:
+        d = self.dist_opt
+        if d.post_optimizer_mode:
+            opt_states = [pack_optimizer_state(o) for o in d.rank_optimizers]
+            shared = False
+        else:
+            opt_states = [pack_optimizer_state(d.optimizer)]
+            shared = True
+        self._snapshot = WorldSnapshot(
+            params={n: p.data.copy() for n, p in self.model.named_parameters()},
+            buffers={n: np.array(b, copy=True) for n, b in self.model.named_buffers()},
+            opt_globals=list(self.membership),
+            opt_states=opt_states,
+            shared_optimizer=shared,
+            skipped_steps=d.skipped_steps,
+            scaler=(
+                {
+                    "scale_value": d._scaler.scale_value,
+                    "clean_steps": d._scaler._clean_steps,
+                    "overflow_count": d._scaler.overflow_count,
+                }
+                if self.fp16 else None
+            ),
+            iterator=self.iterator.state(),
+            global_step=self.global_step,
+            commits=self.commits,
+            visited_len=len(self.epoch_visited),
+            losses_len=len(self._epoch_losses),
+            sim_time=self.sim_time,
+        )
+
+    def _restore_optimizers(self, snap: WorldSnapshot) -> None:
+        """Re-partition snapshot optimizer states onto the current world."""
+        d = self.dist_opt
+        d.skipped_steps = snap.skipped_steps
+        if self.fp16 and snap.scaler is not None:
+            d._scaler.scale_value = snap.scaler["scale_value"]
+            d._scaler._clean_steps = snap.scaler["clean_steps"]
+            d._scaler.overflow_count = snap.scaler["overflow_count"]
+        if snap.shared_optimizer:
+            restore_optimizer_state(d.optimizer, snap.opt_states[0])
+        else:
+            rank_map = self.membership.rank_map_from(snap.opt_globals)
+            for i, src in enumerate(rank_map):
+                restore_optimizer_state(d.rank_optimizers[i], snap.opt_states[src])
+
+    def _rollback_and_rebuild(self) -> None:
+        snap = self._snapshot
+        assert snap is not None, "no snapshot to roll back to"
+        params = dict(self.model.named_parameters())
+        for name, arr in snap.params.items():
+            np.copyto(params[name].data, arr)
+        buffers = dict(self.model.named_buffers())
+        for name, arr in snap.buffers.items():
+            np.copyto(buffers[name], arr)
+        self.model.zero_grad()
+        self.iterator.restore(snap.iterator)
+        self.global_step = snap.global_step
+        self.commits = snap.commits
+        self.sim_time = snap.sim_time
+        del self.epoch_visited[snap.visited_len:]
+        del self._epoch_losses[snap.losses_len:]
+        self._build_world()
+        self._restore_optimizers(snap)
+
+    # ------------------------------------------------------------------
+    # Failure handling
+    # ------------------------------------------------------------------
+    def _handle_failure(self, exc: BaseException) -> FailureReport:
+        report = classify_failure(exc)
+        size = self.membership.size
+        dead_global = sorted(
+            self.membership.global_of(r)
+            for r in report.dead_local_ranks
+            if 0 <= r < size
+        )
+        if not dead_global:
+            raise exc  # unclassifiable: nothing safe to evict
+        if size - len(dead_global) < self.min_ranks:
+            raise exc  # recovery would shrink below the floor
+        if self._recovering_since is None:
+            self._recovering_since = time.perf_counter()
+        removed = self.membership.remove(dead_global)
+        self._dropped = {
+            g: left for g, left in self._dropped.items() if g in self.membership
+        }
+        self.recoveries.append(
+            {
+                "step": self.global_step,
+                "kind": report.kind.value,
+                "dead_global_ranks": removed,
+                "world_size": self.membership.size,
+                "detail": report.detail,
+            }
+        )
+        self._rollback_and_rebuild()
+        return report
+
+    # ------------------------------------------------------------------
+    # Straggler policy
+    # ------------------------------------------------------------------
+    def _participants(self, active: Sequence[int]) -> List[int]:
+        """Active ranks minus currently-dropped stragglers (never empty)."""
+        excluded = {
+            self.membership.local_of(g)
+            for g in self._dropped
+            if g in self.membership
+        }
+        kept = [r for r in active if r not in excluded]
+        return kept or list(active)
+
+    def _update_stragglers(self, event_counts: Dict[int, int]) -> None:
+        """Detect stragglers from the step's trace; age drop counters."""
+        for g in list(self._dropped):
+            self._dropped[g] -= 1
+            if self._dropped[g] <= 0:
+                del self._dropped[g]  # re-probe next step
+        if self.straggler.mode != "drop" or self.cluster.tracer is None:
+            return
+        rates: Dict[int, float] = {}
+        for rank, seen in event_counts.items():
+            events = self.cluster.tracer.per_rank(rank)[seen:]
+            sends = [ev for ev in events if ev.op == "send"]
+            secs = sum(ev.duration for ev in sends)
+            nbytes = sum(ev.nbytes for ev in sends)
+            if secs > 0 and nbytes > 0:
+                rates[rank] = nbytes / secs
+        for local in self.straggler.detect(rates):
+            g = self.membership.global_of(local)
+            self._dropped[g] = self.straggler.drop_steps
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def train_epoch(self, epoch: int, max_steps: Optional[int] = None) -> float:
+        """One elastic epoch; returns the mean committed-step loss.
+
+        Survives any number of recoverable failures; each failed step is
+        retried over the shrunk world with the same data cursor.
+        """
+        self.iterator.begin_epoch(epoch)
+        self.epoch_visited = []
+        self._epoch_losses = []
+        self._take_snapshot()
+        while self.iterator.has_next() and (
+            max_steps is None or len(self._epoch_losses) < max_steps
+        ):
+            self._step_with_recovery()
+        return (
+            float(np.mean(self._epoch_losses)) if self._epoch_losses else float("nan")
+        )
+
+    def finish_epoch(self, max_steps: Optional[int] = None) -> float:
+        """Continue the *current* epoch from the cursor to its end.
+
+        For resuming mid-epoch after :meth:`restore_from_checkpoint`:
+        unlike :meth:`train_epoch` the permutation cursor is not reset,
+        so only the samples the saving run had not yet committed are
+        visited.
+        """
+        self.epoch_visited = []
+        self._epoch_losses = []
+        self._take_snapshot()
+        while self.iterator.has_next() and (
+            max_steps is None or len(self._epoch_losses) < max_steps
+        ):
+            self._step_with_recovery()
+        return (
+            float(np.mean(self._epoch_losses)) if self._epoch_losses else float("nan")
+        )
+
+    def _step_with_recovery(self) -> float:
+        attempts = 0
+        while True:
+            try:
+                return self._attempt_step()
+            except (CommError, RankKilledError) as exc:
+                if self.schedule is not None:
+                    # One-shot faults fired (or died with their target);
+                    # the retry must not re-kill the same step forever.
+                    self.schedule.consume(self.global_step)
+                attempts += 1
+                if attempts > self.membership.initial_size:
+                    raise
+                self._handle_failure(exc)
+
+    def _attempt_step(self) -> float:
+        prior = set_kernel_specialization(self.specialize_kernels)
+        try:
+            return self._attempt_step_inner()
+        finally:
+            set_kernel_specialization(prior)
+
+    def _attempt_step_inner(self) -> float:
+        step_id = self.global_step
+        size = self.membership.size
+        indices = self.iterator.next_step()
+        active = [r for r in range(size) if len(indices[r])]
+
+        # Phase 1 — compute: serial per-rank gradients on the shared
+        # model, written straight into the arena rows (same order and
+        # kernels as ParallelTrainer's serial path).
+        losses = [
+            compute_grads_into(
+                self.model, self.loss_fn, self.x[indices[r]], self.y[indices[r]],
+                self.arena.views(r),
+            )
+            for r in active
+        ]
+        if self.probe is not None:
+            self.probe.record(
+                [self.arena.views(r) for r in active], step=step_id
+            )
+
+        participants = self._participants(active)
+
+        # Phase 2 — wire + collective: local delta rewrite / fp16
+        # encode, then the reduction on the cluster (where faults bite).
+        ctx = self.dist_opt.prepare_wire_arena(self.arena, ranks=participants)
+        if not ctx["skip"]:
+            plan = (
+                self.schedule.plan_for(step_id, self.membership)
+                if self.schedule is not None else None
+            )
+            self.cluster.faults = plan
+            event_counts = {
+                r: len(self.cluster.tracer.per_rank(r)) for r in range(size)
+            }
+            try:
+                combined = elastic_reduce(
+                    self.cluster,
+                    self.arena.data,
+                    self.arena.layout.boundaries(),
+                    self.dist_opt.reducer,
+                    participants,
+                )
+            finally:
+                self.cluster.faults = None
+            if self.schedule is not None:
+                self.schedule.consume(step_id)
+            # Drop-and-renormalize: Adasum and Average renormalize by
+            # construction (they combine, not accumulate); a partial SUM
+            # must be scaled back up to the full world's magnitude.
+            if self.op is ReduceOpType.SUM and len(participants) < size:
+                combined = (combined * (size / len(participants))).astype(
+                    combined.dtype
+                )
+            # Phase 3 — apply centrally.
+            self.dist_opt.apply_reduced_flat(combined, self.arena, ctx)
+            self.sim_time += self.cluster.max_clock()
+            self._update_stragglers(event_counts)
+
+        # Commit: only now do the step's samples count as visited.
+        self.iterator.commit()
+        for r in active:
+            self.epoch_visited.extend(int(i) for i in indices[r])
+        self.global_step += 1
+        self.commits += 1
+        mean_loss = float(np.mean(losses))
+        self.loss_meter.update(mean_loss)
+        self._epoch_losses.append(mean_loss)
+        if self._recovering_since is not None:
+            self.recovery_seconds.append(time.perf_counter() - self._recovering_since)
+            self._recovering_since = None
+        if self.commits % self.snapshot_every == 0:
+            self._take_snapshot()
+        if (
+            self.checkpoint_path is not None
+            and self.checkpoint_every is not None
+            and self.commits % self.checkpoint_every == 0
+        ):
+            self.save_checkpoint()
+        return mean_loss
+
+    # ------------------------------------------------------------------
+    # Disk checkpoints
+    # ------------------------------------------------------------------
+    def save_checkpoint(self, path=None) -> None:
+        """Write a resumable on-disk checkpoint (model + optimizer + cursor)."""
+        path = path if path is not None else self.checkpoint_path
+        if path is None:
+            raise ValueError("no checkpoint path configured")
+        extra = {
+            "elastic": {
+                "iterator": self.iterator.state(),
+                "global_step": self.global_step,
+                "commits": self.commits,
+                "global_ranks": list(self.membership),
+                "initial_size": self.membership.initial_size,
+                "sim_time": self.sim_time,
+            }
+        }
+        save_checkpoint(path, self.model, dist_opt=self.dist_opt, extra=extra)
+
+    def restore_from_checkpoint(self, path) -> dict:
+        """Resume from a checkpoint written by :meth:`save_checkpoint`.
+
+        The checkpoint may come from a *larger* world: per-rank optimizer
+        states are re-partitioned onto the current membership by global
+        id (``rank_map``), the cursor resumes mid-epoch, and a fresh
+        in-memory snapshot is taken so the next failure rolls back here.
+        """
+        meta = read_checkpoint_meta(path)
+        saved = meta.get("extra", {}).get("elastic")
+        if saved is None:
+            raise ValueError(f"{path} is not an elastic checkpoint")
+        rank_map = None
+        if self.dist_opt.post_optimizer_mode:
+            saved_globals = list(saved["global_ranks"])
+            if all(g in saved_globals for g in self.membership):
+                # Same logical world (possibly shrunk): match by id.
+                rank_map = self.membership.rank_map_from(saved_globals)
+            else:
+                # Fresh world with different ids (e.g. restarted process
+                # resuming a survivor checkpoint): map positionally,
+                # wrapping if this world is larger than the saved one.
+                n_saved = len(saved_globals)
+                rank_map = [i % n_saved for i in range(self.membership.size)]
+        load_checkpoint(path, self.model, dist_opt=self.dist_opt, rank_map=rank_map)
+        self.iterator.restore(saved["iterator"])
+        self.iterator.reshard(self.membership.size)
+        self.global_step = int(saved["global_step"])
+        self.commits = int(saved["commits"])
+        self.sim_time = float(saved["sim_time"])
+        self._take_snapshot()
+        return saved

@@ -4,11 +4,12 @@ from repro.train.trainer import ParallelTrainer, compute_grads
 from repro.train.metrics import accuracy, Meter
 from repro.train.convergence import run_to_accuracy, ConvergenceResult
 from repro.train.simclock import TrainingTimeModel
-from repro.train.checkpoint import save_checkpoint, load_checkpoint
+from repro.train.checkpoint import load_checkpoint, read_checkpoint_meta, save_checkpoint
 
 __all__ = [
     "save_checkpoint",
     "load_checkpoint",
+    "read_checkpoint_meta",
     "ParallelTrainer",
     "compute_grads",
     "accuracy",

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import json
 import pathlib
-from typing import Dict, Union
+from typing import Dict, Sequence, Union
 
 import numpy as np
 
@@ -20,6 +20,14 @@ from repro.nn.module import Module
 from repro.optim.optimizer import Optimizer
 
 PathLike = Union[str, pathlib.Path]
+
+
+def _resolve(path: PathLike) -> PathLike:
+    # np.savez appends ".npz" to suffix-less paths; load the same file.
+    p = pathlib.Path(path)
+    if not p.exists() and p.suffix != ".npz" and p.with_suffix(p.suffix + ".npz").exists():
+        return p.with_suffix(p.suffix + ".npz")
+    return path
 
 
 def _pack_optimizer(opt: Optimizer, prefix: str, arrays: Dict[str, np.ndarray]) -> dict:
@@ -69,6 +77,14 @@ def save_checkpoint(
             "post_optimizer": dist_opt.post_optimizer_mode,
             "skipped_steps": dist_opt.skipped_steps,
             "fp16_scale": dist_opt._scaler.scale_value if dist_opt.fp16 else None,
+            "fp16_scaler": (
+                {
+                    "scale_value": dist_opt._scaler.scale_value,
+                    "clean_steps": dist_opt._scaler._clean_steps,
+                    "overflow_count": dist_opt._scaler.overflow_count,
+                }
+                if dist_opt.fp16 else None
+            ),
             "optimizers": [],
         }
         opts = dist_opt.rank_optimizers if dist_opt.post_optimizer_mode else [dist_opt.optimizer]
@@ -83,18 +99,37 @@ def save_checkpoint(
     np.savez(path, **arrays)
 
 
+def read_checkpoint_meta(path: PathLike) -> dict:
+    """The checkpoint's JSON metadata without loading any arrays.
+
+    Lets a resuming elastic run inspect the saved world (rank count,
+    ``extra`` progress state) *before* deciding the ``rank_map`` to load
+    optimizer states with.
+    """
+    with np.load(_resolve(path)) as arrays:
+        return json.loads(bytes(arrays["__meta__"]).decode("utf-8"))
+
+
 def load_checkpoint(
     path: PathLike,
     model: Module,
     dist_opt: DistributedOptimizer = None,
     optimizer: Optimizer = None,
+    rank_map: Sequence[int] = None,
 ) -> dict:
     """Restore a checkpoint in place; returns the ``extra`` dict.
 
     The model/optimizer objects must have the same architecture as at
     save time (mismatched names raise ``KeyError``).
+
+    ``rank_map`` loads an N-rank checkpoint into an M-rank ``dist_opt``
+    (elastic shrink/grow): entry ``i`` names the checkpoint optimizer
+    slot whose state becomes the target's rank-``i`` optimizer.  Without
+    it the rank counts must match exactly.  Only meaningful for
+    post-optimizer mode's per-rank states; a shared-optimizer checkpoint
+    needs no mapping.
     """
-    with np.load(path) as arrays:
+    with np.load(_resolve(path)) as arrays:
         meta = json.loads(bytes(arrays["__meta__"]).decode("utf-8"))
         params = dict(model.named_parameters())
         for key in arrays.files:
@@ -112,15 +147,36 @@ def load_checkpoint(
             dist_opt.skipped_steps = int(d["skipped_steps"])
             if dist_opt.fp16 and d["fp16_scale"] is not None:
                 dist_opt._scaler.scale_value = float(d["fp16_scale"])
+                scaler_meta = d.get("fp16_scaler")
+                if scaler_meta is not None:
+                    dist_opt._scaler._clean_steps = int(scaler_meta["clean_steps"])
+                    dist_opt._scaler.overflow_count = int(scaler_meta["overflow_count"])
             opts = (dist_opt.rank_optimizers if dist_opt.post_optimizer_mode
                     else [dist_opt.optimizer])
-            if len(opts) != len(d["optimizers"]):
-                raise ValueError(
-                    f"checkpoint has {len(d['optimizers'])} optimizer states, "
-                    f"target has {len(opts)}"
-                )
-            for i, (opt, om) in enumerate(zip(opts, d["optimizers"])):
-                _unpack_optimizer(opt, f"opt{i}", arrays, om)
+            n_saved = len(d["optimizers"])
+            if rank_map is not None:
+                if len(rank_map) != len(opts):
+                    raise ValueError(
+                        f"rank_map has {len(rank_map)} entries, target has "
+                        f"{len(opts)} optimizer slots"
+                    )
+                bad = [s for s in rank_map if not 0 <= s < n_saved]
+                if bad:
+                    raise ValueError(
+                        f"rank_map entries {bad} out of range for a checkpoint "
+                        f"with {n_saved} optimizer states"
+                    )
+                for i, src in enumerate(rank_map):
+                    _unpack_optimizer(opts[i], f"opt{src}", arrays,
+                                      d["optimizers"][src])
+            else:
+                if len(opts) != n_saved:
+                    raise ValueError(
+                        f"checkpoint has {n_saved} optimizer states, "
+                        f"target has {len(opts)}"
+                    )
+                for i, (opt, om) in enumerate(zip(opts, d["optimizers"])):
+                    _unpack_optimizer(opt, f"opt{i}", arrays, om)
         elif optimizer is not None:
             _unpack_optimizer(optimizer, "opt0", arrays, meta["opt"])
         return meta.get("extra", {})

@@ -1,0 +1,109 @@
+"""Structured error attributes on transport failures.
+
+A supervisor recovering from a failed collective must be able to learn
+*which* ranks died and *why* from typed attributes — ``rank_errors``,
+``hung_ranks``, ``killed_ranks``, per-exception ``.rank``/``.op``/
+``.peer`` — never by parsing the message string.
+"""
+
+import numpy as np
+import pytest
+
+from repro.comm.faults import FaultPlan, RankKilledError
+from repro.comm.transport import Cluster, CommError, CommTimeoutError
+
+pytestmark = pytest.mark.faults
+
+
+def _pingpong(comm):
+    # 0 <-> 1 exchange; higher ranks idle.
+    if comm.rank == 0:
+        comm.send(np.zeros(4, dtype=np.float32), 1)
+        return comm.recv(1)
+    if comm.rank == 1:
+        got = comm.recv(0)
+        comm.send(got, 0)
+    return None
+
+
+class TestKilledRankAttributes:
+    def test_rank_errors_names_the_victim(self):
+        plan = FaultPlan().kill_rank(1, after_ops=0)
+        cluster = Cluster(4, timeout=5.0, faults=plan)
+        with pytest.raises((CommError, RankKilledError)) as info:
+            cluster.run(_pingpong)
+        exc = info.value
+        if isinstance(exc, RankKilledError):
+            assert exc.rank == 1
+        else:
+            assert 1 in exc.rank_errors
+            assert isinstance(exc.rank_errors[1], RankKilledError)
+            assert exc.rank_errors[1].rank == 1
+            assert exc.killed_ranks == [1]
+
+    def test_cause_chain_reaches_originating_exception(self):
+        plan = FaultPlan().kill_rank(0, after_ops=0)
+        cluster = Cluster(2, timeout=5.0, faults=plan)
+        with pytest.raises((CommError, RankKilledError)) as info:
+            cluster.run(_pingpong)
+        exc = info.value
+        seen = []
+        while exc is not None:
+            seen.append(exc)
+            exc = exc.__cause__
+        assert any(isinstance(e, RankKilledError) for e in seen)
+
+    def test_application_error_exposed_without_string_matching(self):
+        class Boom(RuntimeError):
+            pass
+
+        def fn(comm):
+            if comm.rank == 2:
+                raise Boom("rank 2 application failure")
+            return _pingpong(comm)
+
+        cluster = Cluster(4, timeout=5.0)
+        with pytest.raises(Exception) as info:
+            cluster.run(fn)
+        exc = info.value
+        if isinstance(exc, CommError):
+            assert 2 in exc.rank_errors
+            assert isinstance(exc.rank_errors[2], Boom)
+        else:
+            assert isinstance(exc, Boom) or isinstance(exc.__cause__, Boom)
+
+
+class TestTimeoutAttributes:
+    def test_timeout_records_rank_op_peer(self):
+        # Rank 0 waits forever on rank 1, which never sends.
+        def fn(comm):
+            if comm.rank == 0:
+                return comm.recv(1)
+            return None
+
+        cluster = Cluster(2, timeout=0.5)
+        with pytest.raises(CommError) as info:
+            cluster.run(fn)
+        exc = info.value
+        timeouts = [e for e in exc.rank_errors.values()
+                    if isinstance(e, CommTimeoutError)]
+        if not timeouts and isinstance(exc, CommTimeoutError):
+            timeouts = [exc]
+        assert timeouts
+        t = timeouts[0]
+        assert t.rank == 0
+        assert t.op == "recv"
+        assert t.peer == 1
+
+    def test_timeout_ranks_property(self):
+        err = CommError("x")
+        err.rank_errors = {
+            3: CommTimeoutError("t", rank=3, op="recv", peer=1),
+            1: RankKilledError("k", rank=1),
+        }
+        assert err.timeout_ranks == [3]
+        assert err.killed_ranks == [1]
+
+    def test_hung_ranks_default_empty(self):
+        assert CommError("x").hung_ranks == []
+        assert CommError("x").rank_errors == {}

@@ -1,0 +1,147 @@
+"""Failure classification, straggler policy, and fault schedules.
+
+Classification must work from the structured error attributes that the
+transport attaches (``rank_errors``, ``hung_ranks``, ``.rank``) — never
+from string matching — including on real errors raised by a live
+cluster under fault injection.
+"""
+
+import numpy as np
+import pytest
+
+from repro.comm.faults import FaultPlan, RankKilledError
+from repro.comm.transport import Cluster, CommError, CommTimeoutError
+from repro.elastic import (
+    ElasticSchedule,
+    FailureKind,
+    Membership,
+    StragglerPolicy,
+    classify_failure,
+)
+
+pytestmark = pytest.mark.faults
+
+
+class TestClassifyFailure:
+    def test_kill_from_live_cluster(self):
+        # A real kill: classification must name the dead local rank.
+        plan = FaultPlan().kill_rank(2, after_ops=0)
+        cluster = Cluster(4, timeout=5.0, faults=plan)
+
+        def fn(comm):
+            if comm.rank == 0:
+                return comm.recv(2)
+            if comm.rank == 2:
+                comm.send(np.zeros(4, dtype=np.float32), 0)
+            return None
+
+        with pytest.raises((CommError, RankKilledError)) as excinfo:
+            cluster.run(fn)
+        report = classify_failure(excinfo.value)
+        assert report.kind is FailureKind.KILL
+        assert report.dead_local_ranks == [2]
+
+    def test_synthetic_kill_error(self):
+        err = CommError("boom")
+        err.rank_errors = {1: RankKilledError("killed", rank=1)}
+        report = classify_failure(err)
+        assert report.kind is FailureKind.KILL
+        assert report.dead_local_ranks == [1]
+
+    def test_hang_from_hung_ranks(self):
+        err = CommError("hung")
+        err.hung_ranks = [0, 3]
+        report = classify_failure(err)
+        assert report.kind is FailureKind.HANG
+        assert report.dead_local_ranks == [0, 3]
+
+    def test_timeout_suspects_are_waited_on_peers(self):
+        # Ranks 0 and 1 both timed out waiting on rank 2: the suspect is
+        # 2, not the blocked waiters.
+        err = CommError("timeouts")
+        err.rank_errors = {
+            0: CommTimeoutError("t", rank=0, op="recv", peer=2),
+            1: CommTimeoutError("t", rank=1, op="recv", peer=2),
+        }
+        report = classify_failure(err)
+        assert report.kind is FailureKind.HANG
+        assert report.dead_local_ranks == [2]
+
+    def test_direct_rank_killed_error(self):
+        report = classify_failure(RankKilledError("dead", rank=5))
+        assert report.kind is FailureKind.KILL
+        assert report.dead_local_ranks == [5]
+
+    def test_other_error_classified_error(self):
+        err = CommError("weird")
+        err.rank_errors = {1: ZeroDivisionError("x")}
+        report = classify_failure(err)
+        assert report.kind is FailureKind.ERROR
+        assert report.dead_local_ranks == [1]
+
+
+class TestStragglerPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StragglerPolicy(mode="nope")
+        with pytest.raises(ValueError):
+            StragglerPolicy(factor=1.0)
+        with pytest.raises(ValueError):
+            StragglerPolicy(drop_steps=0)
+
+    def test_wait_mode_never_flags(self):
+        policy = StragglerPolicy(mode="wait")
+        assert policy.detect({0: 1.0, 1: 100.0, 2: 100.0}) == []
+
+    def test_drop_flags_slow_rank(self):
+        policy = StragglerPolicy(mode="drop", factor=4.0)
+        rates = {0: 100.0, 1: 100.0, 2: 100.0, 3: 10.0}
+        assert policy.detect(rates) == [3]
+
+    def test_needs_three_ranks(self):
+        policy = StragglerPolicy(mode="drop", factor=4.0)
+        assert policy.detect({0: 100.0, 1: 1.0}) == []
+
+    def test_uniform_rates_clean(self):
+        policy = StragglerPolicy(mode="drop", factor=4.0)
+        assert policy.detect({r: 50.0 for r in range(8)}) == []
+
+
+class TestElasticSchedule:
+    def test_kill_translates_to_local_rank(self):
+        sched = ElasticSchedule().kill(3, 6)
+        m = Membership(8)
+        m.remove([0, 2])
+        plan = sched.plan_for(3, m)
+        assert plan is not None
+        # Global 6 sits at local 4 in [1, 3, 4, 5, 6, 7].
+        assert plan._kills == {4: 0}
+
+    def test_dead_target_skipped(self):
+        sched = ElasticSchedule().kill(3, 2)
+        m = Membership(8)
+        m.remove([2])
+        assert sched.plan_for(3, m) is None
+
+    def test_consume_retires_one_shot_faults(self):
+        sched = ElasticSchedule().kill(3, 1)
+        m = Membership(4)
+        assert sched.plan_for(3, m) is not None
+        sched.consume(3)
+        assert sched.plan_for(3, m) is None
+
+    def test_delay_persists_over_interval(self):
+        sched = ElasticSchedule().delay(1, 10.0, from_step=2, until_step=5)
+        m = Membership(4)
+        assert sched.plan_for(1, m) is None
+        for step in (2, 3, 4):
+            plan = sched.plan_for(step, m)
+            assert plan is not None and plan.delay_factor(1) == 10.0
+        assert sched.plan_for(5, m) is None
+        sched.consume(3)  # consume never touches delays
+        assert sched.plan_for(3, m) is not None
+
+    def test_wrong_step_is_clean(self):
+        sched = ElasticSchedule().kill(3, 1).drop(4, 0, 1)
+        m = Membership(4)
+        assert sched.plan_for(2, m) is None

@@ -1,0 +1,60 @@
+"""Membership bookkeeping: global ids survive any sequence of shrinks."""
+
+import pytest
+
+from repro.elastic import Membership
+
+
+class TestMembership:
+    def test_initial_identity(self):
+        m = Membership(4)
+        assert list(m) == [0, 1, 2, 3]
+        assert m.size == 4
+        assert all(m.local_of(g) == g for g in range(4))
+
+    def test_remove_renumbers_locals(self):
+        m = Membership(8)
+        removed = m.remove([3, 0, 6])
+        assert removed == [0, 3, 6]
+        assert list(m) == [1, 2, 4, 5, 7]
+        assert m.local_of(4) == 2
+        assert m.global_of(4) == 7
+        assert 3 not in m and 4 in m
+
+    def test_remove_unknown_ranks_ignored(self):
+        m = Membership(4)
+        assert m.remove([2, 9]) == [2]
+        assert list(m) == [0, 1, 3]
+
+    def test_cannot_remove_everyone(self):
+        m = Membership(2)
+        with pytest.raises(ValueError):
+            m.remove([0, 1])
+
+    def test_sequential_shrinks_compose(self):
+        m = Membership(8)
+        m.remove([2])
+        m.remove([5])
+        assert list(m) == [0, 1, 3, 4, 6, 7]
+        assert m.local_of(6) == 4
+
+    def test_rank_map_from_snapshot(self):
+        # Snapshot taken at world [0..7]; after evicting {0, 3}, new
+        # local i must read the snapshot slot of its global id.
+        m = Membership(8)
+        snapshot_globals = list(m)
+        m.remove([0, 3])
+        assert m.rank_map_from(snapshot_globals) == [1, 2, 4, 5, 6, 7]
+
+    def test_rank_map_from_smaller_snapshot(self):
+        # Snapshot taken *after* a shrink maps positionally.
+        m = Membership(8)
+        m.remove([0, 3])
+        snap = list(m)                # [1, 2, 4, 5, 6, 7]
+        m.remove([4])
+        assert m.rank_map_from(snap) == [0, 1, 3, 4, 5]
+
+    def test_rank_map_missing_rank_rejected(self):
+        m = Membership(4)
+        with pytest.raises(ValueError):
+            m.rank_map_from([0, 1, 2])  # live rank 3 absent

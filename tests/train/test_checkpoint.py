@@ -7,7 +7,12 @@ from repro import nn
 from repro.core import DistributedOptimizer, ReduceOpType
 from repro.models import MLP, ResNetCIFAR
 from repro.optim import Adam, SGD
-from repro.train import ParallelTrainer, load_checkpoint, save_checkpoint
+from repro.train import (
+    ParallelTrainer,
+    load_checkpoint,
+    read_checkpoint_meta,
+    save_checkpoint,
+)
 
 
 def _task(seed=0):
@@ -52,6 +57,18 @@ class TestBareOptimizer:
         for idx in opt.state:
             for key in opt.state[idx]:
                 np.testing.assert_array_equal(opt.state[idx][key], opt2.state[idx][key])
+
+    def test_suffixless_path_roundtrips(self, tmp_path):
+        # np.savez writes "ckpt" as "ckpt.npz"; loading and meta-reading
+        # by the original suffix-less path must find the same file.
+        model = MLP((6, 8, 2), rng=np.random.default_rng(0))
+        path = tmp_path / "ckpt"
+        save_checkpoint(path, model, extra={"epoch": 1})
+        assert read_checkpoint_meta(path)["extra"] == {"epoch": 1}
+        model2 = MLP((6, 8, 2), rng=np.random.default_rng(99))
+        assert load_checkpoint(path, model2) == {"epoch": 1}
+        for (_, p1), (_, p2) in zip(model.named_parameters(), model2.named_parameters()):
+            np.testing.assert_array_equal(p1.data, p2.data)
 
     def test_buffers_restored(self, tmp_path):
         m1 = ResNetCIFAR(n=1, width=4, rng=np.random.default_rng(0))
@@ -129,3 +146,89 @@ class TestDistributedOptimizer:
         dopt2 = DistributedOptimizer(model2, lambda ps: Adam(ps, 0.01), num_ranks=4)
         with pytest.raises(ValueError):
             load_checkpoint(path, model2, dist_opt=dopt2)
+
+    def test_fp16_dynamic_scaling_full_state_roundtrip(self, tmp_path):
+        # Not just the scale: the clean-step counter and overflow count
+        # must survive, or a resumed run re-doubles at the wrong step.
+        model = MLP((6, 8, 2), rng=np.random.default_rng(0))
+        tr, dopt = _trainer(model, fp16=True)
+        dopt._scaler.scale_value = 4096.0
+        dopt._scaler._clean_steps = 37
+        dopt._scaler.overflow_count = 5
+        dopt.skipped_steps = 5
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(path, model, dist_opt=dopt)
+        model2 = MLP((6, 8, 2), rng=np.random.default_rng(1))
+        _, dopt2 = _trainer(model2, fp16=True)
+        load_checkpoint(path, model2, dist_opt=dopt2)
+        assert dopt2._scaler.scale_value == 4096.0
+        assert dopt2._scaler._clean_steps == 37
+        assert dopt2._scaler.overflow_count == 5
+        assert dopt2.skipped_steps == 5
+
+
+def _dopt_ranks(model, num_ranks, fp16=False):
+    return DistributedOptimizer(
+        model, lambda ps: Adam(ps, 0.01), num_ranks=num_ranks,
+        op=ReduceOpType.ADASUM, fp16=fp16, allow_non_pow2=True,
+    )
+
+
+class TestRankMap:
+    """N-rank checkpoints loaded into M-rank runs (elastic shrink/grow)."""
+
+    def _trained_checkpoint(self, tmp_path, num_ranks=4):
+        model = MLP((6, 8, 2), rng=np.random.default_rng(0))
+        dopt = _dopt_ranks(model, num_ranks)
+        x, y = _task()
+        tr = ParallelTrainer(model, nn.CrossEntropyLoss(), dopt, x, y,
+                             microbatch=8, seed=0)
+        tr.train_epoch(0, max_steps=3)
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(path, model, dist_opt=dopt)
+        return path, dopt
+
+    def test_shrink_4_to_3_by_map(self, tmp_path):
+        path, dopt = self._trained_checkpoint(tmp_path)
+        model2 = MLP((6, 8, 2), rng=np.random.default_rng(1))
+        dopt2 = _dopt_ranks(model2, 3)
+        # Survivors are checkpoint slots 0, 2, 3.
+        load_checkpoint(path, model2, dist_opt=dopt2, rank_map=[0, 2, 3])
+        for i, src in enumerate([0, 2, 3]):
+            o1, o2 = dopt.rank_optimizers[src], dopt2.rank_optimizers[i]
+            assert o1.step_count == o2.step_count
+            for idx in o1.state:
+                for key in o1.state[idx]:
+                    np.testing.assert_array_equal(
+                        o1.state[idx][key], o2.state[idx][key]
+                    )
+
+    def test_grow_2_to_4_by_map(self, tmp_path):
+        path, dopt = self._trained_checkpoint(tmp_path, num_ranks=2)
+        model2 = MLP((6, 8, 2), rng=np.random.default_rng(1))
+        dopt2 = _dopt_ranks(model2, 4)
+        load_checkpoint(path, model2, dist_opt=dopt2, rank_map=[0, 1, 0, 1])
+        for i, src in enumerate([0, 1, 0, 1]):
+            assert (dopt2.rank_optimizers[i].step_count
+                    == dopt.rank_optimizers[src].step_count)
+
+    def test_map_length_mismatch_rejected(self, tmp_path):
+        path, _ = self._trained_checkpoint(tmp_path)
+        model2 = MLP((6, 8, 2), rng=np.random.default_rng(1))
+        dopt2 = _dopt_ranks(model2, 3)
+        with pytest.raises(ValueError):
+            load_checkpoint(path, model2, dist_opt=dopt2, rank_map=[0, 1])
+
+    def test_out_of_range_entry_rejected(self, tmp_path):
+        path, _ = self._trained_checkpoint(tmp_path)
+        model2 = MLP((6, 8, 2), rng=np.random.default_rng(1))
+        dopt2 = _dopt_ranks(model2, 3)
+        with pytest.raises(ValueError):
+            load_checkpoint(path, model2, dist_opt=dopt2, rank_map=[0, 1, 9])
+
+    def test_read_meta_without_loading(self, tmp_path):
+        from repro.train.checkpoint import read_checkpoint_meta
+        path, _ = self._trained_checkpoint(tmp_path)
+        meta = read_checkpoint_meta(path)
+        assert meta["dist"]["num_ranks"] == 4
+        assert len(meta["dist"]["optimizers"]) == 4
