@@ -10,8 +10,10 @@ import pytest
 
 from benchmarks.conftest import announce
 from repro.comm import Cluster, NetworkModel
+from repro.comm.fusion import layout_of
 from repro.core import allreduce_adasum_cluster
-from repro.core.adasum_rvh import adasum_rvh
+from repro.core.adasum_ring import adasum_ring, adasum_ring_flat
+from repro.core.adasum_rvh import adasum_rvh, adasum_rvh_flat
 from repro.experiments import run_fig4, validate_rvh_simulation
 from repro.utils import format_table
 
@@ -68,13 +70,51 @@ def test_fig4_trace_matches_cost_tracker(results_dir):
 
 
 def test_fig4_executed_allreduce_benchmark(benchmark):
-    """Time the actual Algorithm 1 execution (8 ranks, 64 KiB)."""
+    """Time the actual Algorithm 1 execution (8 ranks, 64 KiB).
+
+    Uses the flat entry point over raw rows — the arena form the
+    trainers feed — so the benchmark measures the collective, not
+    dict/layout packing.
+    """
     rng = np.random.default_rng(0)
     grads = [rng.standard_normal(16384).astype(np.float32) for _ in range(8)]
+    boundaries = list(range(0, 16384 + 2048, 2048))  # 8 fused "layers"
 
     def run():
-        out, _ = allreduce_adasum_cluster(grads)
-        return out
+        cluster = Cluster(8)
+        results = cluster.run(
+            adasum_rvh_flat, rank_args=[(g, boundaries) for g in grads]
+        )
+        return results[0]
 
     out = benchmark(run)
     assert np.isfinite(out).all()
+
+
+@pytest.mark.parametrize("ranks", [4, 8])
+def test_fig4_flat_entry_points_bit_exact(ranks):
+    """``adasum_rvh_flat``/``adasum_ring_flat`` over raw rows +
+    boundaries are bit-identical to the layout (dict-derived) paths."""
+    rng = np.random.default_rng(3)
+    named = [(f"l{i}", rng.standard_normal((32, 16)).astype(np.float32))
+             for i in range(6)]
+    layout = layout_of(named)
+    total = layout.total_size
+    grads = [rng.standard_normal(total).astype(np.float32)
+             for _ in range(ranks)]
+    boundaries = layout.boundaries()
+
+    for dict_fn, flat_fn in ((adasum_rvh, adasum_rvh_flat),
+                             (adasum_ring, adasum_ring_flat)):
+        via_layout = Cluster(ranks).run(
+            dict_fn, rank_args=[(g, layout) for g in grads]
+        )
+        via_flat = Cluster(ranks).run(
+            flat_fn, rank_args=[(g, boundaries) for g in grads]
+        )
+        for r in range(ranks):
+            np.testing.assert_array_equal(
+                via_layout[r].view(np.uint32), via_flat[r].view(np.uint32),
+                err_msg=f"{flat_fn.__name__} diverges from layout path "
+                        f"on rank {r}",
+            )

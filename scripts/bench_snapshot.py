@@ -17,9 +17,16 @@ same script usable on both sides of an optimisation.
 Usage::
 
     PYTHONPATH=src python scripts/bench_snapshot.py [--budget 90] \
-        [--out results/BENCH_PR2.json] [--baseline]
+        [--out results/BENCH_PR2.json] [--baseline] \
+        [--compare results/BENCH_PR3.json] [--ops op1,op2]
 
 ``--baseline`` forces this run to overwrite the baseline section.
+``--compare PRIOR.json`` is the perf guard: after timing, compare each
+shared op's mean against the prior snapshot and exit non-zero when any
+regresses by more than ``--regression-threshold`` (default 25%).
+``--ops`` restricts the run to a comma-separated subset (CI uses this
+to guard just the cheap kernels).  In compare mode nothing is written
+unless ``--out`` is given explicitly.
 """
 
 from __future__ import annotations
@@ -55,7 +62,14 @@ def _lenet_grad_dicts(num_ranks: int = 8):
     ]
 
 
-def _lenet_trainer(parallel_ranks: bool):
+_TRAINER_MODES = {
+    "serial": {},
+    "parallel": {"parallel_ranks": True},
+    "overlap": {"overlap": True, "bucket_cap_mb": 0.01},
+}
+
+
+def _lenet_trainer(mode: str):
     rng = np.random.default_rng(0)
     model = LeNet5(rng=rng)
     x = rng.standard_normal((256, 1, 28, 28)).astype(np.float32)
@@ -64,14 +78,13 @@ def _lenet_trainer(parallel_ranks: bool):
         model, lambda ps: SGD(ps, 0.01, momentum=0.9),
         num_ranks=4, op=ReduceOpType.ADASUM, adasum_pre_optimizer=True,
     )
-    kwargs = {"parallel_ranks": True} if parallel_ranks else {}
     trainer = ParallelTrainer(model, nn.CrossEntropyLoss(), dopt, x, y,
-                              microbatch=8, **kwargs)
+                              microbatch=8, **_TRAINER_MODES[mode])
     indices = next(iter(trainer.iterator.epoch(0)))[1]
     return trainer, indices
 
 
-def _minibert_trainer(parallel_ranks: bool):
+def _minibert_trainer(mode: str):
     rng = np.random.default_rng(0)
     model = MiniBERT(rng=rng)
     x = rng.integers(0, 64, (128, 32))
@@ -80,9 +93,8 @@ def _minibert_trainer(parallel_ranks: bool):
         model, lambda ps: Adam(ps, 1e-3),
         num_ranks=4, op=ReduceOpType.ADASUM,
     )
-    kwargs = {"parallel_ranks": True} if parallel_ranks else {}
     trainer = ParallelTrainer(model, nn.CrossEntropyLoss(), dopt, x, y,
-                              microbatch=8, **kwargs)
+                              microbatch=8, **_TRAINER_MODES[mode])
     indices = next(iter(trainer.iterator.epoch(0)))[1]
     return trainer, indices
 
@@ -121,9 +133,9 @@ def build_ops():
         y = rng.integers(0, 10, 16)
         return lambda: compute_grads(model, loss_fn, x, y)
 
-    def train_step_setup(factory, parallel):
+    def train_step_setup(factory, mode):
         def setup():
-            trainer, indices = factory(parallel)
+            trainer, indices = factory(mode)
             trainer.train_step(indices)  # warm caches / replicas
             return lambda: trainer.train_step(indices)
         return setup
@@ -178,18 +190,27 @@ def build_ops():
         ("adasum_reducer_lenet_8r", adasum_reducer_setup),
         ("sum_reducer_lenet_8r", sum_reducer_setup),
         ("lenet_compute_grads_b16", compute_grads_setup),
-        ("lenet_train_step_r4", train_step_setup(_lenet_trainer, False)),
-        ("lenet_train_step_r4_parallel", train_step_setup(_lenet_trainer, True)),
-        ("minibert_train_step_r4", train_step_setup(_minibert_trainer, False)),
-        ("minibert_train_step_r4_parallel", train_step_setup(_minibert_trainer, True)),
+        ("lenet_train_step_r4", train_step_setup(_lenet_trainer, "serial")),
+        ("lenet_train_step_r4_parallel", train_step_setup(_lenet_trainer, "parallel")),
+        ("lenet_train_step_r4_overlap", train_step_setup(_lenet_trainer, "overlap")),
+        ("minibert_train_step_r4", train_step_setup(_minibert_trainer, "serial")),
+        ("minibert_train_step_r4_parallel", train_step_setup(_minibert_trainer, "parallel")),
+        ("minibert_train_step_r4_overlap", train_step_setup(_minibert_trainer, "overlap")),
         ("elastic_step_8r", elastic_step_setup),
         ("elastic_recovery_8to7", elastic_recovery_setup),
     ]
 
 
-def bench_op(thunk, budget_s: float, min_rounds: int = 5, max_rounds: int = 60):
-    """Time ``thunk`` repeatedly within ``budget_s``; returns (mean, stddev, n)."""
-    thunk()  # warmup
+def bench_op(thunk, budget_s: float, min_rounds: int = 5, max_rounds: int = 60,
+             warmup: int = 3):
+    """Time ``thunk`` repeatedly within ``budget_s``; returns (mean, stddev, n).
+
+    Several warmup rounds (not just one) let allocator pools, kernel
+    caches, and branch-history settle before timing starts — the
+    single-warmup version left ``lenet_*`` stddev at 20-25% of mean.
+    """
+    for _ in range(max(1, warmup)):
+        thunk()
     times = []
     t_start = time.perf_counter()
     while len(times) < max_rounds:
@@ -210,10 +231,20 @@ def main(argv=None) -> int:
     parser.add_argument("--out", default=None, help="output JSON path")
     parser.add_argument("--baseline", action="store_true",
                         help="record this run as the baseline section")
+    parser.add_argument("--compare", default=None, metavar="PRIOR_JSON",
+                        help="perf guard: exit non-zero when any shared op's "
+                             "mean regresses past the threshold vs this "
+                             "snapshot")
+    parser.add_argument("--ops", default=None,
+                        help="comma-separated subset of ops to run")
+    parser.add_argument("--regression-threshold", type=float, default=0.25,
+                        help="allowed fractional mean regression in compare "
+                             "mode (0.25 = 25%%)")
     args = parser.parse_args(argv)
 
     root = pathlib.Path(__file__).resolve().parent.parent
     out_path = pathlib.Path(args.out) if args.out else root / "results" / "BENCH_PR2.json"
+    write_output = args.compare is None or args.out is not None
 
     try:  # hot-loop temporaries should not churn mmap (see docs/performance.md)
         from repro.tensor import tune_allocator
@@ -222,6 +253,13 @@ def main(argv=None) -> int:
         pass
 
     ops = build_ops()
+    if args.ops:
+        wanted = {o.strip() for o in args.ops.split(",") if o.strip()}
+        unknown = wanted - {name for name, _ in ops}
+        if unknown:
+            print(f"unknown ops: {sorted(unknown)}", file=sys.stderr)
+            return 2
+        ops = [(name, setup) for name, setup in ops if name in wanted]
     per_op_budget = args.budget / max(len(ops), 1)
     results = {}
     for name, setup in ops:
@@ -235,24 +273,51 @@ def main(argv=None) -> int:
                          "rounds": n}
         print(f"  {name}: {mean:.3f} ms ± {stddev:.3f} ({n} rounds)")
 
-    payload = {"schema": "bench-snapshot-v1", "ops": {}}
-    if out_path.exists():
-        payload = json.loads(out_path.read_text())
-    if args.baseline or "baseline" not in payload:
-        payload["baseline"] = results
-    payload["current"] = results
-    payload["ops"] = sorted(set(payload.get("baseline", {})) | set(results))
-    if payload.get("baseline"):
-        speedups = {}
-        for op in payload["ops"]:
-            base = payload["baseline"].get(op, {}).get("mean_ms")
-            cur = results.get(op, {}).get("mean_ms")
-            if base and cur:
-                speedups[op] = round(base / cur, 3)
-        payload["speedup_vs_baseline"] = speedups
-    out_path.parent.mkdir(exist_ok=True)
-    out_path.write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"wrote {out_path}")
+    if write_output:
+        payload = {"schema": "bench-snapshot-v1", "ops": {}}
+        if out_path.exists():
+            payload = json.loads(out_path.read_text())
+        if args.baseline or "baseline" not in payload:
+            payload["baseline"] = results
+        payload["current"] = results
+        payload["ops"] = sorted(set(payload.get("baseline", {})) | set(results))
+        if payload.get("baseline"):
+            speedups = {}
+            for op in payload["ops"]:
+                base = payload["baseline"].get(op, {}).get("mean_ms")
+                cur = results.get(op, {}).get("mean_ms")
+                if base and cur:
+                    speedups[op] = round(base / cur, 3)
+            payload["speedup_vs_baseline"] = speedups
+        out_path.parent.mkdir(exist_ok=True)
+        out_path.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {out_path}")
+
+    if args.compare:
+        prior_path = pathlib.Path(args.compare)
+        prior = json.loads(prior_path.read_text())
+        ref = prior.get("current") or prior.get("baseline") or {}
+        threshold = args.regression_threshold
+        regressions = []
+        shared = sorted(set(ref) & set(results))
+        if not shared:
+            print(f"no shared ops with {prior_path}", file=sys.stderr)
+            return 2
+        print(f"perf guard vs {prior_path} (fail at >{threshold:.0%}):")
+        for op in shared:
+            base = ref[op]["mean_ms"]
+            cur = results[op]["mean_ms"]
+            ratio = cur / base
+            verdict = "REGRESSION" if ratio > 1.0 + threshold else "ok"
+            print(f"  {op}: {base:.3f} -> {cur:.3f} ms "
+                  f"({ratio:.2f}x) {verdict}")
+            if ratio > 1.0 + threshold:
+                regressions.append(op)
+        if regressions:
+            print(f"FAIL: {len(regressions)} op(s) regressed >"
+                  f"{threshold:.0%}: {regressions}", file=sys.stderr)
+            return 1
+        print("perf guard passed")
     return 0
 
 

@@ -250,6 +250,12 @@ def _elastic_main(argv) -> int:
                         default="adasum")
     parser.add_argument("--fp16", action="store_true",
                         help="fp16 wire format with dynamic loss scaling")
+    parser.add_argument("--wire-dtype", choices=("fp32", "fp16"), default="fp32",
+                        help="wire dtype for the collective (fp16 halves bytes "
+                             "on the simulated transport, losslessly)")
+    parser.add_argument("--bucket-cap-mb", type=float, default=None,
+                        help="run the phase-2 collective per bucket of at most "
+                             "this many MB (default: one whole-row collective)")
     parser.add_argument("--kill", action="append", default=[],
                         metavar="STEP:RANK",
                         help="kill global RANK during the reduction of STEP "
@@ -298,6 +304,7 @@ def _elastic_main(argv) -> int:
         model, nn.CrossEntropyLoss(), lambda ps: SGD(ps, lr=args.lr), x, y,
         microbatch=args.microbatch, num_ranks=args.ranks,
         op=ReduceOpType[args.op.upper()], fp16=args.fp16, seed=args.seed,
+        wire_dtype=args.wire_dtype, bucket_cap_mb=args.bucket_cap_mb,
         schedule=schedule if have_faults else None,
         straggler=StragglerPolicy(mode=args.straggler_policy),
         network=network, timeout=args.timeout, min_ranks=args.min_ranks,
@@ -334,12 +341,102 @@ def _elastic_main(argv) -> int:
     return 0
 
 
+def _overlap_main(argv) -> int:
+    """``python -m repro overlap``: phased vs bucketed-overlap training."""
+    from repro import nn
+    from repro.comm import CommTracer
+    from repro.core import ReduceOpType
+    from repro.core.distributed_optimizer import DistributedOptimizer
+    from repro.models import MLP
+    from repro.optim import SGD
+    from repro.train.trainer import ParallelTrainer
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro overlap",
+        description="Train the same model twice — phased (reduce after the "
+                    "whole backward) and overlapped (bucketed reverse-order "
+                    "reductions launched as gradients complete) — check the "
+                    "results are bit-identical, and report step times.  "
+                    "See docs/performance.md.",
+    )
+    parser.add_argument("--ranks", type=int, default=8)
+    parser.add_argument("--steps", type=int, default=20)
+    parser.add_argument("--samples", type=int, default=640)
+    parser.add_argument("--microbatch", type=int, default=4)
+    parser.add_argument("--lr", type=float, default=0.1)
+    parser.add_argument("--op", choices=("adasum", "sum", "average"),
+                        default="adasum")
+    parser.add_argument("--bucket-cap-mb", type=float, default=1.0,
+                        help="overlap bucket size cap in MB")
+    parser.add_argument("--wire-dtype", choices=("fp32", "fp16"),
+                        default="fp32",
+                        help="wire dtype for bucket payloads (fp16 halves "
+                             "bytes; results then differ from fp32 by design)")
+    parser.add_argument("--out", default=None,
+                        help="write the overlap run's compute/comm lanes as a "
+                             "Chrome-trace JSON here")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    rng = np.random.default_rng(args.seed)
+    x = rng.standard_normal((args.samples, 16)).astype(np.float32)
+    y = (x @ rng.standard_normal((16, 4))).argmax(axis=1)
+    op = ReduceOpType[args.op.upper()]
+
+    def run(overlap: bool, tracer=None):
+        model = MLP((16, 64, 64, 4), rng=np.random.default_rng(args.seed))
+        dist_opt = DistributedOptimizer(
+            model, lambda ps: SGD(ps, lr=args.lr), args.ranks, op=op,
+            wire_dtype=args.wire_dtype,
+        )
+        trainer = ParallelTrainer(
+            model, nn.CrossEntropyLoss(), dist_opt, x, y,
+            microbatch=args.microbatch, seed=args.seed, overlap=overlap,
+            bucket_cap_mb=args.bucket_cap_mb, overlap_tracer=tracer,
+        )
+        t0 = time.time()
+        steps = 0
+        for _, rank_indices in trainer.iterator.epoch(0):
+            if steps >= args.steps:
+                break
+            trainer.train_step(rank_indices)
+            steps += 1
+        return model, (time.time() - t0) / max(1, steps)
+
+    tracer = CommTracer() if args.out else None
+    m_phased, t_phased = run(overlap=False)
+    m_overlap, t_overlap = run(overlap=True, tracer=tracer)
+
+    identical = all(
+        np.array_equal(p.data.view(np.uint32), q.data.view(np.uint32))
+        for (_, p), (_, q) in zip(
+            m_phased.named_parameters(), m_overlap.named_parameters()
+        )
+    )
+    print(f"{args.steps} steps x {args.ranks} ranks, op={args.op}, "
+          f"bucket cap {args.bucket_cap_mb} MB, wire {args.wire_dtype}")
+    print(f"phased  : {t_phased * 1e3:8.3f} ms/step")
+    print(f"overlap : {t_overlap * 1e3:8.3f} ms/step")
+    print(f"bit-identical parameters: {identical}")
+    if args.out:
+        tracer.save_chrome_trace(args.out)
+        print(f"wrote {len(tracer.events)} events to {args.out} "
+              f"(compute lane 0, per-bucket comm lane 1)")
+    if args.wire_dtype == "fp32" and not identical:
+        print("ERROR: overlap diverged from the phased path at fp32",
+              file=sys.stderr)
+        return 3
+    return 0
+
+
 def main(argv=None) -> int:
     argv = sys.argv[1:] if argv is None else list(argv)
     if argv and argv[0] == "trace":
         return _trace_main(argv[1:])
     if argv and argv[0] == "elastic":
         return _elastic_main(argv[1:])
+    if argv and argv[0] == "overlap":
+        return _overlap_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Reproduce a table/figure from the Adasum paper "
@@ -347,7 +444,7 @@ def main(argv=None) -> int:
     )
     parser.add_argument("experiment",
                         help="experiment id (or 'list' / 'all' / 'trace' / "
-                             "'elastic')")
+                             "'elastic' / 'overlap')")
     parser.add_argument("--full", action="store_true",
                         help="run the larger (slower) profile")
     args = parser.parse_args(argv)
@@ -357,6 +454,8 @@ def main(argv=None) -> int:
             print(f"  {name:12s} {desc}")
         print("  trace        traced collective run (python -m repro trace --help)")
         print("  elastic      elastic training run (python -m repro elastic --help)")
+        print("  overlap      phased vs bucketed-overlap comparison "
+              "(python -m repro overlap --help)")
         return 0
 
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]

@@ -51,6 +51,7 @@ from repro.comm.collectives import (
     allreduce_group,
 )
 from repro.comm.fusion import FusionBuffer, FusedTensorLayout
+from repro.comm.bucketing import Bucket, BucketPlan
 
 __all__ = [
     "NetworkModel",
@@ -74,6 +75,8 @@ __all__ = [
     "allreduce_group",
     "FusionBuffer",
     "FusedTensorLayout",
+    "Bucket",
+    "BucketPlan",
     "ring_allreduce_cost",
     "rvh_allreduce_cost",
     "adasum_rvh_cost",

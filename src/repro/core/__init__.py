@@ -52,9 +52,14 @@ from repro.core.reduction import (
     AverageReducer,
     AdasumReducer,
 )
-from repro.core.adasum_rvh import adasum_rvh, allreduce_adasum_cluster
+from repro.core.adasum_rvh import (
+    adasum_rvh,
+    adasum_rvh_flat,
+    allreduce_adasum_cluster,
+)
 from repro.core.adasum_ring import (
     adasum_ring,
+    adasum_ring_flat,
     adasum_ring_cost,
     allreduce_adasum_ring_cluster,
 )
@@ -91,8 +96,10 @@ __all__ = [
     "AverageReducer",
     "AdasumReducer",
     "adasum_rvh",
+    "adasum_rvh_flat",
     "allreduce_adasum_cluster",
     "adasum_ring",
+    "adasum_ring_flat",
     "adasum_ring_cost",
     "allreduce_adasum_ring_cluster",
     "DistributedOptimizer",

@@ -18,7 +18,7 @@ produced — the reason the paper's ring variant loses on bandwidth.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -30,12 +30,15 @@ from repro.core.operator import adasum
 _EPS = 1e-30
 
 
-def _combine(acc: np.ndarray, g: np.ndarray, layout: Optional[FusedTensorLayout]) -> np.ndarray:
-    """Pairwise Adasum, per fused-layer slice when a layout is given."""
-    if layout is None:
+def _combine(
+    acc: np.ndarray, g: np.ndarray,
+    slices: Optional[Sequence[Tuple[int, int]]],
+) -> np.ndarray:
+    """Pairwise Adasum, per fused-layer slice when slices are given."""
+    if slices is None:
         return adasum(acc, g)
     out = np.empty_like(acc)
-    for lo, hi in layout.slices:
+    for lo, hi in slices:
         out[lo:hi] = adasum(acc[lo:hi], g[lo:hi])
     return out
 
@@ -52,7 +55,31 @@ def adasum_ring(
     messages of latency — latency- and bandwidth-suboptimal vs RVH,
     as §4.2.3 reports.
     """
-    flat = np.ascontiguousarray(x).reshape(-1)
+    slices = tuple(layout.slices) if layout is not None else None
+    return adasum_ring_flat(comm, x, boundaries=None, _slices=slices)
+
+
+def adasum_ring_flat(
+    comm: Comm,
+    row: np.ndarray,
+    boundaries: Optional[Sequence[int]] = None,
+    _slices: Optional[Tuple[Tuple[int, int], ...]] = None,
+) -> np.ndarray:
+    """Ring Adasum over a flat arena row, no dict/layout packing.
+
+    ``boundaries`` follows the ``layout.boundaries()`` convention
+    (per-tensor offsets, ``len = #tensors + 1``) for per-layer pairwise
+    combination, or ``None`` for whole-vector Adasum.  Bit-exact with
+    :func:`adasum_ring` given the matching layout.
+    """
+    if _slices is not None:
+        slices = _slices
+    elif boundaries is not None:
+        bs = list(boundaries)
+        slices = tuple(zip(bs[:-1], bs[1:]))
+    else:
+        slices = None
+    flat = np.ascontiguousarray(row).reshape(-1)
     p, r = comm.size, comm.rank
     if p == 1:
         return flat.copy()
@@ -63,7 +90,7 @@ def adasum_ring(
     else:
         incoming = comm.recv(r - 1)
         comm.compute(2 * flat.nbytes, label="adasum-chain")  # dots + combination
-        acc = _combine(incoming, flat, layout)
+        acc = _combine(incoming, flat, slices)
         if r < p - 1:
             comm.send(acc, r + 1)
     # Distribution pass: binomial broadcast from the last rank.

@@ -31,8 +31,26 @@ from repro.comm.transport import Cluster, Comm
 _EPS = 1e-30
 
 
+def _layer_slices(
+    layout: Optional[FusedTensorLayout],
+    boundaries: Optional[Sequence[int]] = None,
+) -> Optional[Tuple[Tuple[int, int], ...]]:
+    """Normalize either layout form to ``(lo, hi)`` tensor slices.
+
+    The flat entry points speak plain boundary offsets (the
+    ``layout.boundaries()`` convention: ``len = #tensors + 1``) so arena
+    rows never need to be packed back into a named-dict layout.
+    """
+    if layout is not None:
+        return tuple(layout.slices)
+    if boundaries is None:
+        return None
+    bs = list(boundaries)
+    return tuple(zip(bs[:-1], bs[1:]))
+
+
 def _layer_ranges(
-    local_size: int, start: int, layout: Optional[FusedTensorLayout]
+    local_size: int, start: int, slices: Optional[Sequence[Tuple[int, int]]]
 ) -> List[Optional[Tuple[int, int]]]:
     """Local (lo, hi) range of each layout tensor within this rank's slice.
 
@@ -41,11 +59,11 @@ def _layer_ranges(
     arrays have identical shape on every rank of a group — a requirement
     for the elementwise group allreduce on line 17 of Algorithm 1.
     """
-    if layout is None:
+    if slices is None:
         return [(0, local_size)]
     stop = start + local_size
     ranges: List[Optional[Tuple[int, int]]] = []
-    for lo, hi in layout.slices:
+    for lo, hi in slices:
         a, b = max(lo, start), min(hi, stop)
         ranges.append((a - start, b - start) if a < b else None)
     return ranges
@@ -100,18 +118,38 @@ def adasum_rvh(
     (or fused gradient buffer); the return value is the Adasum-combined
     vector, identical on every rank.
     """
+    return adasum_rvh_flat(comm, x, boundaries=None,
+                           _slices=_layer_slices(layout))
+
+
+def adasum_rvh_flat(
+    comm: Comm,
+    row: np.ndarray,
+    boundaries: Optional[Sequence[int]] = None,
+    _slices: Optional[Tuple[Tuple[int, int], ...]] = None,
+) -> np.ndarray:
+    """AdasumRVH over a flat arena row, no dict/layout packing.
+
+    ``row`` is this rank's flat gradient buffer (e.g. one
+    :class:`~repro.core.arena.GradientArena` row); ``boundaries`` are
+    the per-tensor offsets (``layout.boundaries()`` convention) for the
+    per-layer dot products, or ``None`` for whole-vector Adasum.
+    Bit-exact with :func:`adasum_rvh` given the matching layout
+    (asserted in ``tests/core/test_adasum_rvh.py``).
+    """
     size = comm.size
     if size & (size - 1):
         raise ValueError(f"AdasumRVH requires power-of-two ranks, got {size}")
-    flat = np.ascontiguousarray(x).reshape(-1)
+    flat = np.ascontiguousarray(row).reshape(-1)
     if size == 1:
         return flat.copy()
-    result = _adasum_rvh_level(comm, flat, d=1, start=0, layout=layout)
-    return result
+    slices = _slices if _slices is not None else _layer_slices(None, boundaries)
+    return _adasum_rvh_level(comm, flat, d=1, start=0, slices=slices)
 
 
 def _adasum_rvh_level(
-    comm: Comm, x: np.ndarray, d: int, start: int, layout: Optional[FusedTensorLayout]
+    comm: Comm, x: np.ndarray, d: int, start: int,
+    slices: Optional[Tuple[Tuple[int, int], ...]],
 ) -> np.ndarray:
     """One recursion level of Algorithm 1 (lines 2-24).
 
@@ -137,7 +175,7 @@ def _adasum_rvh_level(
 
     d2 = 2 * d
     # Lines 15-17: partial dot products finished via group allreduce.
-    ranges = _layer_ranges(a.size, my_start, layout)
+    ranges = _layer_ranges(a.size, my_start, slices)
     v = _partial_products(a, b, ranges)
     comm.compute(3 * a.nbytes, label="dot-products")
     group = [(rank // d2) * d2 + i for i in range(d2)]
@@ -148,7 +186,7 @@ def _adasum_rvh_level(
 
     # Line 19-21: recurse until all ranks share slices of one vector.
     if d2 < comm.size:
-        xp = _adasum_rvh_level(comm, xp, d2, my_start, layout)
+        xp = _adasum_rvh_level(comm, xp, d2, my_start, slices)
 
     # Lines 22-24: allgather phase — exchange halves on the way out.
     y = comm.sendrecv(xp, nghr)

@@ -107,6 +107,14 @@ class DistributedOptimizer:
         contribution is scaled, cast to fp16 and checked for overflow
         before reduction; an overflow backs the scale off and skips the
         step, exactly as the Horovod implementation does.
+    wire_dtype:
+        Wire format of the *flat* arena paths (``step_arena``,
+        ``prepare_wire_arena`` and the overlap scheduler): ``"fp32"``
+        (default) sends gradients as-is; ``"fp16"`` applies the same
+        dynamic-scaling fp16 round-trip as ``fp16=True`` to the flat
+        rows, halving wire bytes while reduction arithmetic (Adasum dot
+        products included) stays in full precision.  Unlike ``fp16``
+        it does not force the legacy dict codec path.
     """
 
     def __init__(
@@ -120,6 +128,7 @@ class DistributedOptimizer:
         tree: bool = True,
         fp16: bool = False,
         allow_non_pow2: bool = False,
+        wire_dtype: str = "fp32",
     ):
         if num_ranks < 1:
             raise ValueError("num_ranks must be >= 1")
@@ -135,9 +144,14 @@ class DistributedOptimizer:
         self.adasum_pre_optimizer = adasum_pre_optimizer
         self._param_names = [name for name, _ in model.named_parameters()]
         self._params = dict(model.named_parameters())
+        if wire_dtype not in ("fp32", "fp16"):
+            raise ValueError(f"wire_dtype must be 'fp32' or 'fp16', got {wire_dtype!r}")
         self.fp16 = fp16
-        self._codec = Float16Codec() if fp16 else None
-        self._scaler = DynamicScaler() if fp16 else None
+        self.wire_dtype = wire_dtype
+        #: fp16 wire format active on the flat arena paths.
+        self.wire_fp16 = fp16 or wire_dtype == "fp16"
+        self._codec = Float16Codec() if self.wire_fp16 else None
+        self._scaler = DynamicScaler() if self.wire_fp16 else None
         self.skipped_steps = 0
         self.post_optimizer_mode = op is ReduceOpType.ADASUM and not adasum_pre_optimizer
         if self.post_optimizer_mode:
@@ -242,9 +256,15 @@ class DistributedOptimizer:
         ctx: Dict = {"ranks": ranks, "starts": None, "skip": False}
         if self.post_optimizer_mode:
             ctx["starts"] = self._rewrite_rows_to_deltas(arena, ranks)
-        if self.fp16 and self._encode_wire_rows(arena, ranks):
-            ctx["skip"] = True
-            self.model.zero_grad()
+        if self.wire_fp16:
+            scale_used = self._scaler.scale_value
+            if self._encode_wire_rows(arena, ranks):
+                ctx["skip"] = True
+                self.model.zero_grad()
+            else:
+                # Rows are now on the fp16 grid at this (power-of-two)
+                # scale; transports can compress them losslessly.
+                ctx["wire_scale"] = scale_used
         return ctx
 
     def apply_reduced_flat(self, combined: np.ndarray, arena, ctx: Optional[Dict] = None) -> None:

@@ -214,16 +214,23 @@ class _FlatReducePlan:
         self._combine_loaded(dst)
 
 
-#: One cached plan per thread — training and benchmarks hammer a single
-#: geometry, while property tests sweep many tiny ones (cheap to rebuild).
+#: Small per-thread keyed cache — training hammers a handful of geometries
+#: (one per overlap bucket plus the full row), while property tests sweep
+#: many tiny ones (cheap to rebuild once the cap evicts them).
 _plan_cache = threading.local()
+_PLAN_CACHE_CAP = 32
 
 
 def _flat_reduce_plan(size, bounds, nwin, dtype) -> _FlatReducePlan:
-    plan = getattr(_plan_cache, "plan", None)
-    if plan is None or plan.key != (size, tuple(bounds), nwin, dtype):
-        plan = _FlatReducePlan(size, bounds, nwin, dtype)
-        _plan_cache.plan = plan
+    plans = getattr(_plan_cache, "plans", None)
+    if plans is None:
+        plans = _plan_cache.plans = {}
+    key = (size, tuple(bounds), nwin, dtype)
+    plan = plans.get(key)
+    if plan is None:
+        if len(plans) >= _PLAN_CACHE_CAP:  # drop the oldest geometry (FIFO)
+            plans.pop(next(iter(plans)))
+        plan = plans[key] = _FlatReducePlan(size, bounds, nwin, dtype)
     return plan
 
 

@@ -1,0 +1,412 @@
+"""Backprop/communication overlap over bucketed arena slices (§4.4.2-4.4.3).
+
+Horovod hides allreduce latency behind backprop: gradients complete in
+reverse layer order, get packed into fusion buckets, and each bucket's
+reduction launches on a background thread the moment its last tensor is
+ready.  :class:`OverlapScheduler` reproduces that pipeline over the
+simulated ranks' :class:`~repro.core.arena.GradientArena`:
+
+* a :class:`~repro.comm.bucketing.BucketPlan` slices the fused layout
+  into size-capped, tensor-aligned buckets in reverse layer order;
+* the compute side (serial autograd with grad-ready hooks, or a fused
+  engine such as
+  :class:`~repro.models.fused_bert.FusedBertRankCompute`) marks
+  parameters ready as their gradients land in the arena;
+* a single comm worker thread reduces complete buckets with the
+  reducer's flat kernels while backprop continues on the main thread.
+
+Bit-exactness with the phased ``DistributedOptimizer.step_arena`` path
+is structural, not approximate:
+
+* buckets align to whole tensors, so per-layer Adasum sees exactly the
+  same per-layer slices either way (whole-model Adasum degenerates to a
+  single bucket);
+* Figure-3 post-optimizer mode rewrites each bucket's rows from local
+  gradients to post-optimizer deltas with a
+  :class:`FlatOptimizerMirror` — a flat, rank-vectorized replay of the
+  per-rank optimizers' exact update arithmetic (same expressions, same
+  dtypes, same rounding points), so the wire tensors are bit-identical
+  to ``_rewrite_rows_to_deltas``;
+* the fp16 wire format applies per bucket with the step's scale fixed
+  up front, and the dynamic scaler sees one aggregated overflow verdict
+  per step — the same state trajectory as the phased encode.
+
+On this simulator compute and communication share one process, so the
+speedup comes from the cheaper fused compute engines and the flat
+mirror rewrite rather than from true concurrency; the scheduling is
+nonetheless faithful (and measurable in the overlap Chrome trace).
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from time import perf_counter
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.comm.bucketing import Bucket, BucketPlan
+from repro.comm.tracing import CommTracer
+from repro.core.arena import GradientArena
+from repro.core.distributed_optimizer import DistributedOptimizer
+from repro.core.reduction import AdasumReducer
+from repro.optim.adam import Adam
+from repro.optim.sgd import SGD
+
+
+#: Registry of fused rank-compute engines: ``(predicate, factory)``
+#: pairs tried in order by :func:`build_fused_engine`.
+_FUSED_ENGINES: List = []
+
+
+def register_fused_engine(
+    predicate: Callable[[object], bool], factory: Callable[[object, int], object]
+) -> None:
+    """Register a fused compute engine for :func:`build_fused_engine`.
+
+    ``predicate(model)`` says whether ``factory(model, num_ranks)`` can
+    build an engine with a ``step(x, y, rank_views, ready_cb)`` method
+    returning per-rank losses (see
+    :class:`~repro.models.fused_bert.FusedBertRankCompute`).
+    """
+    _FUSED_ENGINES.append((predicate, factory))
+
+
+def build_fused_engine(model, num_ranks: int):
+    """Best registered fused engine for ``model``, or ``None``.
+
+    A factory raising ``ValueError``/``TypeError`` (unsupported config,
+    e.g. active dropout) just disqualifies that engine.
+    """
+    _register_builtin_engines()
+    for predicate, factory in _FUSED_ENGINES:
+        try:
+            if predicate(model):
+                return factory(model, num_ranks)
+        except (ValueError, TypeError):
+            continue
+    return None
+
+
+_builtins_registered = False
+
+
+def _register_builtin_engines() -> None:
+    global _builtins_registered
+    if _builtins_registered:
+        return
+    _builtins_registered = True
+    # Lazy: models -> core is the wrong import direction at module load.
+    from repro.models.fused_bert import FusedBertRankCompute
+    from repro.models.transformer import MiniBERT
+
+    register_fused_engine(
+        lambda m: isinstance(m, MiniBERT), FusedBertRankCompute
+    )
+
+
+class FlatOptimizerMirror:
+    """Rank-vectorized flat replay of the per-rank optimizers (Figure 3).
+
+    ``_rewrite_rows_to_deltas`` walks parameters per rank through the
+    real :class:`~repro.optim.optimizer.Optimizer` objects — correct,
+    but serialized after backward and dominated by Python dispatch.
+    The mirror keeps the per-rank optimizer state as ``(ranks, size)``
+    flat arrays and rewrites any column range ``[lo, hi)`` of the arena
+    from gradients to post-optimizer deltas in a handful of vectorized
+    ops, which is what lets a bucket's rewrite run on the comm worker
+    while backprop continues.
+
+    Every expression matches the scalar optimizers' update arithmetic
+    exactly (same association order, same dtypes, same
+    ``.astype(float32)`` rounding points, same start/delta
+    double-rounding), and all ops are elementwise, so vectorizing
+    across ranks cannot change bits — property-tested against the
+    phased path in ``tests/core/test_overlap.py``.
+
+    The mirror owns its own step/state bookkeeping; the real
+    ``rank_optimizers`` are left untouched.  It therefore must be
+    driven for *every* step of a run (the scheduler guarantees this) —
+    mixing phased and mirrored steps mid-run would fork the optimizer
+    state.
+    """
+
+    def __init__(self, dist_opt: DistributedOptimizer, arena: GradientArena):
+        opt = dist_opt.rank_optimizers[0]
+        self._opt = opt
+        self._kind = "adam" if type(opt) is Adam else "sgd"
+        self._arena = arena
+        self._ranks = arena.num_ranks
+        total = arena.layout.total_size
+        self.starts = np.empty(total, dtype=arena.dtype)
+        self.start_views: Dict[str, np.ndarray] = {
+            name: self.starts[lo:hi].reshape(shape)
+            for name, (lo, hi), shape in zip(
+                arena.layout.names, arena.layout.slices, arena.layout.shapes
+            )
+        }
+        self._params = dist_opt._params
+        self._steps = 0
+        self._lr = 0.0
+        shape = (self._ranks, total)
+        if self._kind == "adam":
+            self._m = np.zeros(shape, dtype=np.float32)
+            self._v = np.zeros(shape, dtype=np.float32)
+        elif opt.momentum:
+            self._buf = np.zeros(shape, dtype=np.float32)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def build(
+        dist_opt: DistributedOptimizer, arena: GradientArena
+    ) -> Optional["FlatOptimizerMirror"]:
+        """Mirror for ``dist_opt``'s rank optimizers, or ``None``.
+
+        Supported: fresh (never-stepped) plain :class:`Adam` and
+        :class:`SGD` instances.  Subclasses (e.g. AdamW) are excluded by
+        exact type check — they override the update rule.
+        """
+        opts = dist_opt.rank_optimizers
+        if not opts:
+            return None
+        if type(opts[0]) not in (Adam, SGD):
+            return None
+        if any(o.step_count != 0 or o.state for o in opts):
+            return None
+        return FlatOptimizerMirror(dist_opt, arena)
+
+    # ------------------------------------------------------------------
+    def begin_step(self) -> None:
+        """Snapshot shared starting params; fix this step's lr and t."""
+        for name, p in self._params.items():
+            np.copyto(self.start_views[name], p.data)
+        self._lr = self._opt.lr_schedule(self._steps)
+        self._steps += 1
+
+    def rewrite(self, lo: int, hi: int) -> None:
+        """In place: arena columns ``[lo, hi)`` gradient rows -> delta rows."""
+        rows = self._arena.data[:, lo:hi]
+        start = self.starts[lo:hi]
+        opt = self._opt
+        g = rows
+        if opt.weight_decay:
+            g = g + opt.weight_decay * start
+        if self._kind == "adam":
+            m = opt.beta1 * self._m[:, lo:hi] + (1 - opt.beta1) * g
+            v = opt.beta2 * self._v[:, lo:hi] + (1 - opt.beta2) * g * g
+            self._m[:, lo:hi] = m
+            self._v[:, lo:hi] = v
+            t = self._steps
+            mhat = m / (1 - opt.beta1 ** t)
+            vhat = v / (1 - opt.beta2 ** t)
+            direction = mhat / (np.sqrt(vhat) + opt.eps)
+        elif opt.momentum:
+            if self._steps == 1:
+                buf = g.astype(np.float32).copy()
+            else:
+                buf = opt.momentum * self._buf[:, lo:hi] + g
+            self._buf[:, lo:hi] = buf
+            direction = g + opt.momentum * buf if opt.nesterov else buf
+        else:
+            direction = g
+        # p.data -= (lr * d).astype(f32); delta = p.data - start: keep
+        # the serial path's double rounding.
+        new = start - (self._lr * direction).astype(rows.dtype)
+        np.subtract(new, start, out=rows)
+
+
+class OverlapScheduler:
+    """Bucketed overlap of gradient reduction with backprop.
+
+    Parameters
+    ----------
+    dist_opt:
+        The distributed optimizer whose update rule the scheduler
+        replays (results are bit-identical to its ``step_arena``).
+    arena:
+        Per-rank flat gradient buffers (all ranks participate).
+    bucket_cap_mb:
+        Fusion bucket size cap.  Whole-model (``per_layer=False``)
+        Adasum needs whole-row dot products, so it always collapses to
+        a single bucket.
+    tracer:
+        Optional :class:`~repro.comm.tracing.CommTracer` recording the
+        *wall-clock* overlap timeline: compute on lane 0, the comm
+        worker's per-bucket reductions on lane 1 (offsets in seconds
+        from each step's start).  Keep it separate from a simulated-
+        clock tracer — the timelines don't share a clock.
+
+    Use :meth:`step` with a compute callback that fills the arena and
+    marks parameters ready::
+
+        sched = OverlapScheduler(dist_opt, arena)
+        losses = sched.step(compute)   # compute(mark_ready) -> losses
+
+    Unsupported configurations (post-optimizer mode with an optimizer
+    the :class:`FlatOptimizerMirror` cannot replay) degrade gracefully:
+    compute runs, then the phased ``step_arena`` — correct, just
+    without overlap.  ``sched.overlapped`` says which mode is active.
+    """
+
+    COMM_LANE_OFFSET = 1  # tracer lane: 0 = compute, 1 = comm worker
+
+    def __init__(
+        self,
+        dist_opt: DistributedOptimizer,
+        arena: GradientArena,
+        bucket_cap_mb: float = 1.0,
+        tracer: Optional[CommTracer] = None,
+    ):
+        if arena.num_ranks != dist_opt.num_ranks:
+            raise ValueError(
+                f"arena has {arena.num_ranks} ranks, optimizer {dist_opt.num_ranks}"
+            )
+        self.dist_opt = dist_opt
+        self.arena = arena
+        self.tracer = tracer
+        cap_bytes = max(1, int(bucket_cap_mb * (1 << 20)))
+        reducer = dist_opt.reducer
+        if isinstance(reducer, AdasumReducer) and not reducer.per_layer:
+            # Whole-model dots span the full row: single bucket.
+            cap_bytes = max(cap_bytes, arena.layout.total_size * arena.dtype.itemsize)
+        self.plan = BucketPlan.for_layout(
+            arena.layout, cap_bytes, itemsize=arena.dtype.itemsize
+        )
+        self.mirror: Optional[FlatOptimizerMirror] = (
+            FlatOptimizerMirror.build(dist_opt, arena)
+            if dist_opt.post_optimizer_mode
+            else None
+        )
+        #: False -> degenerate mode (compute, then phased step_arena).
+        self.overlapped = (not dist_opt.post_optimizer_mode) or self.mirror is not None
+        self._name_to_bucket: Dict[str, int] = {
+            n: b.index for b in self.plan.buckets for n in b.names
+        }
+        self._combined = np.empty(arena.layout.total_size, dtype=arena.dtype)
+        self._lock = threading.Lock()
+        self._pool = ThreadPoolExecutor(max_workers=1, thread_name_prefix="comm")
+        self._pending: List[set] = []
+        self._launched: List[bool] = []
+        self._futures: List[Future] = []
+        self._overflow = False
+        self._scale = 1.0
+        self._t_base = 0.0
+
+    # ------------------------------------------------------------------
+    def step(self, compute_fn: Callable[[Callable[[str], None]], List[float]]) -> List[float]:
+        """One distributed step with bucket reductions overlapping compute.
+
+        ``compute_fn(mark_ready)`` must fill every arena row and call
+        ``mark_ready(name)`` once per parameter when all ranks'
+        gradients for it are final; it returns the per-rank losses.
+        """
+        if not self.overlapped:
+            losses = compute_fn(lambda name: None)
+            self.dist_opt.step_arena(self.arena)
+            return losses
+        dist_opt = self.dist_opt
+        with self._lock:
+            self._pending = [set(b.names) for b in self.plan.buckets]
+            self._launched = [False] * self.plan.num_buckets
+            self._futures = []
+            self._overflow = False
+            self._t_base = perf_counter()
+        if self.mirror is not None:
+            self.mirror.begin_step()
+        if dist_opt.wire_fp16:
+            self._scale = dist_opt._scaler.scale_value
+
+        losses = compute_fn(self.mark_ready)
+        t_compute = perf_counter() - self._t_base
+
+        with self._lock:
+            futures = self._flush_locked()
+        for fut in futures:
+            fut.result()  # propagate comm-worker exceptions
+
+        skip = False
+        if dist_opt.wire_fp16:
+            skip = dist_opt._scaler.update(self._overflow)
+            if skip:
+                dist_opt.skipped_steps += 1
+        if self.tracer is not None:
+            # One span covers all ranks' fused forward/backward.
+            self.tracer.record(0, "compute", 0.0, t_compute, label="ranks-fwd-bwd")
+        if skip:
+            dist_opt.model.zero_grad()
+            return losses
+        ctx = {
+            "ranks": list(range(self.arena.num_ranks)),
+            "starts": self.mirror.start_views if self.mirror is not None else None,
+            "skip": False,
+        }
+        dist_opt.apply_reduced_flat(self._combined, self.arena, ctx)
+        return losses
+
+    def mark_ready(self, name: str) -> None:
+        """Record that all ranks' gradients for ``name`` are in the arena."""
+        idx = self._name_to_bucket[name]
+        with self._lock:
+            pend = self._pending[idx]
+            pend.discard(name)
+            if not pend and not self._launched[idx]:
+                self._launch_locked(idx)
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+
+    # ------------------------------------------------------------------
+    def _flush_locked(self) -> List[Future]:
+        """Launch every unfired bucket (compute is done); return futures."""
+        for i in range(self.plan.num_buckets):
+            if not self._launched[i]:
+                self._launch_locked(i)
+        return list(self._futures)
+
+    def _launch_locked(self, idx: int) -> None:
+        self._launched[idx] = True
+        self._futures.append(
+            self._pool.submit(self._reduce_bucket, self.plan.buckets[idx])
+        )
+
+    def _reduce_bucket(self, bucket: Bucket) -> None:
+        """Comm-worker half: rewrite, wire-encode and reduce one bucket."""
+        t0 = perf_counter() - self._t_base
+        dist_opt = self.dist_opt
+        lo, hi = bucket.start, bucket.stop
+        if self.mirror is not None:
+            self.mirror.rewrite(lo, hi)
+        rows = self.arena.data[:, lo:hi]
+        wire_itemsize = self.arena.dtype.itemsize
+        if dist_opt.wire_fp16:
+            if self._encode_rows(rows, self._scale):
+                self._overflow = True
+            wire_itemsize = 2
+        self._combined[lo:hi] = dist_opt.reducer.reduce_flat(
+            rows, bucket.rel_boundaries()
+        )
+        if self.tracer is not None:
+            self.tracer.record(
+                self.COMM_LANE_OFFSET,
+                "allreduce",
+                t0,
+                perf_counter() - self._t_base,
+                nbytes=rows.shape[0] * bucket.size * wire_itemsize,
+                label=f"bucket-{bucket.index}",
+            )
+
+    @staticmethod
+    def _encode_rows(rows: np.ndarray, scale: float) -> bool:
+        """fp16 wire round-trip in place; True on overflow.
+
+        Elementwise identical to
+        ``DistributedOptimizer._encode_wire_rows`` (scale -> fp16 cast
+        -> finite check -> decode); applying it per bucket with the
+        step's fixed scale reaches every element exactly once.
+        """
+        with np.errstate(over="ignore"):
+            enc = (rows * scale).astype(np.float16)
+            overflow = not bool(np.isfinite(enc).all())
+        np.multiply(enc.astype(np.float32), 1.0 / scale, out=rows)
+        return overflow

@@ -22,6 +22,17 @@ Bit-exactness contract (tested in ``tests/elastic/test_collective.py``):
 
 Only the subgroup root ends up with the combined row (the supervisor
 applies it centrally); a broadcast would only add simulated latency.
+
+fp16 wire compression (``wire_scale``): when the supervisor has already
+passed the rows through the dynamic-scaling fp16 wire format
+(``wire_dtype="fp16"``), every element is on the fp16 grid at that
+power-of-two scale, so a rank's *original* contribution can be sent as
+scaled fp16 and decoded exactly — half the bytes on the wire (and half
+the simulated transmission cost) with zero precision loss, keeping the
+bit-exactness contract intact.  Combined partials at interior tree hops
+are *not* on the grid, so they stay fp32: compression applies to leaf
+hops only (every send in gather mode, the bottom level in tree mode),
+mirroring fp16-wire/fp32-accumulate mixed precision (§4.4.1).
 """
 
 from __future__ import annotations
@@ -35,7 +46,30 @@ from repro.core.operator import adasum_flat, largest_pow2_below
 from repro.core.reduction import AdasumReducer, GradientReducer
 
 
-def _tree_combine(sub, acc: np.ndarray, bounds, lo: int, hi: int) -> np.ndarray:
+def _wire_encode(row: np.ndarray, wire_scale: Optional[float]) -> np.ndarray:
+    """Scaled-fp16 wire form of an original (grid-resident) contribution."""
+    if wire_scale is None:
+        return row
+    return (row * wire_scale).astype(np.float16)
+
+
+def _wire_decode(payload: np.ndarray, wire_scale: Optional[float]) -> np.ndarray:
+    """Invert :func:`_wire_encode`; fp32 payloads pass through untouched.
+
+    The decode arithmetic matches
+    ``DistributedOptimizer._encode_wire_rows`` exactly (fp32 cast, then
+    multiply by the float ``1/scale``); with a power-of-two scale the
+    round trip is lossless for grid-resident rows.
+    """
+    if wire_scale is None or payload.dtype != np.float16:
+        return payload
+    return payload.astype(np.float32) * (1.0 / wire_scale)
+
+
+def _tree_combine(
+    sub, acc: np.ndarray, bounds, lo: int, hi: int,
+    wire_scale: Optional[float] = None,
+) -> np.ndarray:
     """Divide-and-conquer Adasum over subgroup ranks [lo, hi).
 
     Every rank walks the same recursion but acts only in its own half;
@@ -49,15 +83,19 @@ def _tree_combine(sub, acc: np.ndarray, bounds, lo: int, hi: int) -> np.ndarray:
         return acc
     p = n // 2 if n & (n - 1) == 0 else largest_pow2_below(n)
     if sub.rank < lo + p:
-        acc = _tree_combine(sub, acc, bounds, lo, lo + p)
+        acc = _tree_combine(sub, acc, bounds, lo, lo + p, wire_scale)
         if sub.rank == lo:
-            other = sub.recv(lo + p)
+            other = _wire_decode(sub.recv(lo + p), wire_scale)
             sub.compute(acc.nbytes, label="adasum")
             adasum_flat(acc, other, bounds, out=acc)
     else:
-        acc = _tree_combine(sub, acc, bounds, lo + p, hi)
+        acc = _tree_combine(sub, acc, bounds, lo + p, hi, wire_scale)
         if sub.rank == lo + p:
-            sub.send(acc, lo)
+            # Leaf hop (single-rank subtree): the payload is this rank's
+            # original row, exactly representable in scaled fp16.
+            # Interior hops carry combined partials and stay fp32.
+            payload = _wire_encode(acc, wire_scale) if hi - (lo + p) == 1 else acc
+            sub.send(payload, lo)
     return acc
 
 
@@ -67,6 +105,7 @@ def elastic_reduce(
     boundaries: Optional[Sequence[int]],
     reducer: GradientReducer,
     participants: Optional[Sequence[int]] = None,
+    wire_scale: Optional[float] = None,
 ) -> np.ndarray:
     """Reduce ``data`` rows over ``cluster``; returns the combined row.
 
@@ -76,6 +115,10 @@ def elastic_reduce(
     non-participants run no communication at all.  Failures inside the
     collective propagate as the :class:`CommError` of
     :meth:`Cluster.run` for the supervisor to classify.
+
+    ``wire_scale`` enables lossless fp16 compression of original-row
+    sends (see module docstring): pass the dynamic-scaler scale that
+    the rows were already wire-encoded with, or ``None`` for fp32.
     """
     if data.shape[0] != cluster.size:
         raise ValueError(
@@ -99,17 +142,19 @@ def elastic_reduce(
             return acc
         sub = GroupComm(comm, participants)
         if adasum_tree_mode:
-            acc = _tree_combine(sub, acc, bounds, 0, sub.size)
+            acc = _tree_combine(sub, acc, bounds, 0, sub.size, wire_scale)
             return acc if sub.rank == 0 else None
         # Gather rows to the subgroup root, reduce with the in-process
         # kernel (rank order matches the row-stack order exactly).
+        # Every gathered row is an original contribution: all sends
+        # compress.
         if sub.rank == 0:
             rows: List[np.ndarray] = [acc]
             for src in range(1, sub.size):
-                rows.append(sub.recv(src))
+                rows.append(_wire_decode(sub.recv(src), wire_scale))
             sub.compute(acc.nbytes * (sub.size - 1), label=reducer.name)
             return reducer.reduce_flat(np.stack(rows), boundaries)
-        sub.send(acc, 0)
+        sub.send(_wire_encode(acc, wire_scale), 0)
         return None
 
     results = cluster.run(fn)

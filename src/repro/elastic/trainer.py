@@ -40,6 +40,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.comm.bucketing import BucketPlan
 from repro.comm.faults import RankKilledError
 from repro.comm.netmodel import NetworkModel
 from repro.comm.transport import Cluster, CommError
@@ -92,6 +93,20 @@ class ElasticTrainer:
         Optional on-disk checkpointing cadence (committed steps).
     min_ranks:
         Abort (re-raise) if recovery would shrink the world below this.
+    wire_dtype:
+        ``"fp16"`` applies the dynamic-scaling fp16 wire format to the
+        arena rows *and* compresses original-row sends on the simulated
+        transport to scaled fp16 — half the wire bytes and simulated
+        transmission cost, losslessly (see
+        :mod:`repro.elastic.collective`).
+    bucket_cap_mb:
+        Opt-in bucketed reduction: phase 2 runs one collective per
+        tensor-aligned bucket of the arena (reverse layer order) instead
+        of one whole-row collective.  Results are bit-identical; the
+        combined update is applied only after *every* bucket's
+        collective has succeeded, so a rank killed mid-bucket rolls the
+        step back with the model untouched.  ``None`` (default) keeps
+        the single whole-row collective.
     """
 
     def __init__(
@@ -119,6 +134,8 @@ class ElasticTrainer:
         min_ranks: int = 1,
         probe: Optional[OrthogonalityProbe] = None,
         specialize_kernels: bool = True,
+        wire_dtype: str = "fp32",
+        bucket_cap_mb: Optional[float] = None,
     ):
         if microbatch < 1:
             raise ValueError("microbatch must be >= 1")
@@ -135,6 +152,8 @@ class ElasticTrainer:
         self.per_layer = per_layer
         self.tree = tree
         self.fp16 = fp16
+        self.wire_dtype = wire_dtype
+        self.bucket_cap_mb = bucket_cap_mb
         self.seed = seed
         self.schedule = schedule
         self.straggler = straggler or StragglerPolicy()
@@ -185,6 +204,7 @@ class ElasticTrainer:
             tree=self.tree,
             fp16=self.fp16,
             allow_non_pow2=True,
+            wire_dtype=self.wire_dtype,
         )
         self.arena = GradientArena.from_model(self.model, size)
         self.iterator.reshard(size)
@@ -224,7 +244,7 @@ class ElasticTrainer:
                     "clean_steps": d._scaler._clean_steps,
                     "overflow_count": d._scaler.overflow_count,
                 }
-                if self.fp16 else None
+                if d.wire_fp16 else None
             ),
             iterator=self.iterator.state(),
             global_step=self.global_step,
@@ -238,7 +258,7 @@ class ElasticTrainer:
         """Re-partition snapshot optimizer states onto the current world."""
         d = self.dist_opt
         d.skipped_steps = snap.skipped_steps
-        if self.fp16 and snap.scaler is not None:
+        if d.wire_fp16 and snap.scaler is not None:
             d._scaler.scale_value = snap.scaler["scale_value"]
             d._scaler._clean_steps = snap.scaler["clean_steps"]
             d._scaler.overflow_count = snap.scaler["overflow_count"]
@@ -431,14 +451,9 @@ class ElasticTrainer:
             event_counts = {
                 r: len(self.cluster.tracer.per_rank(r)) for r in range(size)
             }
+            wire_scale = ctx.get("wire_scale")
             try:
-                combined = elastic_reduce(
-                    self.cluster,
-                    self.arena.data,
-                    self.arena.layout.boundaries(),
-                    self.dist_opt.reducer,
-                    participants,
-                )
+                combined = self._run_collective(participants, wire_scale)
             finally:
                 self.cluster.faults = None
             if self.schedule is not None:
@@ -476,6 +491,48 @@ class ElasticTrainer:
         ):
             self.save_checkpoint()
         return mean_loss
+
+    def _run_collective(
+        self, participants: Sequence[int], wire_scale: Optional[float]
+    ) -> np.ndarray:
+        """Phase-2 reduction on the cluster: whole-row, or per bucket.
+
+        The bucketed variant reduces each tensor-aligned column range
+        with its own collective and only *assembles* the combined row —
+        nothing is applied here, so a failure in any bucket abandons the
+        whole step with the model untouched (the supervisor rolls back
+        and retries).  Bit-identical to the whole-row collective:
+        buckets hold whole tensors, so per-layer Adasum sees the same
+        slices either way.
+        """
+        reducer = self.dist_opt.reducer
+        if self.bucket_cap_mb is None or not getattr(reducer, "per_layer", True):
+            # Whole-model Adasum needs whole-row dot products: one
+            # collective regardless of the cap.
+            return elastic_reduce(
+                self.cluster,
+                self.arena.data,
+                self.arena.layout.boundaries(),
+                reducer,
+                participants,
+                wire_scale=wire_scale,
+            )
+        plan = BucketPlan.for_layout(
+            self.arena.layout,
+            max(1, int(self.bucket_cap_mb * (1 << 20))),
+            itemsize=self.arena.dtype.itemsize,
+        )
+        combined = np.empty(self.arena.layout.total_size, dtype=self.arena.dtype)
+        for bucket in plan.buckets:
+            combined[bucket.start:bucket.stop] = elastic_reduce(
+                self.cluster,
+                self.arena.data[:, bucket.start:bucket.stop],
+                bucket.rel_boundaries(),
+                reducer,
+                participants,
+                wire_scale=wire_scale,
+            )
+        return combined
 
     # ------------------------------------------------------------------
     # Disk checkpoints

@@ -96,6 +96,27 @@ class Module:
             p.zero_grad()
 
     # ------------------------------------------------------------------
+    # Grad-ready hooks (overlap scheduling)
+    # ------------------------------------------------------------------
+    def register_grad_ready_hook(self, fn) -> None:
+        """Fire ``fn(name, param)`` when a parameter's gradient is complete.
+
+        ``backward`` counts the contributions each parameter will receive
+        (weight-tied parameters receive several) and invokes the hook on
+        the one that completes the gradient, so a scheduler can start
+        reducing a layer while the rest of backprop is still running.
+        One hook per parameter: registering again replaces the previous
+        hook; ``clear_grad_ready_hooks`` removes them.
+        """
+        for name, p in self.named_parameters():
+            p._grad_hook = (lambda t, _n=name: fn(_n, t))
+
+    def clear_grad_ready_hooks(self) -> None:
+        """Remove grad-ready hooks from every parameter."""
+        for _, p in self.named_parameters():
+            p._grad_hook = None
+
+    # ------------------------------------------------------------------
     # State serialization (used to clone replicas across simulated ranks)
     # ------------------------------------------------------------------
     def state_dict(self) -> Dict[str, np.ndarray]:

@@ -23,6 +23,7 @@ from repro.comm.tracing import CommTracer
 from repro.core.arena import GradientArena
 from repro.core.distributed_optimizer import DistributedOptimizer
 from repro.core.orthogonality import OrthogonalityProbe
+from repro.core.overlap import OverlapScheduler, build_fused_engine
 from repro.data.sampler import BatchIterator, ShardedSampler
 from repro.nn.module import Module
 from repro.tensor import set_kernel_specialization, tune_allocator
@@ -127,6 +128,24 @@ class ParallelTrainer:
         changes the bytes of *unrelated* contractions later in the
         process.  Pass ``False`` when a training run must replay a
         historical byte-for-byte trajectory.
+    overlap:
+        Overlap gradient reduction with backprop via an
+        :class:`~repro.core.overlap.OverlapScheduler`: arena buckets
+        launch on a comm worker as their gradients complete (grad-ready
+        hooks, or a registered fused compute engine whose first step is
+        byte-validated against the serial path before it is trusted).
+        Results are bit-identical to the phased path.  Falls back to
+        phased stepping automatically when an orthogonality probe is
+        attached (it needs raw per-rank gradients before the Figure-3
+        delta rewrite), when ``accumulation > 1``, or on partial-world
+        steps.  Mutually exclusive with ``parallel_ranks``.
+    bucket_cap_mb:
+        Overlap fusion bucket size cap (see
+        :class:`~repro.comm.bucketing.BucketPlan`).
+    overlap_tracer:
+        Optional :class:`~repro.comm.tracing.CommTracer` recording the
+        wall-clock overlap timeline (compute lane vs comm-worker lane);
+        keep it distinct from ``tracer``, whose clock is simulated.
     """
 
     def __init__(
@@ -144,9 +163,17 @@ class ParallelTrainer:
         time_model: Optional[TrainingTimeModel] = None,
         parallel_ranks: bool = False,
         specialize_kernels: bool = True,
+        overlap: bool = False,
+        bucket_cap_mb: float = 1.0,
+        overlap_tracer: Optional[CommTracer] = None,
     ):
         if accumulation < 1:
             raise ValueError("accumulation must be >= 1")
+        if overlap and parallel_ranks:
+            raise ValueError(
+                "overlap and parallel_ranks are mutually exclusive execution "
+                "strategies; choose one"
+            )
         tune_allocator()
         self.model = model
         self.loss_fn = loss_fn
@@ -171,6 +198,20 @@ class ParallelTrainer:
         # (scoped to train_step; see docs/performance.md for why this is
         # not on globally).
         self.specialize_kernels = specialize_kernels
+        # Backprop/communication overlap (opt-in).  The probe needs raw
+        # per-rank gradients before the delta rewrite and accumulation
+        # rescales rows after backward, so both force the phased path.
+        self.overlap = overlap
+        self._overlap_active = overlap and accumulation == 1 and probe is None
+        self._sched: Optional[OverlapScheduler] = None
+        self._fused = None
+        self._fused_validated: Optional[bool] = None
+        if self._overlap_active:
+            self._sched = OverlapScheduler(
+                dist_opt, self.arena, bucket_cap_mb=bucket_cap_mb,
+                tracer=overlap_tracer,
+            )
+            self._fused = build_fused_engine(model, self.num_ranks)
         self.parallel_ranks = parallel_ranks
         self._replicas: List[Module] = []
         self._executor: Optional[ThreadPoolExecutor] = None
@@ -229,6 +270,8 @@ class ParallelTrainer:
             set_kernel_specialization(prior)
 
     def _train_step(self, rank_indices: Sequence[np.ndarray]) -> float:
+        if self._overlap_active and len(rank_indices) == self.num_ranks:
+            return self._train_step_overlap(rank_indices)
         if self.parallel_ranks and len(rank_indices) > 1:
             losses = self._compute_parallel(rank_indices)
         else:
@@ -267,6 +310,85 @@ class ParallelTrainer:
             for rank, idx in enumerate(rank_indices)
         ]
         return [f.result() for f in futures]
+
+    def _train_step_overlap(self, rank_indices: Sequence[np.ndarray]) -> float:
+        """One step with bucket reductions overlapping the backward passes."""
+        xb = [self.x[idx] for idx in rank_indices]
+        yb = [self.y[idx] for idx in rank_indices]
+        if self._fused is not None and self._fused_validated is None:
+            self._validate_fused(xb, yb)
+        if self._fused is not None and self._fused_validated:
+            xcat = np.concatenate(xb)
+            ycat = np.concatenate(yb)
+            views = [self.arena.views(r) for r in range(self.num_ranks)]
+            compute = lambda ready: self._fused.step(xcat, ycat, views, ready_cb=ready)
+        else:
+            compute = lambda ready: self._overlap_compute_serial(xb, yb, ready)
+        losses = self._sched.step(compute)
+        if self.tracer is not None:
+            self._trace_step([self.arena.views(r) for r in range(self.num_ranks)])
+        self.global_step += 1
+        mean_loss = float(np.mean(losses))
+        self.loss_meter.update(mean_loss)
+        return mean_loss
+
+    def _overlap_compute_serial(self, xb, yb, mark_ready) -> List[float]:
+        """Serial per-rank backward passes with grad-ready hooks.
+
+        Each completing gradient is copied into the rank's arena view
+        as backward produces it; the last rank's hook marks the
+        parameter ready so its bucket can launch while that rank's
+        backward is still finishing earlier layers.
+        """
+        model, losses = self.model, []
+        last_rank = len(xb) - 1
+        try:
+            for rank in range(len(xb)):
+                views = self.arena.views(rank)
+                if rank == last_rank:
+                    def hook(name, p, _v=views):
+                        np.copyto(_v[name], p.grad)
+                        mark_ready(name)
+                else:
+                    def hook(name, p, _v=views):
+                        np.copyto(_v[name], p.grad)
+                model.register_grad_ready_hook(hook)
+                model.zero_grad()
+                loss = self.loss_fn(model(xb[rank]), yb[rank])
+                loss.backward()
+                losses.append(float(loss.data))
+        finally:
+            model.clear_grad_ready_hooks()
+        return losses
+
+    def _validate_fused(self, xb, yb) -> None:
+        """Byte-validate the fused engine against serial autograd (once).
+
+        Runs both compute paths on the first overlap batch and compares
+        every arena row byte for byte; any mismatch permanently demotes
+        the engine in favor of the hook-driven serial path.  One-time
+        cost of one extra fused forward/backward.
+        """
+        xcat = np.concatenate(xb)
+        ycat = np.concatenate(yb)
+        views = [self.arena.views(r) for r in range(self.num_ranks)]
+        try:
+            fused_losses = self._fused.step(xcat, ycat, views, ready_cb=None)
+        except (ValueError, TypeError):
+            self._fused_validated = False
+            return
+        fused_rows = self.arena.data.copy()
+        serial_losses = [
+            compute_grads_into(self.model, self.loss_fn, xb[r], yb[r],
+                               self.arena.views(r))
+            for r in range(self.num_ranks)
+        ]
+        self._fused_validated = bool(
+            np.array_equal(
+                fused_rows.view(np.uint8), self.arena.data.view(np.uint8)
+            )
+            and fused_losses == serial_losses
+        )
 
     def _trace_step(self, grad_dicts: Sequence[Dict[str, np.ndarray]]) -> None:
         """Record one compute + one allreduce event per simulated rank.

@@ -1,0 +1,96 @@
+"""Tests for reverse-order gradient bucketing (``comm/bucketing.py``)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.comm.bucketing import BucketPlan
+from repro.comm.fusion import layout_of
+
+
+def _layout(sizes):
+    rng = np.random.default_rng(0)
+    return layout_of(
+        [(f"t{i}", rng.standard_normal(s).astype(np.float32))
+         for i, s in enumerate(sizes)]
+    )
+
+
+class TestBucketPlan:
+    def test_reverse_order_and_coverage(self):
+        layout = _layout([10, 20, 30, 40])
+        plan = BucketPlan.for_layout(layout, cap_bytes=1 << 30)
+        # Everything fits in one bucket; names come in backward order.
+        assert plan.num_buckets == 1
+        assert plan.buckets[0].names == ("t3", "t2", "t1", "t0")
+        assert plan.buckets[0].start == 0
+        assert plan.buckets[0].stop == layout.total_size
+
+    def test_cap_respected_and_contiguous(self):
+        layout = _layout([64] * 10)  # 256 B each
+        plan = BucketPlan.for_layout(layout, cap_bytes=512)
+        assert plan.num_buckets == 5
+        seen = []
+        for b in plan.buckets:
+            assert (b.stop - b.start) * 4 <= 512
+            seen.extend(b.names)
+        # Union covers every tensor exactly once, in reverse layout order.
+        assert seen == [f"t{i}" for i in reversed(range(10))]
+        # Buckets walk from the back of the flat buffer to the front.
+        stops = [b.stop for b in plan.buckets]
+        assert stops == sorted(stops, reverse=True)
+        assert plan.buckets[0].stop == layout.total_size
+        assert plan.buckets[-1].start == 0
+
+    def test_oversized_tensor_gets_own_bucket(self):
+        layout = _layout([8, 4096, 8])
+        plan = BucketPlan.for_layout(layout, cap_bytes=64)
+        big = plan.bucket_of("t1")
+        assert big.names == ("t1",)
+        assert big.size == 4096
+
+    def test_boundaries_are_per_tensor(self):
+        layout = _layout([10, 20, 30])
+        plan = BucketPlan.for_layout(layout, cap_bytes=1 << 30)
+        b = plan.buckets[0]
+        assert b.boundaries == (0, 10, 30, 60)
+        assert b.rel_boundaries() == (0, 10, 30, 60)
+        tail = BucketPlan.for_layout(layout, cap_bytes=30 * 4)
+        assert tail.buckets[0].boundaries == (30, 60)
+        assert tail.buckets[0].rel_boundaries() == (0, 30)
+
+    def test_plan_is_cached(self):
+        layout = _layout([10, 20])
+        a = BucketPlan.for_layout(layout, cap_bytes=1024)
+        b = BucketPlan.for_layout(layout, cap_bytes=1024)
+        assert a is b
+        c = BucketPlan.for_layout(layout, cap_bytes=2048)
+        assert c is not a
+
+    def test_bucket_of_unknown_name_raises(self):
+        plan = BucketPlan.for_layout(_layout([4]), cap_bytes=1024)
+        with pytest.raises(KeyError):
+            plan.bucket_of("nope")
+
+    def test_zero_cap_rejected(self):
+        with pytest.raises(ValueError):
+            BucketPlan.for_layout(_layout([4]), cap_bytes=0)
+
+    @given(st.lists(st.integers(min_value=1, max_value=200),
+                    min_size=1, max_size=12),
+           st.integers(min_value=16, max_value=2048))
+    @settings(max_examples=60, deadline=None)
+    def test_property_partition(self, sizes, cap_bytes):
+        """Any plan partitions the flat buffer: tensor-aligned, contiguous
+        back-to-front, no gaps, no overlaps."""
+        layout = _layout(sizes)
+        plan = BucketPlan.for_layout(layout, cap_bytes=cap_bytes)
+        edges = [(b.start, b.stop) for b in plan.buckets]
+        assert edges[0][1] == layout.total_size
+        assert edges[-1][0] == 0
+        for (s1, e1), (s0, e0) in zip(edges[1:], edges[:-1]):
+            assert e1 == s0  # descending, touching ranges
+        for b in plan.buckets:
+            # Boundaries land exactly on the layout's tensor edges.
+            for bound in b.boundaries:
+                assert bound in set(layout.boundaries())
