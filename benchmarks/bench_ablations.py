@@ -14,11 +14,11 @@ from benchmarks.conftest import announce
 from repro import nn
 from repro.comm import FusionBuffer, NetworkModel
 from repro.core import (
-    AdasumReducer,
     DistributedOptimizer,
     ReduceOpType,
     adasum_linear,
     adasum_tree,
+    make_reducer,
 )
 from repro.data import make_mnist_like, train_test_split
 from repro.models import MLP
@@ -140,7 +140,7 @@ class TestFp16:
             from repro.train.trainer import compute_grads
 
             model = MLP((784, 32, 10), rng=np.random.default_rng(0))
-            reducer = AdasumReducer()
+            reducer = make_reducer("adasum")
             opt = SGD(model.parameters(), 0.01, momentum=0.9)
             codec, scaler = Float16Codec(), DynamicScaler()
             params = dict(model.named_parameters())

@@ -12,12 +12,23 @@ from benchmarks.conftest import announce
 from repro.comm import Cluster, NetworkModel
 from repro.comm.fusion import layout_of
 from repro.core import allreduce_adasum_cluster
-from repro.core.adasum_ring import adasum_ring, adasum_ring_flat
-from repro.core.adasum_rvh import adasum_rvh, adasum_rvh_flat
+from repro.core.adasum_ring import adasum_ring
+from repro.core.adasum_rvh import adasum_rvh
+from repro.core.strategies import get_strategy
 from repro.experiments import run_fig4, validate_rvh_simulation
 from repro.utils import format_table
 
 HEADERS = ["tensor (bytes)", "Adasum (ms)", "NCCL sum (ms)", "ratio"]
+
+
+def rvh_flat(comm, row, boundaries=None):
+    """Registry-backed flat AdasumRVH (per-rank cluster entry point)."""
+    return get_strategy("adasum", "rvh").combine_comm(comm, row, boundaries)
+
+
+def ring_flat(comm, row, boundaries=None):
+    """Registry-backed flat Adasum ring (per-rank cluster entry point)."""
+    return get_strategy("adasum", "ring").combine_comm(comm, row, boundaries)
 
 
 def test_fig4_latency_sweep(benchmark, save_result):
@@ -83,7 +94,7 @@ def test_fig4_executed_allreduce_benchmark(benchmark):
     def run():
         cluster = Cluster(8)
         results = cluster.run(
-            adasum_rvh_flat, rank_args=[(g, boundaries) for g in grads]
+            rvh_flat, rank_args=[(g, boundaries) for g in grads]
         )
         return results[0]
 
@@ -93,7 +104,7 @@ def test_fig4_executed_allreduce_benchmark(benchmark):
 
 @pytest.mark.parametrize("ranks", [4, 8])
 def test_fig4_flat_entry_points_bit_exact(ranks):
-    """``adasum_rvh_flat``/``adasum_ring_flat`` over raw rows +
+    """The registry's flat ``combine_comm`` paths over raw rows +
     boundaries are bit-identical to the layout (dict-derived) paths."""
     rng = np.random.default_rng(3)
     named = [(f"l{i}", rng.standard_normal((32, 16)).astype(np.float32))
@@ -104,8 +115,8 @@ def test_fig4_flat_entry_points_bit_exact(ranks):
              for _ in range(ranks)]
     boundaries = layout.boundaries()
 
-    for dict_fn, flat_fn in ((adasum_rvh, adasum_rvh_flat),
-                             (adasum_ring, adasum_ring_flat)):
+    for dict_fn, flat_fn in ((adasum_rvh, rvh_flat),
+                             (adasum_ring, ring_flat)):
         via_layout = Cluster(ranks).run(
             dict_fn, rank_args=[(g, layout) for g in grads]
         )

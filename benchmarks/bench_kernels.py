@@ -23,7 +23,7 @@ from repro.core import (
     adasum,
     adasum_tree,
 )
-from repro.core.reduction import AdasumReducer, SumReducer
+from repro.core.distributed_optimizer import make_reducer
 from repro.models import LeNet5, MiniBERT
 from repro.optim import SGD, Adam
 from repro.train import ParallelTrainer
@@ -90,27 +90,27 @@ def test_tree_reduction_16_ranks(benchmark):
 
 def test_per_layer_reducer_lenet_sized(benchmark):
     dicts = _lenet_grad_dicts(8)
-    reducer = AdasumReducer()
+    reducer = make_reducer("adasum")
     out = benchmark(reducer.reduce, dicts)
     assert set(out) == set(dicts[0])
 
 
 def test_per_layer_reducer_lenet_flat(benchmark):
     arena = GradientArena.from_grad_dicts(_lenet_grad_dicts(8))
-    reducer = AdasumReducer()
+    reducer = make_reducer("adasum")
     out = benchmark(reducer.reduce_arena, arena)
     assert out.shape == (arena.layout.total_size,)
 
 
 def test_sum_reducer_lenet_sized(benchmark):
     dicts = _lenet_grad_dicts(8)
-    out = benchmark(SumReducer().reduce, dicts)
+    out = benchmark(make_reducer("sum").reduce, dicts)
     assert set(out) == set(dicts[0])
 
 
 def test_sum_reducer_lenet_flat(benchmark):
     arena = GradientArena.from_grad_dicts(_lenet_grad_dicts(8))
-    reducer = SumReducer()
+    reducer = make_reducer("sum")
     out = benchmark(reducer.reduce_arena, arena)
     assert out.shape == (arena.layout.total_size,)
 

@@ -45,7 +45,7 @@ sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 from repro import nn  # noqa: E402
 from repro.core import DistributedOptimizer, ReduceOpType, adasum, adasum_tree  # noqa: E402
 from repro.core.arena import GradientArena  # noqa: E402
-from repro.core.reduction import AdasumReducer, SumReducer  # noqa: E402
+from repro.core.distributed_optimizer import make_reducer  # noqa: E402
 from repro.models import LeNet5, MiniBERT  # noqa: E402
 from repro.optim import SGD, Adam  # noqa: E402
 from repro.train import ParallelTrainer  # noqa: E402
@@ -118,12 +118,12 @@ def build_ops():
         # reduce_arena over zero-copy rows (same math, same result as
         # the historical dict reduce this op used to time).
         arena = GradientArena.from_grad_dicts(_lenet_grad_dicts(8))
-        reducer = AdasumReducer()
+        reducer = make_reducer("adasum")
         return lambda: reducer.reduce_arena(arena)
 
     def sum_reducer_setup():
         arena = GradientArena.from_grad_dicts(_lenet_grad_dicts(8))
-        reducer = SumReducer()
+        reducer = make_reducer("sum")
         return lambda: reducer.reduce_arena(arena)
 
     def compute_grads_setup():

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Lint: forbid private Adasum kernel names outside ``repro.core``.
+
+The strategy registry (``repro.core.strategies``) is the single
+dispatch point for every reduction path.  Code outside ``src/repro/core``
+must go through ``get_strategy(...)`` / ``make_reducer(...)`` /
+``cluster_allreduce(...)`` rather than importing the private flat
+kernels or the deprecated per-topology entry points directly.  This
+grep-level check keeps the boundary from eroding: a private name that
+leaks into another package turns the next kernel refactor into a
+cross-package breakage.
+
+Usage::
+
+    python scripts/lint_private_imports.py
+
+Exits non-zero and prints every offending ``path:line`` when a
+forbidden token appears outside the allowed area.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+# Private kernel internals plus the deprecated flat entry points.  The
+# deprecated names still exist (as warn-once shims in repro.core) so old
+# user code keeps working, but nothing in this repo outside core/ may
+# call them.
+FORBIDDEN = (
+    "_adasum_flat_reduce",
+    "_FlatReducePlan",
+    "_adasum_rvh_level",
+    "_adasum_flat_pair",
+    "_flat_pair_scales",
+    "_rvh_flat",
+    "_ring_flat",
+    "adasum_tree_flat",
+    "adasum_tree_any_flat",
+    "adasum_linear_flat",
+    "adasum_rvh_flat",
+    "adasum_ring_flat",
+)
+
+# Everything under these roots is scanned; files under src/repro/core
+# are the implementation and may use the private names freely.
+SCAN_ROOTS = ("src", "benchmarks", "scripts")
+ALLOWED_PREFIX = REPO / "src" / "repro" / "core"
+
+
+def scan() -> list[str]:
+    offenders = []
+    for root in SCAN_ROOTS:
+        for path in sorted((REPO / root).rglob("*.py")):
+            if path == REPO / "scripts" / "lint_private_imports.py":
+                continue
+            if ALLOWED_PREFIX in path.parents or path == ALLOWED_PREFIX:
+                continue
+            for lineno, line in enumerate(path.read_text().splitlines(), 1):
+                for token in FORBIDDEN:
+                    if token in line:
+                        rel = path.relative_to(REPO)
+                        offenders.append(f"{rel}:{lineno}: {token}: {line.strip()}")
+    return offenders
+
+
+def main() -> int:
+    offenders = scan()
+    if offenders:
+        print("private reduction-kernel names leaked outside repro.core:")
+        for line in offenders:
+            print(f"  {line}")
+        print(
+            "\nroute through repro.core.strategies.get_strategy(...), "
+            "repro.core.make_reducer(...), or "
+            "repro.comm.cluster_allreduce(...) instead."
+        )
+        return 1
+    print("lint_private_imports: no private kernel names outside repro.core")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -130,21 +130,27 @@ TRACE_COLLECTIVES = ("adasum_rvh", "adasum_ring", "ring", "rd", "hierarchical")
 
 
 def _trace_collective_fn(name: str, gpus_per_node: int) -> Callable:
-    """Resolve a traceable collective to ``fn(comm, vector)``."""
-    from repro.comm import allreduce_recursive_doubling, allreduce_ring
-    from repro.comm.hierarchical import hierarchical_adasum_allreduce
-    from repro.core.adasum_ring import adasum_ring
-    from repro.core.adasum_rvh import adasum_rvh
+    """Resolve a traceable collective to ``fn(comm, vector)``.
 
-    return {
-        "adasum_rvh": adasum_rvh,
-        "adasum_ring": adasum_ring,
-        "ring": allreduce_ring,
-        "rd": allreduce_recursive_doubling,
-        "hierarchical": lambda comm, g: hierarchical_adasum_allreduce(
+    Every ``(op, topology)`` collective routes through the one
+    :func:`~repro.comm.collectives.cluster_allreduce` dispatcher, so
+    tracing exercises the same strategy-registry path as training.
+    """
+    from repro.comm.collectives import cluster_allreduce
+    from repro.comm.hierarchical import hierarchical_adasum_allreduce
+
+    dispatch = {
+        "adasum_rvh": ("adasum", "rvh"),
+        "adasum_ring": ("adasum", "ring"),
+        "ring": ("sum", "ring"),
+        "rd": ("sum", "tree"),
+    }
+    if name == "hierarchical":
+        return lambda comm, g: hierarchical_adasum_allreduce(
             comm, g, gpus_per_node
-        ),
-    }[name]
+        )
+    op, topology = dispatch[name]
+    return lambda comm, g: cluster_allreduce(comm, g, op=op, topology=topology)
 
 
 def _trace_main(argv) -> int:
@@ -229,7 +235,7 @@ def _trace_main(argv) -> int:
 def _elastic_main(argv) -> int:
     """``python -m repro elastic``: elastic training run with injected kills."""
     from repro import nn
-    from repro.core import ReduceOpType
+    from repro.core.config import RunConfig
     from repro.models import MLP
     from repro.optim import SGD
     from repro.elastic import ElasticSchedule, ElasticTrainer, StragglerPolicy
@@ -248,6 +254,12 @@ def _elastic_main(argv) -> int:
     parser.add_argument("--lr", type=float, default=0.2)
     parser.add_argument("--op", choices=("adasum", "sum", "average"),
                         default="adasum")
+    parser.add_argument("--topology",
+                        choices=("tree", "tree_any", "linear", "ring"),
+                        default="tree",
+                        help="reduction recursion order (the elastic runtime "
+                             "widens 'tree' to 'tree_any' so shrunk worlds "
+                             "keep reducing)")
     parser.add_argument("--fp16", action="store_true",
                         help="fp16 wire format with dynamic loss scaling")
     parser.add_argument("--wire-dtype", choices=("fp32", "fp16"), default="fp32",
@@ -300,14 +312,19 @@ def _elastic_main(argv) -> int:
         NetworkModel(alpha=1e-6, beta=2e-9, gamma=0.0, name="lossy")
         if args.straggle is not None else None
     )
-    trainer = ElasticTrainer(
-        model, nn.CrossEntropyLoss(), lambda ps: SGD(ps, lr=args.lr), x, y,
-        microbatch=args.microbatch, num_ranks=args.ranks,
-        op=ReduceOpType[args.op.upper()], fp16=args.fp16, seed=args.seed,
+    # One declarative config from the parsed flags; the trainer (and its
+    # DistributedOptimizer) consume it through from_config.
+    config = RunConfig(
+        op=args.op, topology=args.topology, fp16=args.fp16,
         wire_dtype=args.wire_dtype, bucket_cap_mb=args.bucket_cap_mb,
-        schedule=schedule if have_faults else None,
-        straggler=StragglerPolicy(mode=args.straggler_policy),
+        num_ranks=args.ranks, microbatch=args.microbatch, seed=args.seed,
+        faults=schedule if have_faults else None,
         network=network, timeout=args.timeout, min_ranks=args.min_ranks,
+    )
+    trainer = ElasticTrainer.from_config(
+        model, nn.CrossEntropyLoss(), lambda ps: SGD(ps, lr=args.lr), x, y,
+        config,
+        straggler=StragglerPolicy(mode=args.straggler_policy),
         checkpoint_path=args.checkpoint,
         checkpoint_every=args.checkpoint_every if args.checkpoint else None,
     )
@@ -345,8 +362,7 @@ def _overlap_main(argv) -> int:
     """``python -m repro overlap``: phased vs bucketed-overlap training."""
     from repro import nn
     from repro.comm import CommTracer
-    from repro.core import ReduceOpType
-    from repro.core.distributed_optimizer import DistributedOptimizer
+    from repro.core.config import RunConfig
     from repro.models import MLP
     from repro.optim import SGD
     from repro.train.trainer import ParallelTrainer
@@ -366,6 +382,10 @@ def _overlap_main(argv) -> int:
     parser.add_argument("--lr", type=float, default=0.1)
     parser.add_argument("--op", choices=("adasum", "sum", "average"),
                         default="adasum")
+    parser.add_argument("--topology",
+                        choices=("tree", "tree_any", "linear", "ring"),
+                        default="tree",
+                        help="reduction recursion order for the flat kernels")
     parser.add_argument("--bucket-cap-mb", type=float, default=1.0,
                         help="overlap bucket size cap in MB")
     parser.add_argument("--wire-dtype", choices=("fp32", "fp16"),
@@ -381,18 +401,19 @@ def _overlap_main(argv) -> int:
     rng = np.random.default_rng(args.seed)
     x = rng.standard_normal((args.samples, 16)).astype(np.float32)
     y = (x @ rng.standard_normal((16, 4))).argmax(axis=1)
-    op = ReduceOpType[args.op.upper()]
+    # One declarative config from the parsed flags; both runs derive
+    # from it (the overlap flag is the only difference).
+    config = RunConfig(
+        op=args.op, topology=args.topology, wire_dtype=args.wire_dtype,
+        bucket_cap_mb=args.bucket_cap_mb, num_ranks=args.ranks,
+        microbatch=args.microbatch, seed=args.seed,
+    )
 
     def run(overlap: bool, tracer=None):
         model = MLP((16, 64, 64, 4), rng=np.random.default_rng(args.seed))
-        dist_opt = DistributedOptimizer(
-            model, lambda ps: SGD(ps, lr=args.lr), args.ranks, op=op,
-            wire_dtype=args.wire_dtype,
-        )
-        trainer = ParallelTrainer(
-            model, nn.CrossEntropyLoss(), dist_opt, x, y,
-            microbatch=args.microbatch, seed=args.seed, overlap=overlap,
-            bucket_cap_mb=args.bucket_cap_mb, overlap_tracer=tracer,
+        trainer = ParallelTrainer.from_config(
+            model, nn.CrossEntropyLoss(), lambda ps: SGD(ps, lr=args.lr),
+            x, y, config.replace(overlap=overlap), overlap_tracer=tracer,
         )
         t0 = time.time()
         steps = 0

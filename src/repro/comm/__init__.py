@@ -25,6 +25,7 @@ from repro.comm.netmodel import (
     ring_allreduce_cost,
     rvh_allreduce_cost,
     adasum_rvh_cost,
+    adasum_ring_cost,
     nccl_allreduce_cost,
     hierarchical_allreduce_cost,
 )
@@ -45,6 +46,7 @@ from repro.comm.hierarchical import (
 from repro.comm.collectives import (
     allreduce_ring,
     allreduce_recursive_doubling,
+    cluster_allreduce,
     reduce_scatter_halving,
     allgather_doubling,
     broadcast,
@@ -69,6 +71,7 @@ __all__ = [
     "cross_node_peers",
     "allreduce_ring",
     "allreduce_recursive_doubling",
+    "cluster_allreduce",
     "reduce_scatter_halving",
     "allgather_doubling",
     "broadcast",
@@ -80,6 +83,7 @@ __all__ = [
     "ring_allreduce_cost",
     "rvh_allreduce_cost",
     "adasum_rvh_cost",
+    "adasum_ring_cost",
     "nccl_allreduce_cost",
     "hierarchical_allreduce_cost",
 ]

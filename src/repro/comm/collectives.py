@@ -159,6 +159,49 @@ def allgather_doubling(comm: Comm, data: np.ndarray, slice_range, total_size: in
     return out
 
 
+def cluster_allreduce(
+    comm: Comm,
+    x: np.ndarray,
+    op: str = "sum",
+    topology: str = "ring",
+    boundaries: Sequence[int] = None,
+) -> np.ndarray:
+    """Declarative cluster allreduce: dispatch ``(op, topology)`` to the
+    matching collective.
+
+    ``adasum`` routes through the strategy registry's cluster form
+    (``get_strategy(op, topology).combine_comm`` — AdasumRVH or the
+    ring/linear chain, with per-layer ``boundaries``); ``sum`` and
+    ``average`` run the elementwise collectives here (``ring``,
+    recursive doubling for ``tree``/``tree_any``, reduce-scatter +
+    allgather for ``rvh``), dividing by the rank count for ``average``.
+    This is the entry point the CLI ``trace`` command drives, so every
+    traced collective goes through the same dispatcher as training.
+    """
+    op = str(getattr(op, "value", op)).lower()
+    topology = str(topology).lower()
+    if op == "adasum":
+        # Lazy import: repro.comm.__init__ imports this module, and the
+        # strategies module imports repro.comm.transport back.
+        from repro.core.strategies import get_strategy
+
+        return get_strategy(op, topology).combine_comm(comm, x, boundaries)
+    if op not in ("sum", "average"):
+        raise ValueError(f"unknown reduction op {op!r} for cluster_allreduce")
+    if topology == "ring":
+        result = allreduce_ring(comm, x)
+    elif topology in ("tree", "tree_any", "linear"):
+        result = allreduce_recursive_doubling(comm, x)
+    elif topology == "rvh":
+        piece, slice_range = reduce_scatter_halving(comm, x)
+        result = allgather_doubling(comm, piece, slice_range, x.size).reshape(x.shape)
+    else:
+        raise ValueError(f"unknown topology {topology!r} for cluster_allreduce")
+    if op == "average":
+        result = result / comm.size
+    return result
+
+
 def broadcast(comm: Comm, x: np.ndarray, root: int = 0) -> np.ndarray:
     """Binomial-tree broadcast from ``root`` (classic MPI algorithm)."""
     size = comm.size

@@ -152,6 +152,22 @@ def adasum_rvh_cost(nbytes: int, p: int, net: NetworkModel) -> float:
     return total
 
 
+def adasum_ring_cost(nbytes: int, p: int, net: NetworkModel) -> float:
+    """Analytic latency of the ring Adasum (§4.2.3): a serial chain of
+    P-1 full-vector hops plus a binomial broadcast.
+
+    Lives beside :func:`adasum_rvh_cost` so the Figure 4 style
+    comparisons draw every analytic model from one module (historically
+    this was defined next to the executable ring in
+    ``repro.core.adasum_ring``, which still re-exports it).
+    """
+    if p == 1:
+        return 0.0
+    chain = (p - 1) * (net.send_cost(nbytes) + net.reduce_cost(2 * nbytes))
+    bcast = math.ceil(math.log2(p)) * net.send_cost(nbytes)
+    return chain + bcast
+
+
 def hierarchical_allreduce_cost(
     nbytes: int,
     nodes: int,

@@ -5,9 +5,17 @@ Modules
 ``operator``
     The pairwise Adasum combiner and its recursive (tree / linear)
     application, whole-model and per-layer.
+``strategies``
+    The reduction engine: the ``(op, topology, layout)`` strategy
+    registry, the ``ReduceStrategy`` protocol, and the registry-backed
+    ``StrategyReducer`` every trainer plugs in.
+``config``
+    Frozen declarative ``RunConfig`` plus the shared ``parse_op`` /
+    ``parse_topology`` CLI helpers and centralized validation.
 ``reduction``
-    ``GradientReducer`` strategy objects (Sum / Average / Adasum) that
-    the training simulator plugs in, each with a flat-buffer fast path.
+    Deprecated compatibility layer: the legacy ``GradientReducer``
+    classes (Sum / Average / Adasum), now thin shims over
+    ``strategies``.
 ``arena``
     ``GradientArena`` — one contiguous flat gradient buffer per rank
     with named zero-copy views (the fused-tensor layout of §4.4.3)
@@ -46,6 +54,20 @@ from repro.core.operator import (
     orthogonality_ratio,
 )
 from repro.core.arena import GradientArena, layer_id_index
+from repro.core.strategies import (
+    ReduceStrategy,
+    StrategyReducer,
+    get_strategy,
+    register_strategy,
+    registered_cells,
+)
+from repro.core.config import (
+    RunConfig,
+    parse_op,
+    parse_topology,
+    validate_execution_strategy,
+)
+from repro.core.deprecation import reset_deprecation_warnings
 from repro.core.reduction import (
     GradientReducer,
     SumReducer,
@@ -91,6 +113,16 @@ __all__ = [
     "orthogonality_ratio",
     "GradientArena",
     "layer_id_index",
+    "ReduceStrategy",
+    "StrategyReducer",
+    "get_strategy",
+    "register_strategy",
+    "registered_cells",
+    "RunConfig",
+    "parse_op",
+    "parse_topology",
+    "validate_execution_strategy",
+    "reset_deprecation_warnings",
     "GradientReducer",
     "SumReducer",
     "AverageReducer",

@@ -56,10 +56,10 @@ def adasum_ring(
     as §4.2.3 reports.
     """
     slices = tuple(layout.slices) if layout is not None else None
-    return adasum_ring_flat(comm, x, boundaries=None, _slices=slices)
+    return _ring_flat(comm, x, boundaries=None, _slices=slices)
 
 
-def adasum_ring_flat(
+def _ring_flat(
     comm: Comm,
     row: np.ndarray,
     boundaries: Optional[Sequence[int]] = None,
@@ -70,7 +70,8 @@ def adasum_ring_flat(
     ``boundaries`` follows the ``layout.boundaries()`` convention
     (per-tensor offsets, ``len = #tensors + 1``) for per-layer pairwise
     combination, or ``None`` for whole-vector Adasum.  Bit-exact with
-    :func:`adasum_ring` given the matching layout.
+    :func:`adasum_ring` given the matching layout.  Reached through
+    ``get_strategy("adasum", "ring").combine_comm``.
     """
     if _slices is not None:
         slices = _slices
@@ -98,6 +99,27 @@ def adasum_ring_flat(
     return result
 
 
+def adasum_ring_flat(
+    comm: Comm,
+    row: np.ndarray,
+    boundaries: Optional[Sequence[int]] = None,
+    _slices: Optional[Tuple[Tuple[int, int], ...]] = None,
+) -> np.ndarray:
+    """Ring Adasum over a flat arena row.
+
+    .. deprecated:: forward to
+       ``get_strategy("adasum", "ring").combine_comm``.
+    """
+    from repro.core.deprecation import warn_deprecated
+
+    warn_deprecated("adasum_ring_flat", 'get_strategy("adasum", "ring").combine_comm')
+    if _slices is not None:
+        return _ring_flat(comm, row, boundaries, _slices)
+    from repro.core.strategies import get_strategy
+
+    return get_strategy("adasum", "ring").combine_comm(comm, row, boundaries)
+
+
 def allreduce_adasum_ring_cluster(grads, layout=None, network=None):
     """Driver mirroring :func:`repro.core.adasum_rvh.allreduce_adasum_cluster`."""
     size = len(grads)
@@ -109,13 +131,7 @@ def allreduce_adasum_ring_cluster(grads, layout=None, network=None):
     return results[0], cluster.max_clock()
 
 
-def adasum_ring_cost(nbytes: int, p: int, net) -> float:
-    """Analytic latency of the ring Adasum: a serial chain of P-1
-    full-vector hops plus a binomial broadcast."""
-    if p == 1:
-        return 0.0
-    chain = (p - 1) * (net.send_cost(nbytes) + net.reduce_cost(2 * nbytes))
-    import math
-
-    bcast = math.ceil(math.log2(p)) * net.send_cost(nbytes)
-    return chain + bcast
+# Moved beside the other analytic network-cost models; re-exported here
+# so existing ``from repro.core.adasum_ring import adasum_ring_cost``
+# call sites keep working.
+from repro.comm.netmodel import adasum_ring_cost  # noqa: E402,F401

@@ -118,11 +118,10 @@ def adasum_rvh(
     (or fused gradient buffer); the return value is the Adasum-combined
     vector, identical on every rank.
     """
-    return adasum_rvh_flat(comm, x, boundaries=None,
-                           _slices=_layer_slices(layout))
+    return _rvh_flat(comm, x, boundaries=None, _slices=_layer_slices(layout))
 
 
-def adasum_rvh_flat(
+def _rvh_flat(
     comm: Comm,
     row: np.ndarray,
     boundaries: Optional[Sequence[int]] = None,
@@ -135,7 +134,8 @@ def adasum_rvh_flat(
     the per-tensor offsets (``layout.boundaries()`` convention) for the
     per-layer dot products, or ``None`` for whole-vector Adasum.
     Bit-exact with :func:`adasum_rvh` given the matching layout
-    (asserted in ``tests/core/test_adasum_rvh.py``).
+    (asserted in ``tests/core/test_adasum_rvh.py``).  Reached through
+    ``get_strategy("adasum", "rvh").combine_comm``.
     """
     size = comm.size
     if size & (size - 1):
@@ -145,6 +145,27 @@ def adasum_rvh_flat(
         return flat.copy()
     slices = _slices if _slices is not None else _layer_slices(None, boundaries)
     return _adasum_rvh_level(comm, flat, d=1, start=0, slices=slices)
+
+
+def adasum_rvh_flat(
+    comm: Comm,
+    row: np.ndarray,
+    boundaries: Optional[Sequence[int]] = None,
+    _slices: Optional[Tuple[Tuple[int, int], ...]] = None,
+) -> np.ndarray:
+    """AdasumRVH over a flat arena row.
+
+    .. deprecated:: forward to
+       ``get_strategy("adasum", "rvh").combine_comm``.
+    """
+    from repro.core.deprecation import warn_deprecated
+
+    warn_deprecated("adasum_rvh_flat", 'get_strategy("adasum", "rvh").combine_comm')
+    if _slices is not None:
+        return _rvh_flat(comm, row, boundaries, _slices)
+    from repro.core.strategies import get_strategy
+
+    return get_strategy("adasum", "rvh").combine_comm(comm, row, boundaries)
 
 
 def _adasum_rvh_level(

@@ -1,0 +1,137 @@
+"""Declarative run configuration for the reduction engine.
+
+Before this module, every layer (CLI, trainers, elastic runtime,
+benchmarks) parsed its own op/topology/fp16/bucket flags and enforced
+its own slice of the mutual-exclusion rules.  :class:`RunConfig` is the
+one frozen description of a run: flags are parsed into it exactly once
+(:func:`parse_op` / :func:`parse_topology` in the CLI), validation
+happens centrally in ``__post_init__`` (including the
+``overlap``/``parallel_ranks`` exclusion that used to live in
+``ParallelTrainer.__init__``), and the trainers consume it through
+``from_config`` classmethods.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.core.distributed_optimizer import ReduceOpType
+from repro.core.strategies import (
+    OPS,
+    TOPOLOGIES,
+    StrategyReducer,
+    get_strategy,
+)
+
+
+def parse_op(value) -> ReduceOpType:
+    """Parse a CLI/user-facing op name into a :class:`ReduceOpType`.
+
+    Accepts the enum itself, its value, or any case variant of the
+    name; raises ``ValueError`` listing the valid ops otherwise.
+    """
+    if isinstance(value, ReduceOpType):
+        return value
+    try:
+        return ReduceOpType(str(getattr(value, "value", value)).lower())
+    except ValueError:
+        raise ValueError(
+            f"unknown reduction op {value!r}; choose from {sorted(OPS)}"
+        ) from None
+
+
+def parse_topology(value) -> str:
+    """Parse/validate a topology name (``tree``/``tree_any``/``linear``/
+    ``rvh``/``ring``); case-insensitive, ``-`` accepted for ``_``."""
+    topology = str(value).lower().replace("-", "_")
+    if topology not in TOPOLOGIES:
+        raise ValueError(
+            f"unknown topology {value!r}; choose from {sorted(TOPOLOGIES)}"
+        )
+    return topology
+
+
+def validate_execution_strategy(overlap: bool, parallel_ranks: bool) -> None:
+    """The one home of the overlap/parallel-ranks exclusion rule."""
+    if overlap and parallel_ranks:
+        raise ValueError(
+            "overlap and parallel_ranks are mutually exclusive execution "
+            "strategies; choose one"
+        )
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Frozen, validated description of one training/reduction run.
+
+    Parameters mirror the union of the trainer/optimizer keyword
+    surfaces; construction normalizes ``op``/``topology`` and fails
+    fast on any inconsistent combination, so a ``RunConfig`` that
+    exists is runnable.  Use :meth:`replace` for modified copies.
+    """
+
+    op: str = "adasum"
+    topology: str = "tree"
+    per_layer: bool = True
+    adasum_pre_optimizer: bool = False
+    fp16: bool = False
+    wire_dtype: str = "fp32"
+    bucket_cap_mb: Optional[float] = None
+    overlap: bool = False
+    parallel_ranks: bool = False
+    num_ranks: int = 1
+    microbatch: int = 1
+    seed: int = 0
+    faults: Optional[object] = None
+    network: Optional[object] = None
+    timeout: float = 10.0
+    min_ranks: int = 1
+
+    def __post_init__(self):
+        object.__setattr__(self, "op", parse_op(self.op).value)
+        object.__setattr__(self, "topology", parse_topology(self.topology))
+        # Fail fast if the cell is not registered.
+        get_strategy(self.op, self.topology, "flat")
+        if self.wire_dtype not in ("fp32", "fp16"):
+            raise ValueError(
+                f"wire_dtype must be 'fp32' or 'fp16', got {self.wire_dtype!r}"
+            )
+        if self.num_ranks < 1:
+            raise ValueError("num_ranks must be >= 1")
+        if self.microbatch < 1:
+            raise ValueError("microbatch must be >= 1")
+        if self.bucket_cap_mb is not None and self.bucket_cap_mb <= 0:
+            raise ValueError("bucket_cap_mb must be positive")
+        if self.min_ranks < 1:
+            raise ValueError("min_ranks must be >= 1")
+        if self.timeout <= 0:
+            raise ValueError("timeout must be positive")
+        validate_execution_strategy(self.overlap, self.parallel_ranks)
+
+    # -- derived views -------------------------------------------------
+    @property
+    def reduce_op(self) -> ReduceOpType:
+        """The op as the :class:`ReduceOpType` enum."""
+        return ReduceOpType(self.op)
+
+    @property
+    def tree(self) -> bool:
+        """Legacy ``tree`` flag: topology is a binary-tree recursion."""
+        return self.topology in ("tree", "tree_any")
+
+    @property
+    def allow_non_pow2(self) -> bool:
+        """Legacy non-power-of-two flag (the ``tree_any`` geometry)."""
+        return self.topology != "tree"
+
+    def make_reducer(self) -> StrategyReducer:
+        """Build the registry-backed reducer this config describes."""
+        return StrategyReducer(
+            op=self.op, topology=self.topology, per_layer=self.per_layer
+        )
+
+    def replace(self, **changes) -> "RunConfig":
+        """A modified copy (re-runs all validation)."""
+        return dataclasses.replace(self, **changes)

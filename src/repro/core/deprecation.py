@@ -1,0 +1,42 @@
+"""Warn-once deprecation bookkeeping for the legacy reduction entry points.
+
+The strategy-registry refactor (``repro.core.strategies``) collapsed the
+organically-grown ``adasum_*``/reducer surface into one dispatcher; the
+old public names survive as shims that forward to the registry and emit
+a :class:`DeprecationWarning` exactly once per name per process, so
+long-running sweeps are not flooded.
+
+This module is dependency-free on purpose: the shims live in modules
+the registry itself imports (``operator``, ``adasum_rvh``, ...), so the
+warning helper must not import any of them back.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Set
+
+_warned: Set[str] = set()
+
+
+def warn_deprecated(name: str, replacement: str, stacklevel: int = 3) -> None:
+    """Emit a :class:`DeprecationWarning` for ``name``, once per process.
+
+    ``replacement`` names the registry-backed API the caller should move
+    to; repeated calls for the same ``name`` are silent (one warning per
+    legacy entry point, however hot the call site).
+    """
+    if name in _warned:
+        return
+    _warned.add(name)
+    warnings.warn(
+        f"{name} is deprecated; use {replacement} instead "
+        f"(see docs/architecture.md)",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )
+
+
+def reset_deprecation_warnings() -> None:
+    """Forget which names already warned (test helper)."""
+    _warned.clear()

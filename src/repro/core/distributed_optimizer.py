@@ -32,12 +32,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence
 import numpy as np
 
 from repro.core.precision import DynamicScaler, Float16Codec
-from repro.core.reduction import (
-    AdasumReducer,
-    AverageReducer,
-    GradientReducer,
-    SumReducer,
-)
+from repro.core.strategies import GradientReducer, StrategyReducer
 from repro.nn.module import Module
 from repro.optim.optimizer import Optimizer
 
@@ -52,17 +47,25 @@ class ReduceOpType(enum.Enum):
 
 
 def make_reducer(
-    op: ReduceOpType,
+    op,
     per_layer: bool = True,
     tree: bool = True,
     allow_non_pow2: bool = False,
+    topology: str = None,
 ) -> GradientReducer:
-    """Build the reducer implementing ``op``."""
-    if op is ReduceOpType.SUM:
-        return SumReducer()
-    if op is ReduceOpType.AVERAGE:
-        return AverageReducer()
-    return AdasumReducer(per_layer=per_layer, tree=tree, allow_non_pow2=allow_non_pow2)
+    """Build the registry-backed reducer implementing ``op``.
+
+    ``op`` is a :class:`ReduceOpType` or its string value.  ``topology``
+    names a registered cell directly (``"tree"`` / ``"tree_any"`` /
+    ``"linear"`` / ``"rvh"`` / ``"ring"``); when ``None`` it derives
+    from the legacy ``(tree, allow_non_pow2)`` flag pair.
+    """
+    if topology is None:
+        if tree:
+            topology = "tree_any" if allow_non_pow2 else "tree"
+        else:
+            topology = "linear"
+    return StrategyReducer(op=op, topology=topology, per_layer=per_layer)
 
 
 def allreduce(
@@ -129,18 +132,26 @@ class DistributedOptimizer:
         fp16: bool = False,
         allow_non_pow2: bool = False,
         wire_dtype: str = "fp32",
+        topology: str = None,
     ):
         if num_ranks < 1:
             raise ValueError("num_ranks must be >= 1")
+        if isinstance(op, str):
+            op = ReduceOpType(op.lower())
         self.model = model
         self.num_ranks = num_ranks
         self.op = op
         self.per_layer = per_layer
-        self.tree = tree
-        self.allow_non_pow2 = allow_non_pow2
         self.reducer = make_reducer(
-            op, per_layer=per_layer, tree=tree, allow_non_pow2=allow_non_pow2
+            op,
+            per_layer=per_layer,
+            tree=tree,
+            allow_non_pow2=allow_non_pow2,
+            topology=topology,
         )
+        self.topology = self.reducer.topology
+        self.tree = self.reducer.tree
+        self.allow_non_pow2 = self.reducer.allow_non_pow2
         self.adasum_pre_optimizer = adasum_pre_optimizer
         self._param_names = [name for name, _ in model.named_parameters()]
         self._params = dict(model.named_parameters())
@@ -162,6 +173,39 @@ class DistributedOptimizer:
         else:
             self.optimizer = optimizer_factory(model.parameters())
             self.rank_optimizers = []
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_config(
+        cls,
+        model: Module,
+        optimizer_factory: Callable[[list], Optimizer],
+        config,
+        num_ranks: int = None,
+        allow_non_pow2: bool = None,
+    ) -> "DistributedOptimizer":
+        """Build from a :class:`repro.core.config.RunConfig`.
+
+        ``config`` is duck-typed (any object with the ``RunConfig``
+        reduction fields works).  ``num_ranks`` overrides
+        ``config.num_ranks``; ``allow_non_pow2=True`` widens a ``tree``
+        topology to ``tree_any`` (the elastic runtime's geometry, where
+        the world can shrink to any size mid-run).
+        """
+        topology = config.topology
+        if allow_non_pow2 and topology == "tree":
+            topology = "tree_any"
+        return cls(
+            model,
+            optimizer_factory,
+            num_ranks=config.num_ranks if num_ranks is None else num_ranks,
+            op=ReduceOpType(config.op),
+            adasum_pre_optimizer=config.adasum_pre_optimizer,
+            per_layer=config.per_layer,
+            fp16=config.fp16,
+            wire_dtype=config.wire_dtype,
+            topology=topology,
+        )
 
     # ------------------------------------------------------------------
     @property

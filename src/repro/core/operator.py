@@ -276,22 +276,41 @@ def _adasum_flat_reduce(
 def adasum_tree_flat(
     data: np.ndarray, boundaries: Sequence[int] = None
 ) -> np.ndarray:
-    """Binary-tree Adasum over ``(ranks, size)`` flat rows (power of two)."""
+    """Binary-tree Adasum over ``(ranks, size)`` flat rows (power of two).
+
+    .. deprecated:: forward to
+       ``get_strategy("adasum", "tree").combine_flat`` (the registry in
+       :mod:`repro.core.strategies`).
+    """
+    from repro.core.deprecation import warn_deprecated
+    from repro.core.strategies import get_strategy
+
+    warn_deprecated("adasum_tree_flat", 'get_strategy("adasum", "tree").combine_flat')
     ranks = data.shape[0]
     if ranks == 0:
         raise ValueError("adasum_tree_flat needs at least one gradient row")
     if ranks & (ranks - 1):
         raise ValueError(f"adasum_tree_flat requires a power-of-two count, got {ranks}")
-    return _adasum_flat_reduce(data, boundaries, tree=True)
+    return get_strategy("adasum", "tree").combine_flat(data, boundaries)
 
 
 def adasum_linear_flat(
     data: np.ndarray, boundaries: Sequence[int] = None
 ) -> np.ndarray:
-    """Linear (left-fold) Adasum over ``(ranks, size)`` flat rows."""
+    """Linear (left-fold) Adasum over ``(ranks, size)`` flat rows.
+
+    .. deprecated:: forward to
+       ``get_strategy("adasum", "linear").combine_flat``.
+    """
+    from repro.core.deprecation import warn_deprecated
+    from repro.core.strategies import get_strategy
+
+    warn_deprecated(
+        "adasum_linear_flat", 'get_strategy("adasum", "linear").combine_flat'
+    )
     if data.shape[0] == 0:
         raise ValueError("adasum_linear_flat needs at least one gradient row")
-    return _adasum_flat_reduce(data, boundaries, tree=False)
+    return get_strategy("adasum", "linear").combine_flat(data, boundaries)
 
 
 def adasum_tree(grads: Sequence[np.ndarray]) -> np.ndarray:
@@ -348,20 +367,23 @@ def adasum_tree_any_flat(
 ) -> np.ndarray:
     """Flat-buffer :func:`adasum_tree_any` over ``(ranks, size)`` rows.
 
-    Power-of-two counts dispatch to the fast :func:`adasum_tree_flat`
-    kernel; the non-power-of-two combine applies :func:`adasum_flat` in
-    the same recursion order as :func:`adasum_tree_any`, so results are
-    bit-exact with the dict path on equivalent per-layer inputs.
+    .. deprecated:: forward to
+       ``get_strategy("adasum", "tree_any").combine_flat``.
+
+    Power-of-two counts reduce with the fast tree kernel; the
+    non-power-of-two combine applies :func:`adasum_flat` in the same
+    recursion order as :func:`adasum_tree_any`, so results are bit-exact
+    with the dict path on equivalent per-layer inputs.
     """
-    n = data.shape[0]
-    if n == 0:
+    from repro.core.deprecation import warn_deprecated
+    from repro.core.strategies import get_strategy
+
+    warn_deprecated(
+        "adasum_tree_any_flat", 'get_strategy("adasum", "tree_any").combine_flat'
+    )
+    if data.shape[0] == 0:
         raise ValueError("adasum_tree_any_flat needs at least one gradient row")
-    if n & (n - 1) == 0:
-        return adasum_tree_flat(data, boundaries)
-    p = largest_pow2_below(n)
-    left = adasum_tree_any_flat(data[:p], boundaries)
-    right = adasum_tree_any_flat(data[p:], boundaries)
-    return adasum_flat(left, right, boundaries, out=left)
+    return get_strategy("adasum", "tree_any").combine_flat(data, boundaries)
 
 
 def adasum_linear(grads: Sequence[np.ndarray]) -> np.ndarray:

@@ -50,7 +50,6 @@ from repro.comm.bucketing import Bucket, BucketPlan
 from repro.comm.tracing import CommTracer
 from repro.core.arena import GradientArena
 from repro.core.distributed_optimizer import DistributedOptimizer
-from repro.core.reduction import AdasumReducer
 from repro.optim.adam import Adam
 from repro.optim.sgd import SGD
 
@@ -267,7 +266,9 @@ class OverlapScheduler:
         self.tracer = tracer
         cap_bytes = max(1, int(bucket_cap_mb * (1 << 20)))
         reducer = dist_opt.reducer
-        if isinstance(reducer, AdasumReducer) and not reducer.per_layer:
+        if getattr(reducer, "name", "") == "adasum" and not getattr(
+            reducer, "per_layer", True
+        ):
             # Whole-model dots span the full row: single bucket.
             cap_bytes = max(cap_bytes, arena.layout.total_size * arena.dtype.itemsize)
         self.plan = BucketPlan.for_layout(

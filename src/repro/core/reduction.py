@@ -1,146 +1,87 @@
 """Gradient-reduction strategies plugged into the training simulator.
 
+.. deprecated::
+    The reducer class hierarchy that used to live here is now a thin
+    compatibility layer over the strategy registry in
+    :mod:`repro.core.strategies` — the single source of reduction
+    arithmetic.  New code should build reducers declaratively::
+
+        from repro.core.distributed_optimizer import make_reducer
+        reducer = make_reducer("adasum", topology="tree")
+
+    or go through :class:`repro.core.config.RunConfig`.  The legacy
+    classes below (``SumReducer`` / ``AverageReducer`` /
+    ``AdasumReducer``) keep their exact constructor signatures and
+    bitwise behaviour but emit a :class:`DeprecationWarning` once per
+    process when instantiated.
+
 The paper compares three ways to combine per-rank gradients:
 
-* ``SumReducer`` — Horovod's default ``Sum`` (synchronous SGD; the
-  learning rate implicitly scales with the rank count);
-* ``AverageReducer`` — the mean, equivalent to Sum with a 1/N LR;
-* ``AdasumReducer`` — the paper's operator, per layer by default
-  (Section 3.6) with a whole-model ablation switch, and tree or linear
-  recursion (Section 3.4 / 4.2.3).
-
-Reducers consume ``grad_dicts`` — one ``{layer_name: gradient}`` mapping
-per rank — and produce the combined update, so the same trainer code
-drives every experiment in Section 5.
+* ``sum`` — Horovod's default (synchronous SGD; the learning rate
+  implicitly scales with the rank count);
+* ``average`` — the mean, equivalent to Sum with a 1/N LR;
+* ``adasum`` — the paper's operator, per layer by default
+  (Section 3.6) with a whole-model ablation switch, and tree, linear,
+  ring, or RVH recursion (Sections 3.4 / 4.2).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Sequence
-
-import numpy as np
-
-from repro.core.operator import (
-    adasum_linear,
-    adasum_linear_flat,
-    adasum_per_layer,
-    adasum_tree,
-    adasum_tree_any,
-    adasum_tree_any_flat,
-    adasum_tree_flat,
+from repro.core.deprecation import warn_deprecated
+from repro.core.strategies import (  # noqa: F401  (compatibility re-exports)
+    GradientReducer,
+    StrategyReducer,
+    _check_consistent,
+    _flat_sum,
 )
 
-
-def _check_consistent(grad_dicts: Sequence[Mapping[str, np.ndarray]]) -> List[str]:
-    if not grad_dicts:
-        raise ValueError("need at least one rank's gradients")
-    names = list(grad_dicts[0].keys())
-    for i, d in enumerate(grad_dicts[1:], start=1):
-        if list(d.keys()) != names:
-            raise ValueError(f"rank {i} layer names differ from rank 0")
-    return names
+__all__ = [
+    "GradientReducer",
+    "StrategyReducer",
+    "SumReducer",
+    "AverageReducer",
+    "AdasumReducer",
+]
 
 
-def _flat_sum(data: np.ndarray, boundaries: Sequence[int] = None) -> np.ndarray:
-    """Float64 axis-0 sum of flat rows, bit-exact with the dict path.
+class SumReducer(StrategyReducer):
+    """Plain sum across ranks (Horovod's default op for synchronous SGD).
 
-    One subtlety: for a single-element layer the dict path sums a
-    contiguous ``(ranks, 1)`` stack, where NumPy applies pairwise
-    summation instead of the row-sequential order used for wider
-    layers.  Those columns are re-summed from a contiguous copy so the
-    association matches exactly.
-    """
-    total = np.sum(data, axis=0, dtype=np.float64)
-    if boundaries is not None:
-        for lo, hi in zip(boundaries[:-1], boundaries[1:]):
-            if hi - lo == 1:
-                total[lo] = np.sum(
-                    np.ascontiguousarray(data[:, lo]), dtype=np.float64
-                )
-    return total
-
-
-class GradientReducer:
-    """Strategy interface: combine one gradient dict per rank into one.
-
-    ``post_optimizer`` tells the distributed optimizer *where* to apply
-    the reduction: synchronous SGD reduces raw gradients before the
-    optimizer step, while Adasum with stateful optimizers (Adam/LAMB)
-    reduces the post-optimizer model delta (paper Figure 3).
-
-    Each reducer also ships a *flat* code path (``reduce_flat`` /
-    ``reduce_arena``) operating on one contiguous buffer per rank with
-    per-layer boundaries from the fusion layout — the fused-tensor
-    architecture of paper §4.4.3.  Flat results are bit-exact with
-    ``reduce`` on the equivalent dicts (property-tested).
+    .. deprecated:: use ``make_reducer("sum")`` /
+       ``StrategyReducer(op="sum")``.
     """
 
-    name: str = "base"
-    post_optimizer: bool = False
-
-    def reduce(
-        self, grad_dicts: Sequence[Mapping[str, np.ndarray]]
-    ) -> Dict[str, np.ndarray]:
-        raise NotImplementedError
-
-    def reduce_flat(
-        self, data: np.ndarray, boundaries: Sequence[int] = None
-    ) -> np.ndarray:
-        """Combine ``(ranks, size)`` flat rows into one flat buffer."""
-        raise NotImplementedError
-
-    def reduce_arena(self, arena) -> np.ndarray:
-        """Combine a :class:`~repro.core.arena.GradientArena`'s rows."""
-        return self.reduce_flat(arena.data, arena.layout.boundaries())
+    def __init__(self):
+        warn_deprecated("SumReducer", 'make_reducer("sum")')
+        super().__init__(op="sum", topology="tree")
 
     def __repr__(self) -> str:
-        return f"{type(self).__name__}()"
+        return "SumReducer()"
 
 
-class SumReducer(GradientReducer):
-    """Plain sum across ranks (Horovod's default op for synchronous SGD)."""
+class AverageReducer(StrategyReducer):
+    """Mean across ranks (Sum with an implicit 1/N learning-rate factor).
 
-    name = "sum"
+    .. deprecated:: use ``make_reducer("average")`` /
+       ``StrategyReducer(op="average")``.
+    """
 
-    def reduce(self, grad_dicts):
-        names = _check_consistent(grad_dicts)
-        return {
-            n: np.sum([d[n] for d in grad_dicts], axis=0, dtype=np.float64).astype(
-                grad_dicts[0][n].dtype
-            )
-            for n in names
-        }
+    def __init__(self):
+        warn_deprecated("AverageReducer", 'make_reducer("average")')
+        super().__init__(op="average", topology="tree")
 
-    def reduce_flat(self, data, boundaries=None):
-        # Axis-0 accumulation order per element is identical to the
-        # per-layer dict sums, so this is bit-exact with ``reduce``.
-        total = _flat_sum(data, boundaries)
-        return total.astype(data.dtype)
+    def __repr__(self) -> str:
+        return "AverageReducer()"
 
 
-class AverageReducer(GradientReducer):
-    """Mean across ranks (Sum with an implicit 1/N learning-rate factor)."""
-
-    name = "average"
-
-    def reduce(self, grad_dicts):
-        names = _check_consistent(grad_dicts)
-        n_ranks = len(grad_dicts)
-        return {
-            n: (
-                np.sum([d[n] for d in grad_dicts], axis=0, dtype=np.float64) / n_ranks
-            ).astype(grad_dicts[0][n].dtype)
-            for n in names
-        }
-
-    def reduce_flat(self, data, boundaries=None):
-        total = _flat_sum(data, boundaries)
-        total /= data.shape[0]
-        return total.astype(data.dtype)
-
-
-class AdasumReducer(GradientReducer):
+class AdasumReducer(StrategyReducer):
     """The paper's adaptive-sum reduction.
+
+    .. deprecated:: use ``make_reducer("adasum", topology=...)`` /
+       ``StrategyReducer(op="adasum", topology=...)``.  The legacy
+       ``(tree, allow_non_pow2)`` flag pair maps onto the topology axis:
+       ``(True, False)`` → ``"tree"``, ``(True, True)`` → ``"tree_any"``,
+       ``(False, _)`` → ``"linear"``.
 
     Parameters
     ----------
@@ -152,14 +93,11 @@ class AdasumReducer(GradientReducer):
         linear/"ring" order (§4.2.3 ablation).
     allow_non_pow2:
         Accept non-power-of-two rank counts in tree mode via the elastic
-        geometry (:func:`~repro.core.operator.adasum_tree_any`), which
-        splits at the largest power of two below ``n``.  Power-of-two
-        counts stay bit-exact with the strict tree.  Off by default so
-        accidental odd worlds still fail loudly in non-elastic code.
+        geometry (the ``tree_any`` topology), which splits at the
+        largest power of two below ``n``.  Power-of-two counts stay
+        bit-exact with the strict tree.  Off by default so accidental
+        odd worlds still fail loudly in non-elastic code.
     """
-
-    name = "adasum"
-    post_optimizer = True
 
     def __init__(
         self,
@@ -167,48 +105,15 @@ class AdasumReducer(GradientReducer):
         tree: bool = True,
         allow_non_pow2: bool = False,
     ):
-        self.per_layer = per_layer
+        warn_deprecated("AdasumReducer", 'make_reducer("adasum", topology=...)')
+        if tree:
+            topology = "tree_any" if allow_non_pow2 else "tree"
+        else:
+            topology = "linear"
+        super().__init__(op="adasum", topology=topology, per_layer=per_layer)
+        # Preserve the legacy attribute surface exactly.
         self.tree = tree
         self.allow_non_pow2 = allow_non_pow2
-
-    def reduce(self, grad_dicts):
-        names = _check_consistent(grad_dicts)
-        n = len(grad_dicts)
-        if self.tree and n & (n - 1) and not self.allow_non_pow2:
-            raise ValueError(f"tree Adasum needs power-of-two ranks, got {n}")
-        if self.per_layer:
-            return adasum_per_layer(
-                grad_dicts, tree=self.tree, allow_non_pow2=self.allow_non_pow2
-            )
-        # Whole-model: flatten, combine, unflatten.
-        shapes = {name: grad_dicts[0][name].shape for name in names}
-        sizes = {name: grad_dicts[0][name].size for name in names}
-        flats = [
-            np.concatenate([d[name].reshape(-1) for name in names]) for d in grad_dicts
-        ]
-        if self.tree:
-            tree_fn = adasum_tree_any if self.allow_non_pow2 else adasum_tree
-            combined = tree_fn(flats)
-        else:
-            combined = adasum_linear(flats)
-        out: Dict[str, np.ndarray] = {}
-        offset = 0
-        for name in names:
-            out[name] = combined[offset : offset + sizes[name]].reshape(shapes[name])
-            offset += sizes[name]
-        return out
-
-    def reduce_flat(self, data, boundaries=None):
-        n = data.shape[0]
-        if self.tree and n & (n - 1) and not self.allow_non_pow2:
-            raise ValueError(f"tree Adasum needs power-of-two ranks, got {n}")
-        # Whole-model mode ignores layer boundaries (one flat vector).
-        bounds = boundaries if self.per_layer else None
-        if self.tree:
-            if self.allow_non_pow2:
-                return adasum_tree_any_flat(data, bounds)
-            return adasum_tree_flat(data, bounds)
-        return adasum_linear_flat(data, bounds)
 
     def __repr__(self) -> str:
         return (

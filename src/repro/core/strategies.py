@@ -1,0 +1,508 @@
+"""One reduction engine: the ``(op, topology, layout)`` strategy registry.
+
+Four PRs of organic growth left the Adasum operator implemented as a
+dozen loosely-coordinated entry points (``adasum_tree(_any)(_flat)``,
+``adasum_linear(_flat)``, ``adasum_rvh(_flat)``, ``adasum_ring(_flat)``,
+``elastic_reduce``, reducer classes, bucketed/overlap variants).  This
+module collapses them into one dispatcher:
+
+* a :class:`ReduceStrategy` implements one ``(op, topology)`` cell —
+  ``sum`` / ``average`` / ``adasum`` × ``tree`` / ``tree_any`` /
+  ``linear`` / ``rvh`` / ``ring`` — with a *flat* kernel
+  (:meth:`~ReduceStrategy.combine_flat`, the single source of
+  arithmetic truth) and a *dict* path that is a thin pack/unpack
+  adapter over it (:meth:`~ReduceStrategy.combine_dict`);
+* the registry maps ``(op, topology, layout)`` keys (layout ``"flat"``,
+  aliased ``"arena"``, or ``"dict"``) to strategy instances, so a
+  strategy registered once is immediately available phased, overlapped,
+  bucketed, elastic, and from the CLI;
+* :class:`StrategyReducer` is the canonical
+  :class:`GradientReducer` the trainers plug in, backed by a registry
+  lookup instead of a class hierarchy.
+
+Bit-exactness contracts carried over from the legacy paths (and
+property-tested in ``tests/core/test_strategies.py``):
+
+* dict and flat layouts agree bit for bit by construction (the dict
+  path routes through the flat kernel);
+* every pairwise Adasum result rounds through the storage dtype before
+  the next level re-widens it, and all dots/norms accumulate in
+  float64 (:mod:`repro.core.operator`);
+* single-element layers re-sum from a contiguous copy so NumPy's
+  pairwise summation matches the dict stacking order
+  (:func:`_flat_sum`);
+* ``ring`` is the distributed execution of the same left fold as
+  ``linear`` — in-process the two cells share one kernel;
+* ``rvh`` distributes the per-layer dot products (partial dots finished
+  by a group allreduce), so its results match ``tree`` only to
+  floating-point association (``allclose``, not bit-equal).
+
+Adding a topology means writing one ``ReduceStrategy`` subclass in this
+file and calling :func:`register_strategy` — see docs/architecture.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.operator import (
+    _adasum_flat_reduce,
+    adasum_flat,
+    largest_pow2_below,
+)
+
+#: The registered ops / topologies / layouts (the declared matrix).
+OPS: Tuple[str, ...] = ("sum", "average", "adasum")
+TOPOLOGIES: Tuple[str, ...] = ("tree", "tree_any", "linear", "rvh", "ring")
+LAYOUTS: Tuple[str, ...] = ("dict", "flat")
+
+
+# ----------------------------------------------------------------------
+# Shared arithmetic helpers (moved from repro.core.reduction; that
+# module re-exports them for compatibility)
+# ----------------------------------------------------------------------
+def _check_consistent(grad_dicts: Sequence[Mapping[str, np.ndarray]]) -> List[str]:
+    if not grad_dicts:
+        raise ValueError("need at least one rank's gradients")
+    names = list(grad_dicts[0].keys())
+    for i, d in enumerate(grad_dicts[1:], start=1):
+        if list(d.keys()) != names:
+            raise ValueError(f"rank {i} layer names differ from rank 0")
+    return names
+
+
+def _flat_sum(data: np.ndarray, boundaries: Sequence[int] = None) -> np.ndarray:
+    """Float64 axis-0 sum of flat rows, bit-exact with the dict path.
+
+    One subtlety: for a single-element layer the dict path sums a
+    contiguous ``(ranks, 1)`` stack, where NumPy applies pairwise
+    summation instead of the row-sequential order used for wider
+    layers.  Those columns are re-summed from a contiguous copy so the
+    association matches exactly.
+    """
+    total = np.sum(data, axis=0, dtype=np.float64)
+    if boundaries is not None:
+        for lo, hi in zip(boundaries[:-1], boundaries[1:]):
+            if hi - lo == 1:
+                total[lo] = np.sum(
+                    np.ascontiguousarray(data[:, lo]), dtype=np.float64
+                )
+    return total
+
+
+# ----------------------------------------------------------------------
+# Strategy protocol
+# ----------------------------------------------------------------------
+class ReduceStrategy:
+    """One ``(op, topology)`` cell of the reduction matrix.
+
+    ``combine_flat`` over ``(ranks, size)`` rows is the single source of
+    arithmetic truth; ``combine_dict`` packs one ``{layer: grad}`` dict
+    per rank into flat rows, calls it, and unpacks — so the two layouts
+    cannot drift.  Cluster-form strategies additionally implement
+    ``combine_comm`` (one rank's half of the collective, given a
+    :class:`~repro.comm.transport.Comm`), and pairwise strategies
+    implement ``combine_pair`` (one tree hop, used by the elastic
+    collective).
+    """
+
+    op: str = "base"
+    topology: str = "base"
+
+    # -- validation ----------------------------------------------------
+    def validate_world(self, n: int) -> None:
+        """Raise ``ValueError`` when this cell cannot reduce ``n`` ranks."""
+        if n < 1:
+            raise ValueError("need at least one rank's gradients")
+
+    # -- layouts -------------------------------------------------------
+    def combine_flat(
+        self, data: np.ndarray, boundaries: Sequence[int] = None
+    ) -> np.ndarray:
+        """Combine ``(ranks, size)`` flat rows into one flat row."""
+        raise NotImplementedError
+
+    def combine_dict(
+        self,
+        grad_dicts: Sequence[Mapping[str, np.ndarray]],
+        per_layer: bool = True,
+    ) -> Dict[str, np.ndarray]:
+        """Thin dict adapter: pack rows, run the flat kernel, unpack.
+
+        ``per_layer=False`` drops the layer boundaries (whole-model
+        combination over the concatenated vector).
+        """
+        names = _check_consistent(grad_dicts)
+        self.validate_world(len(grad_dicts))
+        first = grad_dicts[0]
+        boundaries = [0]
+        for name in names:
+            boundaries.append(boundaries[-1] + first[name].size)
+        data = np.stack(
+            [
+                np.concatenate([d[name].reshape(-1) for name in names])
+                for d in grad_dicts
+            ]
+        )
+        combined = self.combine_flat(data, boundaries if per_layer else None)
+        out: Dict[str, np.ndarray] = {}
+        for name, lo, hi in zip(names, boundaries[:-1], boundaries[1:]):
+            out[name] = (
+                combined[lo:hi]
+                .reshape(first[name].shape)
+                .astype(first[name].dtype, copy=False)
+            )
+        return out
+
+    # -- cluster / pairwise forms --------------------------------------
+    def combine_pair(
+        self,
+        acc: np.ndarray,
+        other: np.ndarray,
+        boundaries: Sequence[int] = None,
+        out: np.ndarray = None,
+    ) -> np.ndarray:
+        """One pairwise hop (tree-combine primitive); optional per cell."""
+        raise NotImplementedError(
+            f"strategy ({self.op!r}, {self.topology!r}) has no pairwise form"
+        )
+
+    def combine_comm(
+        self, comm, row: np.ndarray, boundaries: Sequence[int] = None
+    ) -> np.ndarray:
+        """One rank's half of the cluster collective; optional per cell."""
+        raise NotImplementedError(
+            f"strategy ({self.op!r}, {self.topology!r}) has no cluster-"
+            f"collective form"
+        )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(op={self.op!r}, topology={self.topology!r})"
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+_REGISTRY: Dict[Tuple[str, str, str], ReduceStrategy] = {}
+
+
+def _normalize_key(op, topology: str, layout: str) -> Tuple[str, str, str]:
+    op = getattr(op, "value", op)  # accept ReduceOpType
+    layout = str(layout).lower()
+    if layout == "arena":
+        layout = "flat"
+    return (str(op).lower(), str(topology).lower(), layout)
+
+
+def register_strategy(
+    strategy: ReduceStrategy, layouts: Sequence[str] = LAYOUTS
+) -> ReduceStrategy:
+    """Register ``strategy`` under its ``(op, topology)`` for ``layouts``.
+
+    The dict layout is served by the strategy's own
+    :meth:`~ReduceStrategy.combine_dict` adapter, so one registration
+    covers the whole row of the layout axis.  Re-registering a key
+    replaces it (extension hook).  Returns the strategy for chaining.
+    """
+    for layout in layouts:
+        _REGISTRY[_normalize_key(strategy.op, strategy.topology, layout)] = strategy
+    return strategy
+
+
+def get_strategy(op, topology: str = "tree", layout: str = "flat") -> ReduceStrategy:
+    """Look up the strategy for ``(op, topology, layout)``.
+
+    ``op`` may be a string or a
+    :class:`~repro.core.distributed_optimizer.ReduceOpType`; layout
+    ``"arena"`` aliases ``"flat"``.  Unknown cells raise ``ValueError``
+    listing what is registered.
+    """
+    key = _normalize_key(op, topology, layout)
+    try:
+        return _REGISTRY[key]
+    except KeyError:
+        ops = sorted({k[0] for k in _REGISTRY})
+        topologies = sorted({k[1] for k in _REGISTRY})
+        raise ValueError(
+            f"no reduction strategy registered for op={key[0]!r}, "
+            f"topology={key[1]!r}, layout={key[2]!r}; registered ops "
+            f"{ops}, topologies {topologies}, layouts {sorted(LAYOUTS)}"
+        ) from None
+
+
+def registered_cells() -> List[Tuple[str, str, str]]:
+    """All registered ``(op, topology, layout)`` keys, sorted."""
+    return sorted(_REGISTRY)
+
+
+def reduce_flat(
+    data: np.ndarray,
+    boundaries: Sequence[int] = None,
+    op="sum",
+    topology: str = "tree",
+) -> np.ndarray:
+    """Dispatch a flat ``(ranks, size)`` reduction through the registry."""
+    return get_strategy(op, topology, "flat").combine_flat(data, boundaries)
+
+
+def reduce_dicts(
+    grad_dicts: Sequence[Mapping[str, np.ndarray]],
+    op="sum",
+    topology: str = "tree",
+    per_layer: bool = True,
+) -> Dict[str, np.ndarray]:
+    """Dispatch a dict-layout reduction through the registry."""
+    return get_strategy(op, topology, "dict").combine_dict(
+        grad_dicts, per_layer=per_layer
+    )
+
+
+# ----------------------------------------------------------------------
+# Concrete strategies
+# ----------------------------------------------------------------------
+class _SumStrategy(ReduceStrategy):
+    """Plain float64-accumulated sum; elementwise, so every topology
+    produces identical bits and all five cells share this kernel."""
+
+    op = "sum"
+
+    def __init__(self, topology: str):
+        self.topology = topology
+
+    def combine_flat(self, data, boundaries=None):
+        return _flat_sum(data, boundaries).astype(data.dtype)
+
+    def combine_pair(self, acc, other, boundaries=None, out=None):
+        if out is None:
+            return np.add(acc, other, dtype=np.float64).astype(acc.dtype)
+        np.add(acc, other, out=out)
+        return out
+
+
+class _AverageStrategy(ReduceStrategy):
+    """Mean across ranks (Sum with an implicit 1/N learning-rate factor)."""
+
+    op = "average"
+
+    def __init__(self, topology: str):
+        self.topology = topology
+
+    def combine_flat(self, data, boundaries=None):
+        total = _flat_sum(data, boundaries)
+        total /= data.shape[0]
+        return total.astype(data.dtype)
+
+
+class _AdasumTreeStrategy(ReduceStrategy):
+    """Strict binary-tree Adasum (AdasumRVH recursion order, §3.4)."""
+
+    op = "adasum"
+    topology = "tree"
+
+    def validate_world(self, n: int) -> None:
+        super().validate_world(n)
+        if n & (n - 1):
+            raise ValueError(f"tree Adasum needs power-of-two ranks, got {n}")
+
+    def combine_flat(self, data, boundaries=None):
+        self.validate_world(data.shape[0])
+        return _adasum_flat_reduce(data, boundaries, tree=True)
+
+    def combine_pair(self, acc, other, boundaries=None, out=None):
+        return adasum_flat(acc, other, boundaries, out=out)
+
+
+class _AdasumTreeAnyStrategy(ReduceStrategy):
+    """Binary-tree Adasum for *any* rank count (elastic world geometry).
+
+    Non-power-of-two counts split at the largest power of two below
+    ``n`` (the :func:`~repro.core.operator.adasum_tree_any` recursion),
+    so every power-of-two block stays bit-exact against the strict
+    tree.
+    """
+
+    op = "adasum"
+    topology = "tree_any"
+
+    def combine_flat(self, data, boundaries=None):
+        n = data.shape[0]
+        self.validate_world(n)
+        if n & (n - 1) == 0:
+            return _adasum_flat_reduce(data, boundaries, tree=True)
+        p = largest_pow2_below(n)
+        left = self.combine_flat(data[:p], boundaries)
+        right = self.combine_flat(data[p:], boundaries)
+        return adasum_flat(left, right, boundaries, out=left)
+
+    def combine_pair(self, acc, other, boundaries=None, out=None):
+        return adasum_flat(acc, other, boundaries, out=out)
+
+
+class _AdasumLinearStrategy(ReduceStrategy):
+    """Linear (left-fold) Adasum — the arithmetic of the §4.2.3 ring."""
+
+    op = "adasum"
+    topology = "linear"
+
+    def combine_flat(self, data, boundaries=None):
+        self.validate_world(data.shape[0])
+        return _adasum_flat_reduce(data, boundaries, tree=False)
+
+    def combine_pair(self, acc, other, boundaries=None, out=None):
+        return adasum_flat(acc, other, boundaries, out=out)
+
+
+class _AdasumRingStrategy(_AdasumLinearStrategy):
+    """Ring Adasum: the distributed execution of the same left fold.
+
+    In-process (flat/dict layouts) this is bit-identical to ``linear``
+    — the accumulated combination travels once around the ring, each
+    hop performing the identical pairwise combine — so the two cells
+    share a kernel.  The cluster form adds the wire protocol
+    (:meth:`combine_comm`).
+    """
+
+    topology = "ring"
+
+    def combine_comm(self, comm, row, boundaries=None):
+        from repro.core.adasum_ring import _ring_flat
+
+        return _ring_flat(comm, row, boundaries)
+
+
+class _AdasumRVHStrategy(ReduceStrategy):
+    """Algorithm 1 — recursive vector halving with Adasum (§4.2.1).
+
+    The genuinely distributed cell: per-layer dot products are computed
+    as partial sums finished by a group allreduce, so the float64
+    accumulation associates differently from the sequential tree and
+    results match the ``tree`` cell only to ``allclose``.  The flat
+    layout executes the collective over a fresh in-memory cluster so
+    the cell is available to the same in-process callers as the rest of
+    the matrix.
+    """
+
+    op = "adasum"
+    topology = "rvh"
+
+    def validate_world(self, n: int) -> None:
+        super().validate_world(n)
+        if n & (n - 1):
+            raise ValueError(f"AdasumRVH requires power-of-two ranks, got {n}")
+
+    def combine_flat(self, data, boundaries=None):
+        self.validate_world(data.shape[0])
+        if data.shape[0] == 1:
+            return data[0].copy()
+        from repro.comm.transport import Cluster
+
+        cluster = Cluster(data.shape[0])
+        results = cluster.run(
+            self.combine_comm, rank_args=[(row, boundaries) for row in data]
+        )
+        return results[0]
+
+    def combine_comm(self, comm, row, boundaries=None):
+        from repro.core.adasum_rvh import _rvh_flat
+
+        return _rvh_flat(comm, row, boundaries)
+
+
+for _topology in TOPOLOGIES:
+    register_strategy(_SumStrategy(_topology))
+    register_strategy(_AverageStrategy(_topology))
+register_strategy(_AdasumTreeStrategy())
+register_strategy(_AdasumTreeAnyStrategy())
+register_strategy(_AdasumLinearStrategy())
+register_strategy(_AdasumRingStrategy())
+register_strategy(_AdasumRVHStrategy())
+
+
+# ----------------------------------------------------------------------
+# Reducer interface (canonical; legacy classes in repro.core.reduction
+# are deprecation shims over StrategyReducer)
+# ----------------------------------------------------------------------
+class GradientReducer:
+    """Strategy interface: combine one gradient dict per rank into one.
+
+    ``post_optimizer`` tells the distributed optimizer *where* to apply
+    the reduction: synchronous SGD reduces raw gradients before the
+    optimizer step, while Adasum with stateful optimizers (Adam/LAMB)
+    reduces the post-optimizer model delta (paper Figure 3).
+
+    Each reducer also ships a *flat* code path (``reduce_flat`` /
+    ``reduce_arena``) operating on one contiguous buffer per rank with
+    per-layer boundaries from the fusion layout — the fused-tensor
+    architecture of paper §4.4.3.  Flat results are bit-exact with
+    ``reduce`` on the equivalent dicts (property-tested).
+    """
+
+    name: str = "base"
+    post_optimizer: bool = False
+
+    def reduce(
+        self, grad_dicts: Sequence[Mapping[str, np.ndarray]]
+    ) -> Dict[str, np.ndarray]:
+        raise NotImplementedError
+
+    def reduce_flat(
+        self, data: np.ndarray, boundaries: Sequence[int] = None
+    ) -> np.ndarray:
+        """Combine ``(ranks, size)`` flat rows into one flat buffer."""
+        raise NotImplementedError
+
+    def reduce_arena(self, arena) -> np.ndarray:
+        """Combine a :class:`~repro.core.arena.GradientArena`'s rows."""
+        return self.reduce_flat(arena.data, arena.layout.boundaries())
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class StrategyReducer(GradientReducer):
+    """The canonical registry-backed reducer.
+
+    Parameters
+    ----------
+    op:
+        ``"sum"`` / ``"average"`` / ``"adasum"`` (string or
+        :class:`~repro.core.distributed_optimizer.ReduceOpType`).
+    topology:
+        Any registered topology (``"tree"``, ``"tree_any"``,
+        ``"linear"``, ``"rvh"``, ``"ring"``).
+    per_layer:
+        Apply the op independently per layer (paper default, §3.6);
+        ``False`` combines the whole flattened model as one vector.
+
+    Compatibility attributes mirror the legacy reducer classes:
+    ``name`` (the op), ``post_optimizer``, ``tree`` (topology is a tree
+    recursion), ``allow_non_pow2`` (the elastic ``tree_any`` geometry).
+    """
+
+    def __init__(self, op="adasum", topology: str = "tree", per_layer: bool = True):
+        op = str(getattr(op, "value", op)).lower()
+        topology = str(topology).lower()
+        self.strategy = get_strategy(op, topology, "flat")
+        self.op = op
+        self.name = op
+        self.topology = topology
+        self.per_layer = per_layer
+        self.post_optimizer = op == "adasum"
+        self.tree = topology in ("tree", "tree_any")
+        self.allow_non_pow2 = topology != "tree"
+
+    def reduce(self, grad_dicts):
+        per_layer = self.per_layer if self.op == "adasum" else True
+        return self.strategy.combine_dict(grad_dicts, per_layer=per_layer)
+
+    def reduce_flat(self, data, boundaries=None):
+        bounds = boundaries if self.per_layer else None
+        return self.strategy.combine_flat(data, bounds)
+
+    def __repr__(self) -> str:
+        return (
+            f"StrategyReducer(op={self.op!r}, topology={self.topology!r}, "
+            f"per_layer={self.per_layer})"
+        )

@@ -9,7 +9,7 @@ optionally resuming from an on-disk checkpoint written by a larger
 world.  See ``docs/elastic.md``.
 """
 
-from repro.elastic.collective import elastic_reduce
+from repro.elastic.collective import cluster_reduce, elastic_reduce
 from repro.elastic.failures import (
     FailureKind,
     FailureReport,
@@ -34,6 +34,7 @@ __all__ = [
     "StragglerPolicy",
     "WorldSnapshot",
     "classify_failure",
+    "cluster_reduce",
     "elastic_reduce",
     "pack_optimizer_state",
     "restore_optimizer_state",

@@ -10,9 +10,9 @@ Bit-exactness contract (tested in ``tests/elastic/test_collective.py``):
 
 * Adasum tree mode runs pairwise divide-and-conquer over the
   participants — rank ``lo`` combines its subtree with the subtree
-  received from rank ``lo + p`` via ``adasum_flat`` — which reproduces
-  :func:`~repro.core.operator.adasum_tree_any_flat` (and therefore the
-  reference ``adasum_tree`` for power-of-two counts) bit for bit,
+  received from rank ``lo + p`` via the registry's pairwise Adasum —
+  which reproduces ``get_strategy("adasum", "tree_any")`` (and therefore
+  the reference ``adasum_tree`` for power-of-two counts) bit for bit,
   because both recursions split at the same point and
   ``adasum_flat``'s float64 accumulation is deterministic.
 * Sum / Average / linear-Adasum gather the participant rows to the
@@ -42,8 +42,9 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.comm.transport import Cluster, GroupComm
-from repro.core.operator import adasum_flat, largest_pow2_below
-from repro.core.reduction import AdasumReducer, GradientReducer
+from repro.core.deprecation import warn_deprecated
+from repro.core.operator import largest_pow2_below
+from repro.core.strategies import GradientReducer, get_strategy
 
 
 def _wire_encode(row: np.ndarray, wire_scale: Optional[float]) -> np.ndarray:
@@ -82,12 +83,13 @@ def _tree_combine(
     if n <= 1:
         return acc
     p = n // 2 if n & (n - 1) == 0 else largest_pow2_below(n)
+    pairwise = get_strategy("adasum", "tree_any").combine_pair
     if sub.rank < lo + p:
         acc = _tree_combine(sub, acc, bounds, lo, lo + p, wire_scale)
         if sub.rank == lo:
             other = _wire_decode(sub.recv(lo + p), wire_scale)
             sub.compute(acc.nbytes, label="adasum")
-            adasum_flat(acc, other, bounds, out=acc)
+            pairwise(acc, other, bounds, out=acc)
     else:
         acc = _tree_combine(sub, acc, bounds, lo + p, hi, wire_scale)
         if sub.rank == lo + p:
@@ -99,7 +101,7 @@ def _tree_combine(
     return acc
 
 
-def elastic_reduce(
+def cluster_reduce(
     cluster: Cluster,
     data: np.ndarray,
     boundaries: Optional[Sequence[int]],
@@ -130,7 +132,9 @@ def elastic_reduce(
     if not participants:
         raise ValueError("need at least one participant")
     part_set = set(participants)
-    adasum_tree_mode = isinstance(reducer, AdasumReducer) and reducer.tree
+    adasum_tree_mode = getattr(reducer, "name", None) == "adasum" and getattr(
+        reducer, "tree", False
+    )
     # Whole-model Adasum ignores layer boundaries (one flat block).
     bounds = boundaries if getattr(reducer, "per_layer", True) else None
 
@@ -161,3 +165,24 @@ def elastic_reduce(
     combined = results[participants[0]]
     assert combined is not None, "subgroup root returned no reduction"
     return combined
+
+
+def elastic_reduce(
+    cluster: Cluster,
+    data: np.ndarray,
+    boundaries: Optional[Sequence[int]],
+    reducer: GradientReducer,
+    participants: Optional[Sequence[int]] = None,
+    wire_scale: Optional[float] = None,
+) -> np.ndarray:
+    """Reduce ``data`` rows over ``cluster``.
+
+    .. deprecated:: renamed to :func:`cluster_reduce` (the elastic leg
+       of the one reduction engine); same signature and bitwise
+       behaviour.
+    """
+    warn_deprecated("elastic_reduce", "cluster_reduce")
+    return cluster_reduce(
+        cluster, data, boundaries, reducer,
+        participants=participants, wire_scale=wire_scale,
+    )

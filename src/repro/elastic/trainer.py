@@ -23,7 +23,7 @@ reduction runs as a real collective on a simulated
 Failure-free elastic runs are bit-identical to ``ParallelTrainer`` with
 the same seed (same serial gradient order, same dealt batches when the
 effective batch divides the dataset, and a transport collective that
-reproduces ``adasum_tree_flat`` exactly) — asserted in
+reproduces the registry's tree Adasum exactly) — asserted in
 ``tests/elastic/test_elastic_trainer.py``.
 
 Stragglers never raise; they are detected after successful steps by
@@ -58,7 +58,7 @@ from repro.train.checkpoint import (
 from repro.train.metrics import Meter
 from repro.train.trainer import compute_grads_into
 
-from repro.elastic.collective import elastic_reduce
+from repro.elastic.collective import cluster_reduce
 from repro.elastic.failures import FailureReport, StragglerPolicy, classify_failure
 from repro.elastic.membership import Membership
 from repro.elastic.schedule import ElasticSchedule
@@ -184,6 +184,54 @@ class ElasticTrainer:
 
         self._build_world()
         self._take_snapshot()
+
+    @classmethod
+    def from_config(
+        cls,
+        model: Module,
+        loss_fn: Callable,
+        optimizer_factory: Callable,
+        x: np.ndarray,
+        y: np.ndarray,
+        config,
+        **kwargs,
+    ) -> "ElasticTrainer":
+        """Build the elastic trainer from a
+        :class:`repro.core.config.RunConfig`.
+
+        The config supplies the reduction strategy, world geometry,
+        fault schedule (``config.faults``), network model, and wire
+        format; elastic-only knobs (``straggler``, ``snapshot_every``,
+        checkpointing, ...) pass through ``kwargs``.  The ``rvh``
+        topology has no elastic collective (its group allreduce assumes
+        a fixed power-of-two world) and is rejected here.
+        """
+        if config.topology == "rvh":
+            raise ValueError(
+                "the elastic collective does not support the 'rvh' topology"
+            )
+        return cls(
+            model,
+            loss_fn,
+            optimizer_factory,
+            x,
+            y,
+            microbatch=config.microbatch,
+            num_ranks=config.num_ranks,
+            op=config.reduce_op,
+            adasum_pre_optimizer=config.adasum_pre_optimizer,
+            per_layer=config.per_layer,
+            tree=config.tree,
+            fp16=config.fp16,
+            seed=config.seed,
+            schedule=config.faults,
+            network=config.network,
+            timeout=config.timeout,
+            min_ranks=config.min_ranks,
+            wire_dtype=config.wire_dtype,
+            bucket_cap_mb=config.bucket_cap_mb,
+            **kwargs,
+        )
 
     # ------------------------------------------------------------------
     # World lifecycle
@@ -509,7 +557,7 @@ class ElasticTrainer:
         if self.bucket_cap_mb is None or not getattr(reducer, "per_layer", True):
             # Whole-model Adasum needs whole-row dot products: one
             # collective regardless of the cap.
-            return elastic_reduce(
+            return cluster_reduce(
                 self.cluster,
                 self.arena.data,
                 self.arena.layout.boundaries(),
@@ -524,7 +572,7 @@ class ElasticTrainer:
         )
         combined = np.empty(self.arena.layout.total_size, dtype=self.arena.dtype)
         for bucket in plan.buckets:
-            combined[bucket.start:bucket.stop] = elastic_reduce(
+            combined[bucket.start:bucket.stop] = cluster_reduce(
                 self.cluster,
                 self.arena.data[:, bucket.start:bucket.stop],
                 bucket.rel_boundaries(),

@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.comm.tracing import CommTracer
 from repro.core.arena import GradientArena
+from repro.core.config import validate_execution_strategy
 from repro.core.distributed_optimizer import DistributedOptimizer
 from repro.core.orthogonality import OrthogonalityProbe
 from repro.core.overlap import OverlapScheduler, build_fused_engine
@@ -169,11 +170,7 @@ class ParallelTrainer:
     ):
         if accumulation < 1:
             raise ValueError("accumulation must be >= 1")
-        if overlap and parallel_ranks:
-            raise ValueError(
-                "overlap and parallel_ranks are mutually exclusive execution "
-                "strategies; choose one"
-            )
+        validate_execution_strategy(overlap, parallel_ranks)
         tune_allocator()
         self.model = model
         self.loss_fn = loss_fn
@@ -226,6 +223,34 @@ class ParallelTrainer:
                 max_workers=self.num_ranks,
                 thread_name_prefix="rank",
             )
+
+    @classmethod
+    def from_config(
+        cls,
+        model: Module,
+        loss_fn: Callable,
+        optimizer_factory: Callable,
+        x: np.ndarray,
+        y: np.ndarray,
+        config,
+        **kwargs,
+    ) -> "ParallelTrainer":
+        """Build the trainer (and its optimizer) from a
+        :class:`repro.core.config.RunConfig`.
+
+        The config supplies the reduction strategy, world size,
+        microbatch, seed, and execution strategy
+        (``overlap`` / ``parallel_ranks`` / ``bucket_cap_mb``);
+        remaining trainer keywords (``accumulation``, ``probe``,
+        tracers, ...) pass through ``kwargs``.
+        """
+        dist_opt = DistributedOptimizer.from_config(model, optimizer_factory, config)
+        kwargs.setdefault("seed", config.seed)
+        kwargs.setdefault("overlap", config.overlap)
+        kwargs.setdefault("parallel_ranks", config.parallel_ranks)
+        if config.bucket_cap_mb is not None:
+            kwargs.setdefault("bucket_cap_mb", config.bucket_cap_mb)
+        return cls(model, loss_fn, dist_opt, x, y, config.microbatch, **kwargs)
 
     @staticmethod
     def _check_parallel_safe(model: Module) -> None:

@@ -1,0 +1,219 @@
+"""Every legacy entry point still works: imports, forwards, warns once.
+
+The PR that introduced the strategy registry kept every old public name
+as a deprecation shim.  These tests pin the compatibility contract:
+
+* each shim emits exactly one ``DeprecationWarning`` per process (not
+  one per call — hot training loops must not drown in warnings);
+* each shim forwards to the registry and produces bit-identical output
+  to the replacement it names.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.comm import Cluster
+from repro.core import (
+    AdasumReducer,
+    AverageReducer,
+    SumReducer,
+    make_reducer,
+    reset_deprecation_warnings,
+)
+from repro.core.adasum_ring import adasum_ring_flat
+from repro.core.adasum_rvh import adasum_rvh_flat
+from repro.core.operator import (
+    adasum_linear_flat,
+    adasum_tree_any_flat,
+    adasum_tree_flat,
+)
+from repro.core.strategies import get_strategy
+from repro.elastic import cluster_reduce, elastic_reduce
+
+
+@pytest.fixture(autouse=True)
+def _fresh_warning_state():
+    reset_deprecation_warnings()
+    yield
+    reset_deprecation_warnings()
+
+
+def _rows(ranks=4, n=48, seed=0):
+    rng = np.random.default_rng(seed)
+    data = np.stack(
+        [rng.standard_normal(n).astype(np.float32) for _ in range(ranks)]
+    )
+    boundaries = [0, n // 3, n // 2, n]
+    return data, boundaries
+
+
+def _bit_equal(a, b):
+    np.testing.assert_array_equal(
+        np.asarray(a).view(np.uint32), np.asarray(b).view(np.uint32)
+    )
+
+
+def _warns_exactly_once(fn):
+    """Call twice: first call warns once, second call is silent."""
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        first = fn()
+        deps = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+        assert len(deps) == 1, f"expected 1 DeprecationWarning, got {len(deps)}"
+        message = str(deps[0].message)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        fn()
+        deps = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+        assert not deps, "shim warned again on the second call"
+    return first, message
+
+
+class TestFlatKernelShims:
+    def test_tree_flat(self):
+        data, boundaries = _rows(ranks=4)
+        out, message = _warns_exactly_once(lambda: adasum_tree_flat(data, boundaries))
+        assert "adasum_tree_flat" in message and "get_strategy" in message
+        _bit_equal(out, get_strategy("adasum", "tree").combine_flat(data, boundaries))
+
+    def test_tree_any_flat(self):
+        data, boundaries = _rows(ranks=6, seed=1)
+        out, message = _warns_exactly_once(
+            lambda: adasum_tree_any_flat(data, boundaries)
+        )
+        assert "adasum_tree_any_flat" in message
+        _bit_equal(
+            out, get_strategy("adasum", "tree_any").combine_flat(data, boundaries)
+        )
+
+    def test_linear_flat(self):
+        data, boundaries = _rows(ranks=5, seed=2)
+        out, message = _warns_exactly_once(
+            lambda: adasum_linear_flat(data, boundaries)
+        )
+        assert "adasum_linear_flat" in message
+        _bit_equal(
+            out, get_strategy("adasum", "linear").combine_flat(data, boundaries)
+        )
+
+    def test_rvh_flat(self):
+        data, boundaries = _rows(ranks=4, seed=3)
+
+        def run():
+            return Cluster(4).run(
+                adasum_rvh_flat, rank_args=[(g, boundaries) for g in data]
+            )[0]
+
+        out, message = _warns_exactly_once(run)
+        assert "adasum_rvh_flat" in message
+        _bit_equal(out, get_strategy("adasum", "rvh").combine_flat(data, boundaries))
+
+    def test_ring_flat(self):
+        data, boundaries = _rows(ranks=4, seed=4)
+
+        def run():
+            return Cluster(4).run(
+                adasum_ring_flat, rank_args=[(g, boundaries) for g in data]
+            )[0]
+
+        combine_comm = get_strategy("adasum", "ring").combine_comm
+        ref = Cluster(4).run(
+            combine_comm, rank_args=[(g, boundaries) for g in data]
+        )[0]
+        out, message = _warns_exactly_once(run)
+        assert "adasum_ring_flat" in message
+        _bit_equal(out, ref)
+
+
+class TestReducerShims:
+    @pytest.mark.parametrize(
+        "legacy,op",
+        [(SumReducer, "sum"), (AverageReducer, "average"), (AdasumReducer, "adasum")],
+    )
+    def test_reducer_class_warns_once_and_matches(self, legacy, op):
+        rng = np.random.default_rng(7)
+        dicts = [
+            {"w": rng.standard_normal(16).astype(np.float32),
+             "b": rng.standard_normal(4).astype(np.float32)}
+            for _ in range(4)
+        ]
+        reducer, message = _warns_exactly_once(legacy)
+        assert legacy.__name__ in message and "make_reducer" in message
+        assert reducer.name == op
+        out = reducer.reduce(dicts)
+        ref = make_reducer(op).reduce(dicts)
+        for name in ref:
+            _bit_equal(out[name], ref[name])
+
+    def test_adasum_reducer_legacy_flags_still_map(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            assert AdasumReducer(tree=True).topology == "tree"
+            reset_deprecation_warnings()
+            assert AdasumReducer(tree=True, allow_non_pow2=True).topology == "tree_any"
+            reset_deprecation_warnings()
+            r = AdasumReducer(tree=False)
+            assert r.topology == "linear"
+            # Legacy constructor args are preserved verbatim on the
+            # instance even though the topology is derived from them.
+            assert r.tree is False
+            assert r.allow_non_pow2 is False
+
+    def test_legacy_repr_preserved(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            assert repr(SumReducer()) == "SumReducer()"
+            reset_deprecation_warnings()
+            assert repr(AdasumReducer()) == (
+                "AdasumReducer(per_layer=True, tree=True, allow_non_pow2=False)"
+            )
+
+
+class TestElasticShim:
+    def test_elastic_reduce_forwards_to_cluster_reduce(self):
+        rng = np.random.default_rng(9)
+        data = np.stack(
+            [rng.standard_normal(24).astype(np.float32) for _ in range(4)]
+        )
+        boundaries = [0, 8, 24]
+        reducer = make_reducer("adasum")
+
+        def run(fn):
+            return fn(Cluster(4), data, boundaries, reducer)
+
+        ref = run(cluster_reduce)
+        out, message = _warns_exactly_once(lambda: run(elastic_reduce))
+        assert "elastic_reduce" in message and "cluster_reduce" in message
+        _bit_equal(out, ref)
+
+
+class TestImportSurface:
+    def test_all_legacy_names_importable_from_core(self):
+        import repro.core as core
+
+        for name in (
+            "SumReducer",
+            "AverageReducer",
+            "AdasumReducer",
+            "GradientReducer",
+            "make_reducer",
+            "StrategyReducer",
+            "get_strategy",
+            "register_strategy",
+            "registered_cells",
+            "RunConfig",
+            "parse_op",
+            "parse_topology",
+            "validate_execution_strategy",
+        ):
+            assert hasattr(core, name), name
+
+    def test_ring_cost_forwarding(self):
+        """adasum_ring_cost moved to comm.netmodel; the old import path
+        still resolves to the same function (silent forwarding)."""
+        from repro.comm.netmodel import adasum_ring_cost as new
+        from repro.core.adasum_ring import adasum_ring_cost as old
+
+        assert old is new

@@ -90,15 +90,34 @@ class TestAdasumReducer:
 
 class TestFactory:
     @pytest.mark.parametrize(
-        "op,cls",
+        "op,name,post_optimizer",
         [
-            (ReduceOpType.SUM, SumReducer),
-            (ReduceOpType.AVERAGE, AverageReducer),
-            (ReduceOpType.ADASUM, AdasumReducer),
+            (ReduceOpType.SUM, "sum", False),
+            (ReduceOpType.AVERAGE, "average", False),
+            (ReduceOpType.ADASUM, "adasum", True),
         ],
     )
-    def test_make_reducer(self, op, cls):
-        assert isinstance(make_reducer(op), cls)
+    def test_make_reducer(self, op, name, post_optimizer):
+        reducer = make_reducer(op)
+        assert reducer.name == name
+        assert reducer.post_optimizer is post_optimizer
+        # String ops build the same registry-backed reducer.
+        assert make_reducer(op.value).name == name
+
+    @pytest.mark.parametrize(
+        "kwargs,topology",
+        [
+            (dict(tree=True), "tree"),
+            (dict(tree=True, allow_non_pow2=True), "tree_any"),
+            (dict(tree=False), "linear"),
+            (dict(topology="rvh"), "rvh"),
+            (dict(topology="ring"), "ring"),
+        ],
+    )
+    def test_make_reducer_topology(self, kwargs, topology):
+        reducer = make_reducer(ReduceOpType.ADASUM, **kwargs)
+        assert reducer.topology == topology
+        assert reducer.strategy.topology == topology
 
     def test_allreduce_helper(self, rng):
         ds = _dicts(rng, ranks=2)

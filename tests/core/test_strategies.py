@@ -1,0 +1,248 @@
+"""The strategy registry: completeness, parity, and reference equivalence.
+
+Every registered ``(op, topology)`` cell must agree with itself across
+layouts (dict vs flat, bit-exact — the dict adapter routes through the
+flat kernel, so drift is impossible by construction and this matrix
+keeps it that way) and with the reference kernels the paper defines
+(``adasum_tree``, ``adasum_per_layer``, ``adasum_linear``).  World
+sizes cover 2–8 including non-powers-of-two.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.operator import (
+    adasum_linear,
+    adasum_per_layer,
+    adasum_tree,
+)
+from repro.core.strategies import (
+    LAYOUTS,
+    OPS,
+    TOPOLOGIES,
+    StrategyReducer,
+    get_strategy,
+    reduce_dicts,
+    reduce_flat,
+    registered_cells,
+)
+
+POW2_SIZES = (2, 4, 8)
+ALL_SIZES = (2, 3, 4, 5, 6, 7, 8)
+# Includes a width-1 layer: the flat sum has a dedicated re-sum path for
+# single-column slices, which parity must cover.
+SIZES = ((6,), (1,), (3, 4), (10,))
+
+
+def _dicts(seed, ranks, sizes=SIZES):
+    rng = np.random.default_rng(seed)
+    return [
+        {f"l{i}": rng.standard_normal(s).astype(np.float32) for i, s in enumerate(sizes)}
+        for _ in range(ranks)
+    ]
+
+
+def _rows(grad_dicts):
+    data = np.stack(
+        [np.concatenate([g.reshape(-1) for g in d.values()]) for d in grad_dicts]
+    )
+    boundaries = [0]
+    for g in grad_dicts[0].values():
+        boundaries.append(boundaries[-1] + g.size)
+    return data, boundaries
+
+
+def _assert_bit_equal(a, b, msg=""):
+    np.testing.assert_array_equal(
+        np.asarray(a, dtype=np.float32).view(np.uint32),
+        np.asarray(b, dtype=np.float32).view(np.uint32),
+        err_msg=msg,
+    )
+
+
+class TestRegistry:
+    def test_every_cell_registered(self):
+        cells = set(registered_cells())
+        expected = {
+            (op, topo, layout)
+            for op in OPS
+            for topo in TOPOLOGIES
+            for layout in LAYOUTS
+        }
+        assert cells == expected
+        assert len(cells) == 30
+
+    def test_arena_layout_alias(self):
+        assert get_strategy("adasum", "tree", "arena") is get_strategy(
+            "adasum", "tree", "flat"
+        )
+
+    def test_enum_ops_accepted(self):
+        from repro.core.distributed_optimizer import ReduceOpType
+
+        assert get_strategy(ReduceOpType.ADASUM, "tree") is get_strategy(
+            "adasum", "tree"
+        )
+
+    def test_unknown_cell_raises(self):
+        with pytest.raises(ValueError, match="sum"):
+            get_strategy("median", "tree")
+        with pytest.raises(ValueError, match="tree"):
+            get_strategy("sum", "torus")
+
+    def test_strategy_reducer_exposes_strategy(self):
+        r = StrategyReducer(op="adasum", topology="ring")
+        assert r.strategy is get_strategy("adasum", "ring")
+        assert r.topology == "ring"
+        assert r.post_optimizer
+
+
+class TestDictFlatParity:
+    """flat vs dict is bit-exact for every cell that runs in-process."""
+
+    @pytest.mark.parametrize("op", OPS)
+    @pytest.mark.parametrize("topology", TOPOLOGIES)
+    @pytest.mark.parametrize("ranks", ALL_SIZES)
+    def test_parity(self, op, topology, ranks):
+        if topology in ("tree", "rvh") and ranks & (ranks - 1):
+            pytest.skip("power-of-two-only topology")
+        dicts = _dicts(seed=ranks, ranks=ranks)
+        data, boundaries = _rows(dicts)
+
+        out_dict = reduce_dicts(dicts, op=op, topology=topology)
+        out_flat = reduce_flat(data, boundaries, op=op, topology=topology)
+
+        offset = 0
+        for name, ref in dicts[0].items():
+            layer_flat = out_flat[offset : offset + ref.size].reshape(ref.shape)
+            _assert_bit_equal(
+                out_dict[name],
+                layer_flat,
+                msg=f"dict/flat drift in ({op}, {topology}) layer {name} "
+                f"at {ranks} ranks",
+            )
+            assert out_dict[name].dtype == ref.dtype
+            offset += ref.size
+
+
+class TestReferenceEquivalence:
+    @pytest.mark.parametrize("ranks", POW2_SIZES)
+    def test_adasum_tree_matches_reference(self, ranks):
+        dicts = _dicts(seed=10 + ranks, ranks=ranks)
+        data, boundaries = _rows(dicts)
+
+        # Whole-model: flat tree == adasum_tree over the raw rows.
+        _assert_bit_equal(
+            reduce_flat(data, op="adasum", topology="tree"),
+            adasum_tree([row for row in data]),
+            msg=f"tree strategy diverges from adasum_tree at {ranks} ranks",
+        )
+        # Per-layer: the dict path == adasum_per_layer.
+        ref = adasum_per_layer(dicts)
+        out = reduce_dicts(dicts, op="adasum", topology="tree")
+        for name in ref:
+            _assert_bit_equal(out[name], ref[name], msg=name)
+
+    @pytest.mark.parametrize("ranks", POW2_SIZES)
+    def test_tree_any_matches_tree_on_pow2(self, ranks):
+        data, boundaries = _rows(_dicts(seed=20 + ranks, ranks=ranks))
+        _assert_bit_equal(
+            reduce_flat(data, boundaries, op="adasum", topology="tree_any"),
+            reduce_flat(data, boundaries, op="adasum", topology="tree"),
+        )
+
+    @pytest.mark.parametrize("ranks", (3, 5, 6, 7))
+    def test_tree_any_non_pow2(self, ranks):
+        """tree_any splits at the largest power of two below n."""
+        data, boundaries = _rows(_dicts(seed=30 + ranks, ranks=ranks))
+        out = reduce_flat(data, boundaries, op="adasum", topology="tree_any")
+        assert out.shape == data[0].shape
+        assert np.isfinite(out).all()
+
+    @pytest.mark.parametrize("ranks", ALL_SIZES)
+    def test_linear_matches_reference(self, ranks):
+        data, _ = _rows(_dicts(seed=40 + ranks, ranks=ranks))
+        _assert_bit_equal(
+            reduce_flat(data, op="adasum", topology="linear"),
+            adasum_linear([row for row in data]),
+        )
+
+    @pytest.mark.parametrize("ranks", ALL_SIZES)
+    def test_ring_matches_linear_in_process(self, ranks):
+        """In-process the ring strategy is the same left fold as linear."""
+        data, boundaries = _rows(_dicts(seed=50 + ranks, ranks=ranks))
+        _assert_bit_equal(
+            reduce_flat(data, boundaries, op="adasum", topology="ring"),
+            reduce_flat(data, boundaries, op="adasum", topology="linear"),
+        )
+
+    @pytest.mark.parametrize("ranks", POW2_SIZES)
+    def test_rvh_close_to_tree(self, ranks):
+        """RVH distributes the dot products, so it matches tree only to
+        floating-point tolerance, not bit-exactly."""
+        data, boundaries = _rows(_dicts(seed=60 + ranks, ranks=ranks))
+        np.testing.assert_allclose(
+            reduce_flat(data, boundaries, op="adasum", topology="rvh"),
+            reduce_flat(data, boundaries, op="adasum", topology="tree"),
+            rtol=1e-5,
+            atol=1e-6,
+        )
+
+    @pytest.mark.parametrize("ranks", ALL_SIZES)
+    @pytest.mark.parametrize("op", ("sum", "average"))
+    def test_sum_average_reference(self, op, ranks):
+        data, _ = _rows(_dicts(seed=70 + ranks, ranks=ranks))
+        ref = np.sum(data.astype(np.float64), axis=0)
+        if op == "average":
+            ref = ref / ranks
+        np.testing.assert_allclose(
+            reduce_flat(data, op=op, topology="tree"),
+            ref.astype(np.float32),
+            rtol=1e-6,
+        )
+
+    @pytest.mark.parametrize("op", ("sum", "average"))
+    def test_sum_topology_invariant(self, op):
+        """Elementwise ops give bit-identical results on every topology."""
+        data, boundaries = _rows(_dicts(seed=80, ranks=6))
+        base = reduce_flat(data, boundaries, op=op, topology="tree_any")
+        for topology in TOPOLOGIES:
+            if topology == "tree_any":
+                continue
+            if topology in ("tree", "rvh"):
+                continue  # pow2-only validation; 6 ranks
+            _assert_bit_equal(
+                reduce_flat(data, boundaries, op=op, topology=topology), base
+            )
+
+
+class TestValidation:
+    @pytest.mark.parametrize("ranks", (3, 5, 6, 7))
+    def test_tree_rejects_non_pow2(self, ranks):
+        data, _ = _rows(_dicts(seed=90 + ranks, ranks=ranks))
+        with pytest.raises(ValueError, match="power-of-two"):
+            reduce_flat(data, op="adasum", topology="tree")
+
+    @pytest.mark.parametrize("ranks", (3, 6))
+    def test_rvh_rejects_non_pow2(self, ranks):
+        data, _ = _rows(_dicts(seed=95 + ranks, ranks=ranks))
+        with pytest.raises(ValueError, match="power-of-two"):
+            reduce_flat(data, op="adasum", topology="rvh")
+
+    def test_empty_dicts_raise(self):
+        with pytest.raises(ValueError, match="at least one rank"):
+            reduce_dicts([], op="sum")
+
+    def test_mismatched_names_raise(self):
+        with pytest.raises(ValueError, match="differ"):
+            reduce_dicts(
+                [{"a": np.zeros(2, np.float32)}, {"b": np.zeros(2, np.float32)}],
+                op="sum",
+            )
+
+    def test_single_rank_identity(self):
+        data, boundaries = _rows(_dicts(seed=99, ranks=1))
+        for op in OPS:
+            for topology in TOPOLOGIES:
+                out = reduce_flat(data, boundaries, op=op, topology=topology)
+                _assert_bit_equal(out, data[0], msg=f"({op}, {topology})")
