@@ -129,3 +129,44 @@ def test_fig4_flat_entry_points_bit_exact(ranks):
                 err_msg=f"{flat_fn.__name__} diverges from layout path "
                         f"on rank {r}",
             )
+
+
+HIER_HEADERS = ["ranks", "tensor", "hier Adasum (ms)", "hier sum (ms)",
+                "flat RVH (ms)", "adasum/sum"]
+
+
+def test_fig4_hierarchical_scaling_table(benchmark, save_result):
+    """Two-level scaling study at 256-1024 simulated ranks.
+
+    The table prices hierarchical Adasum against the hierarchical plain
+    sum and a flat single-level AdasumRVH on the same contended fabric;
+    the assertion pins the Figure-4-style crossover — the tensor size
+    from which the extra dot-product allreduce of Algorithm 1 no longer
+    matters — at every rank count.
+    """
+    from repro.experiments import run_fig4_hierarchical
+
+    result = benchmark.pedantic(run_fig4_hierarchical, rounds=1, iterations=1)
+    rows = result.rows()
+    announce(
+        f"Figure 4 (two-level): hierarchical scaling, "
+        f"{result.gpus_per_node} GPUs/node", format_table(HIER_HEADERS, rows),
+    )
+    save_result("fig4_hierarchical_scaling", HIER_HEADERS, rows,
+                notes="analytic two-level model; crossover per rank count: "
+                      f"{result.crossover_bytes()}")
+
+    by_ranks = result.crossover_bytes()
+    assert set(by_ranks) == {256, 512, 1024}
+    for ranks, crossed in by_ranks.items():
+        # The sweep reaches the bandwidth-bound regime everywhere.
+        assert crossed is not None, f"no crossover at {ranks} ranks"
+    # Small tensors are latency-bound: Adasum's extra allreduces show.
+    smallest = [p for p in result.points if p.nbytes == min(
+        q.nbytes for q in result.points)]
+    assert all(p.ratio > 1.2 for p in smallest)
+    # Keeping g-1 of g hops on NVLink beats the flat contended fabric
+    # for every large tensor.
+    largest = [p for p in result.points if p.nbytes == max(
+        q.nbytes for q in result.points)]
+    assert all(p.hier_adasum_ms < p.flat_rvh_ms for p in largest)

@@ -184,8 +184,22 @@ def build_ops():
         thunk()  # validate once before timing
         return thunk
 
+    def hier_latency_setup():
+        # Analytic 256-rank two-level latency sweep (the Figure-4-style
+        # scaling study): prices hierarchical Adasum, hierarchical sum,
+        # and flat AdasumRVH across 2^12..2^28 bytes on the NVLink+IB
+        # preset.  Pure cost-model arithmetic — guards the hot analytic
+        # path the simclock and fig4 experiments lean on.
+        from repro.experiments import run_fig4_hierarchical
+
+        def thunk():
+            result = run_fig4_hierarchical(rank_counts=(256,))
+            assert result.points
+        return thunk
+
     return [
         ("pairwise_adasum_1m", pairwise_setup),
+        ("hier_latency_256r", hier_latency_setup),
         ("adasum_tree_16r_64k", tree_setup),
         ("adasum_reducer_lenet_8r", adasum_reducer_setup),
         ("sum_reducer_lenet_8r", sum_reducer_setup),

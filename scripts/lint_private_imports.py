@@ -1,21 +1,25 @@
 #!/usr/bin/env python
-"""Lint: forbid private Adasum kernel names outside ``repro.core``.
+"""Lint: forbid private reduction/collective names outside their package.
 
 The strategy registry (``repro.core.strategies``) is the single
 dispatch point for every reduction path.  Code outside ``src/repro/core``
 must go through ``get_strategy(...)`` / ``make_reducer(...)`` /
 ``cluster_allreduce(...)`` rather than importing the private flat
-kernels or the deprecated per-topology entry points directly.  This
-grep-level check keeps the boundary from eroding: a private name that
-leaks into another package turns the next kernel refactor into a
-cross-package breakage.
+kernels or the deprecated per-topology entry points directly.  The
+same boundary holds for the wire-level hierarchical collective: its
+ring-schedule internals (chunk-bound arithmetic, local reduce-scatter /
+allgather stages, the cross-node tree fallback) are private to
+``src/repro/comm`` — everything else calls the public
+``hierarchical_*_allreduce`` entry points.  This grep-level check keeps
+both boundaries from eroding: a private name that leaks into another
+package turns the next kernel refactor into a cross-package breakage.
 
 Usage::
 
     python scripts/lint_private_imports.py
 
 Exits non-zero and prints every offending ``path:line`` when a
-forbidden token appears outside the allowed area.
+forbidden token appears outside its allowed area.
 """
 
 from __future__ import annotations
@@ -25,29 +29,54 @@ import sys
 
 REPO = pathlib.Path(__file__).resolve().parent.parent
 
-# Private kernel internals plus the deprecated flat entry points.  The
-# deprecated names still exist (as warn-once shims in repro.core) so old
-# user code keeps working, but nothing in this repo outside core/ may
-# call them.
-FORBIDDEN = (
-    "_adasum_flat_reduce",
-    "_FlatReducePlan",
-    "_adasum_rvh_level",
-    "_adasum_flat_pair",
-    "_flat_pair_scales",
-    "_rvh_flat",
-    "_ring_flat",
-    "adasum_tree_flat",
-    "adasum_tree_any_flat",
-    "adasum_linear_flat",
-    "adasum_rvh_flat",
-    "adasum_ring_flat",
+# Each rule: (tokens, allowed prefixes) — the tokens may appear only in
+# files under one of the allowed prefixes.
+RULES = (
+    # Private kernel internals plus the deprecated flat entry points.
+    # The deprecated names still exist (as warn-once shims in
+    # repro.core) so old user code keeps working, but nothing in this
+    # repo outside core/ may call them.
+    (
+        (
+            "_adasum_flat_reduce",
+            "_FlatReducePlan",
+            "_adasum_rvh_level",
+            "_adasum_flat_pair",
+            "_flat_pair_scales",
+            "_rvh_flat",
+            "_ring_flat",
+            "adasum_tree_flat",
+            "adasum_tree_any_flat",
+            "adasum_linear_flat",
+            "adasum_rvh_flat",
+            "adasum_ring_flat",
+            "_HierarchicalMixin",
+        ),
+        (REPO / "src" / "repro" / "core",),
+    ),
+    # Wire-level hierarchical collective internals: the ring schedule
+    # (chunk bounds, stage functions) and the cross-node tree fallback
+    # are comm-private; the registry's hierarchical cells consume only
+    # the public hierarchical_*_allreduce entry points.
+    (
+        (
+            "_local_reduce_scatter",
+            "_local_allgather",
+            "_node_group",
+            "_chunk_bounds",
+            "_cross_node_adasum_tree",
+            "_rebase_boundaries",
+        ),
+        (REPO / "src" / "repro" / "comm",),
+    ),
 )
 
-# Everything under these roots is scanned; files under src/repro/core
-# are the implementation and may use the private names freely.
+# Everything under these roots is scanned (tests may exercise privates).
 SCAN_ROOTS = ("src", "benchmarks", "scripts")
-ALLOWED_PREFIX = REPO / "src" / "repro" / "core"
+
+
+def _allowed(path: pathlib.Path, prefixes) -> bool:
+    return any(prefix in path.parents or path == prefix for prefix in prefixes)
 
 
 def scan() -> list[str]:
@@ -56,29 +85,34 @@ def scan() -> list[str]:
         for path in sorted((REPO / root).rglob("*.py")):
             if path == REPO / "scripts" / "lint_private_imports.py":
                 continue
-            if ALLOWED_PREFIX in path.parents or path == ALLOWED_PREFIX:
-                continue
-            for lineno, line in enumerate(path.read_text().splitlines(), 1):
-                for token in FORBIDDEN:
-                    if token in line:
-                        rel = path.relative_to(REPO)
-                        offenders.append(f"{rel}:{lineno}: {token}: {line.strip()}")
+            lines = path.read_text().splitlines()
+            for tokens, prefixes in RULES:
+                if _allowed(path, prefixes):
+                    continue
+                for lineno, line in enumerate(lines, 1):
+                    for token in tokens:
+                        if token in line:
+                            rel = path.relative_to(REPO)
+                            offenders.append(
+                                f"{rel}:{lineno}: {token}: {line.strip()}"
+                            )
     return offenders
 
 
 def main() -> int:
     offenders = scan()
     if offenders:
-        print("private reduction-kernel names leaked outside repro.core:")
+        print("private reduction/collective names leaked outside their package:")
         for line in offenders:
             print(f"  {line}")
         print(
             "\nroute through repro.core.strategies.get_strategy(...), "
-            "repro.core.make_reducer(...), or "
-            "repro.comm.cluster_allreduce(...) instead."
+            "repro.core.make_reducer(...), repro.comm.cluster_allreduce(...), "
+            "or the public repro.comm.hierarchical_*_allreduce entry points "
+            "instead."
         )
         return 1
-    print("lint_private_imports: no private kernel names outside repro.core")
+    print("lint_private_imports: no private kernel names outside their package")
     return 0
 
 

@@ -46,8 +46,26 @@ def _fig2(fast: bool) -> str:
 
 def _fig4(fast: bool) -> str:
     r = experiments.run_fig4()
-    return format_table(["tensor (bytes)", "Adasum (ms)", "NCCL (ms)", "ratio"],
+    flat = format_table(["tensor (bytes)", "Adasum (ms)", "NCCL (ms)", "ratio"],
                         r.rows())
+    h = experiments.run_fig4_hierarchical()
+    hier = format_table(
+        ["ranks", "tensor (bytes)", "hier-Adasum (ms)", "hier-sum (ms)",
+         "flat-RVH (ms)", "ratio"],
+        h.rows(),
+    )
+    cross = h.crossover_bytes()
+    note = "\n".join(
+        f"  {ranks} ranks: Adasum-RVH dot-product overhead amortized above "
+        + (f"{b} bytes" if b is not None else "the swept range")
+        for ranks, b in sorted(cross.items())
+    )
+    return (
+        flat
+        + f"\n\ntwo-level fabric ({h.network.name}), "
+        f"{h.gpus_per_node} GPUs/node:\n" + hier
+        + "\ncrossover (hier-Adasum within 5% of hier-sum):\n" + note
+    )
 
 
 def _fig5(fast: bool) -> str:
@@ -168,10 +186,15 @@ def _trace_main(argv) -> int:
     parser.add_argument("--floats", type=int, default=4096,
                         help="gradient length per rank (float32 elements)")
     parser.add_argument("--network",
-                        choices=("infiniband", "nccl_nvlink", "pcie", "slow_tcp"),
-                        default="infiniband")
+                        choices=("infiniband", "nccl_nvlink", "pcie", "slow_tcp",
+                                 "two_level"),
+                        default="infiniband",
+                        help="'two_level' prices intra-node hops at NVLink "
+                             "rates and inter-node hops at contended "
+                             "InfiniBand rates")
     parser.add_argument("--gpus-per-node", type=int, default=2,
-                        help="node width for --collective hierarchical")
+                        help="node width for --collective hierarchical and "
+                             "the two_level network")
     parser.add_argument("--straggler", type=int, default=None,
                         help="rank whose sends are delayed")
     parser.add_argument("--straggler-factor", type=float, default=10.0)
@@ -196,7 +219,12 @@ def _trace_main(argv) -> int:
         if args.kill is not None:
             plan.kill_rank(args.kill, after_ops=args.kill_after_ops)
 
-    net = getattr(NetworkModel, args.network)()
+    if args.network == "two_level":
+        from repro.comm import TwoLevelNetwork
+
+        net = TwoLevelNetwork.nvlink_ib(gpus_per_node=args.gpus_per_node)
+    else:
+        net = getattr(NetworkModel, args.network)()
     cluster = Cluster(args.ranks, network=net, timeout=args.timeout,
                       faults=plan, trace=True)
     rng = np.random.default_rng(args.seed)
@@ -255,11 +283,17 @@ def _elastic_main(argv) -> int:
     parser.add_argument("--op", choices=("adasum", "sum", "average"),
                         default="adasum")
     parser.add_argument("--topology",
-                        choices=("tree", "tree_any", "linear", "ring"),
+                        choices=("tree", "tree_any", "linear", "ring",
+                                 "hierarchical"),
                         default="tree",
                         help="reduction recursion order (the elastic runtime "
                              "widens 'tree' to 'tree_any' so shrunk worlds "
-                             "keep reducing)")
+                             "keep reducing; 'hierarchical' sums within nodes "
+                             "of --gpus-per-node and applies Adasum across "
+                             "them, falling back to tree_any when a kill "
+                             "breaks node symmetry)")
+    parser.add_argument("--gpus-per-node", type=int, default=1,
+                        help="node width for --topology hierarchical")
     parser.add_argument("--fp16", action="store_true",
                         help="fp16 wire format with dynamic loss scaling")
     parser.add_argument("--wire-dtype", choices=("fp32", "fp16"), default="fp32",
@@ -315,7 +349,8 @@ def _elastic_main(argv) -> int:
     # One declarative config from the parsed flags; the trainer (and its
     # DistributedOptimizer) consume it through from_config.
     config = RunConfig(
-        op=args.op, topology=args.topology, fp16=args.fp16,
+        op=args.op, topology=args.topology, gpus_per_node=args.gpus_per_node,
+        fp16=args.fp16,
         wire_dtype=args.wire_dtype, bucket_cap_mb=args.bucket_cap_mb,
         num_ranks=args.ranks, microbatch=args.microbatch, seed=args.seed,
         faults=schedule if have_faults else None,
@@ -383,9 +418,12 @@ def _overlap_main(argv) -> int:
     parser.add_argument("--op", choices=("adasum", "sum", "average"),
                         default="adasum")
     parser.add_argument("--topology",
-                        choices=("tree", "tree_any", "linear", "ring"),
+                        choices=("tree", "tree_any", "linear", "ring",
+                                 "hierarchical"),
                         default="tree",
                         help="reduction recursion order for the flat kernels")
+    parser.add_argument("--gpus-per-node", type=int, default=1,
+                        help="node width for --topology hierarchical")
     parser.add_argument("--bucket-cap-mb", type=float, default=1.0,
                         help="overlap bucket size cap in MB")
     parser.add_argument("--wire-dtype", choices=("fp32", "fp16"),
@@ -404,7 +442,8 @@ def _overlap_main(argv) -> int:
     # One declarative config from the parsed flags; both runs derive
     # from it (the overlap flag is the only difference).
     config = RunConfig(
-        op=args.op, topology=args.topology, wire_dtype=args.wire_dtype,
+        op=args.op, topology=args.topology, gpus_per_node=args.gpus_per_node,
+        wire_dtype=args.wire_dtype,
         bucket_cap_mb=args.bucket_cap_mb, num_ranks=args.ranks,
         microbatch=args.microbatch, seed=args.seed,
     )

@@ -22,6 +22,7 @@ This package replaces MPI/NCCL for the reproduction.  It provides:
 
 from repro.comm.netmodel import (
     NetworkModel,
+    TwoLevelNetwork,
     ring_allreduce_cost,
     rvh_allreduce_cost,
     adasum_rvh_cost,
@@ -41,6 +42,7 @@ from repro.comm.tracing import CommTracer, TraceEvent
 from repro.comm.hierarchical import (
     hierarchical_allreduce,
     hierarchical_adasum_allreduce,
+    hierarchical_sum_allreduce,
     cross_node_peers,
 )
 from repro.comm.collectives import (
@@ -57,6 +59,7 @@ from repro.comm.bucketing import Bucket, BucketPlan
 
 __all__ = [
     "NetworkModel",
+    "TwoLevelNetwork",
     "Cluster",
     "Comm",
     "CommError",
@@ -68,6 +71,7 @@ __all__ = [
     "TraceEvent",
     "hierarchical_allreduce",
     "hierarchical_adasum_allreduce",
+    "hierarchical_sum_allreduce",
     "cross_node_peers",
     "allreduce_ring",
     "allreduce_recursive_doubling",

@@ -165,6 +165,7 @@ def cluster_allreduce(
     op: str = "sum",
     topology: str = "ring",
     boundaries: Sequence[int] = None,
+    gpus_per_node: int = 1,
 ) -> np.ndarray:
     """Declarative cluster allreduce: dispatch ``(op, topology)`` to the
     matching collective.
@@ -175,8 +176,12 @@ def cluster_allreduce(
     ``average`` run the elementwise collectives here (``ring``,
     recursive doubling for ``tree``/``tree_any``, reduce-scatter +
     allgather for ``rvh``), dividing by the rank count for ``average``.
-    This is the entry point the CLI ``trace`` command drives, so every
-    traced collective goes through the same dispatcher as training.
+    The ``hierarchical`` topology composes intra-node reduce-scatter /
+    allgather with a cross-node reduction over node peers, with
+    ``gpus_per_node`` ranks per node (bound onto the registry cell for
+    ``adasum``).  This is the entry point the CLI ``trace`` command
+    drives, so every traced collective goes through the same dispatcher
+    as training.
     """
     op = str(getattr(op, "value", op)).lower()
     topology = str(topology).lower()
@@ -185,7 +190,10 @@ def cluster_allreduce(
         # strategies module imports repro.comm.transport back.
         from repro.core.strategies import get_strategy
 
-        return get_strategy(op, topology).combine_comm(comm, x, boundaries)
+        strategy = get_strategy(op, topology)
+        if topology == "hierarchical":
+            strategy = strategy.bind(gpus_per_node=gpus_per_node)
+        return strategy.combine_comm(comm, x, boundaries)
     if op not in ("sum", "average"):
         raise ValueError(f"unknown reduction op {op!r} for cluster_allreduce")
     if topology == "ring":
@@ -195,6 +203,13 @@ def cluster_allreduce(
     elif topology == "rvh":
         piece, slice_range = reduce_scatter_halving(comm, x)
         result = allgather_doubling(comm, piece, slice_range, x.size).reshape(x.shape)
+    elif topology == "hierarchical":
+        from repro.comm.hierarchical import hierarchical_sum_allreduce
+
+        g = gpus_per_node if gpus_per_node and comm.size % gpus_per_node == 0 else 1
+        return hierarchical_sum_allreduce(
+            comm, x, g, average=op == "average"
+        ).reshape(x.shape)
     else:
         raise ValueError(f"unknown topology {topology!r} for cluster_allreduce")
     if op == "average":

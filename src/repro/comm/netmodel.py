@@ -96,16 +96,44 @@ def ring_allreduce_cost(nbytes: int, p: int, net: NetworkModel) -> float:
     return (p - 1) * (step + net.reduce_cost(chunk)) + (p - 1) * step
 
 
+def _pow2_block_overhead(nbytes: float, net: NetworkModel, adasum: bool) -> float:
+    """Extra latency of one ``tree_any`` block-combine level.
+
+    Non-power-of-two rank counts decompose into the largest power-of-two
+    block and the remainder (``largest_pow2_below``): the two blocks
+    reduce independently (in parallel), the remainder's root ships its
+    full vector to the main block's root for one pairwise combine, and
+    the combined vector is broadcast back with one return hop.  For
+    Adasum the pairwise combine also pays the dot products and scaled
+    combination (≈3× a plain sum's arithmetic).
+    """
+    combine = net.reduce_cost(nbytes) * (3 if adasum else 1)
+    return net.send_cost(nbytes) + combine + net.send_cost(nbytes)
+
+
 def rvh_allreduce_cost(nbytes: int, p: int, net: NetworkModel) -> float:
     """Latency of recursive-vector-halving allreduce (elementwise op).
 
     log p reduce-scatter rounds exchanging n/2, n/4, ... bytes, then
     log p allgather rounds with the same sizes — the latency-and-
     bandwidth-optimal algorithm of [10, 35] on hypercubes.
+
+    Non-power-of-two ``p`` is modeled as the ``tree_any`` pow2-block
+    decomposition (largest power-of-two block + remainder, reduced in
+    parallel, then one full-vector combine/broadcast exchange) instead
+    of silently flooring ``log2(p)`` — which used to cost p=6 the same
+    as p=4.
     """
-    if p == 1:
+    if p <= 1:
         return 0.0
-    rounds = int(math.log2(p))
+    if p & (p - 1):
+        p0 = 1 << (p.bit_length() - 1)
+        blocks = max(
+            rvh_allreduce_cost(nbytes, p0, net),
+            rvh_allreduce_cost(nbytes, p - p0, net),
+        )
+        return blocks + _pow2_block_overhead(nbytes, net, adasum=False)
+    rounds = p.bit_length() - 1
     total = 0.0
     size = nbytes
     for _ in range(rounds):
@@ -134,10 +162,21 @@ def adasum_rvh_cost(nbytes: int, p: int, net: NetworkModel) -> float:
     ``2^level`` ranks (recursive doubling: ``level`` rounds of 24-byte
     messages), plus the extra arithmetic of the dot products and scaled
     combination (≈3× the work of a plain sum).
+
+    Non-power-of-two ``p`` uses the same ``tree_any`` pow2-block
+    decomposition as :func:`rvh_allreduce_cost`, with the block-combine
+    paying the Adasum pairwise arithmetic.
     """
-    if p == 1:
+    if p <= 1:
         return 0.0
-    rounds = int(math.log2(p))
+    if p & (p - 1):
+        p0 = 1 << (p.bit_length() - 1)
+        blocks = max(
+            adasum_rvh_cost(nbytes, p0, net),
+            adasum_rvh_cost(nbytes, p - p0, net),
+        )
+        return blocks + _pow2_block_overhead(nbytes, net, adasum=True)
+    rounds = p.bit_length() - 1
     total = 0.0
     size = nbytes
     for level in range(1, rounds + 1):
@@ -175,23 +214,101 @@ def hierarchical_allreduce_cost(
     intra: NetworkModel,
     inter: NetworkModel,
     cross_node_adasum: bool = False,
+    contention: float = 1.0,
 ) -> float:
     """Two-level allreduce: intra-node reduce-scatter/allgather (NCCL)
     bracketing a cross-node reduction (Section 4.2.2).
 
-    Each GPU ends the local reduce-scatter holding ``n / g`` bytes and
-    participates in a cross-node allreduce of that slice (RVH or
-    AdasumRVH), followed by the local allgather.
+    Each GPU ends the local reduce-scatter holding ``nbytes / g`` bytes
+    and participates in a cross-node allreduce of that slice (RVH or
+    AdasumRVH), followed by the local allgather.  The slice size is one
+    expression for every ``g`` — including ``g == 1`` — and is kept as a
+    float: truncating to ``int`` dropped the fractional bytes whenever
+    ``nbytes % g != 0``, understating the cross-node term (the executed
+    simulation charges every byte).
+
+    ``contention`` scales the inter-node bandwidth term: the ``g`` local
+    ranks run their cross-node slice reductions concurrently over one
+    shared NIC, so each sees ``beta * contention`` effective inverse
+    bandwidth (``contention = g`` models full serialization on the NIC;
+    1.0 models per-rank dedicated links).
     """
     g = gpus_per_node
+    slice_bytes = nbytes / g
     local = 0.0
     if g > 1:
-        chunk = nbytes / g
-        local += (g - 1) * (intra.send_cost(chunk) + intra.reduce_cost(chunk))  # reduce-scatter
-        local += (g - 1) * intra.send_cost(chunk)  # allgather
-    slice_bytes = nbytes / g if g > 1 else nbytes
+        local += (g - 1) * (intra.send_cost(slice_bytes) + intra.reduce_cost(slice_bytes))
+        local += (g - 1) * intra.send_cost(slice_bytes)  # allgather
+    if contention != 1.0:
+        inter = dataclasses.replace(inter, beta=inter.beta * contention)
     if cross_node_adasum:
-        cross = adasum_rvh_cost(int(slice_bytes), nodes, inter)
+        cross = adasum_rvh_cost(slice_bytes, nodes, inter)
     else:
-        cross = rvh_allreduce_cost(int(slice_bytes), nodes, inter)
+        cross = rvh_allreduce_cost(slice_bytes, nodes, inter)
     return local + cross
+
+
+@dataclasses.dataclass(frozen=True)
+class TwoLevelNetwork:
+    """Heterogeneous two-level fabric: fast intra-node, slow inter-node.
+
+    Duck-types the :class:`NetworkModel` costing interface the transport
+    uses (``send_cost`` / ``reduce_cost``) and additionally provides
+    :meth:`pair_send_cost`, which :meth:`repro.comm.transport.Comm.send`
+    prefers when present — so an executed collective on a
+    :class:`~repro.comm.transport.Cluster` automatically pays NVLink
+    prices for messages that stay inside a node and InfiniBand (or
+    worse) prices across nodes.
+
+    Attributes
+    ----------
+    intra, inter:
+        α–β(–γ) models for the two link classes.
+    gpus_per_node:
+        Node width; ranks ``[k*g, (k+1)*g)`` share a node.
+    contention:
+        Multiplier on the inter-node β term, modeling the node's local
+        ranks sharing one NIC for their concurrent cross-node slices
+        (``gpus_per_node`` = fully serialized, 1.0 = dedicated links).
+    """
+
+    intra: NetworkModel
+    inter: NetworkModel
+    gpus_per_node: int
+    contention: float = 1.0
+    name: str = "two-level"
+
+    def node_of(self, rank: int) -> int:
+        return rank // self.gpus_per_node
+
+    def link_for(self, src: int, dst: int) -> NetworkModel:
+        """The link class a ``src -> dst`` message travels over."""
+        return self.intra if self.node_of(src) == self.node_of(dst) else self.inter
+
+    def pair_send_cost(self, nbytes: int, src: int, dst: int) -> float:
+        """Cost of one point-to-point message between specific ranks."""
+        link = self.link_for(src, dst)
+        if link is self.inter:
+            return link.alpha + link.beta * self.contention * nbytes
+        return link.send_cost(nbytes)
+
+    def send_cost(self, nbytes: int) -> float:
+        """Pairless fallback (conservative: the slow inter-node link)."""
+        return self.inter.alpha + self.inter.beta * self.contention * nbytes
+
+    def reduce_cost(self, nbytes: int) -> float:
+        """Local reduction arithmetic (on-node, intra γ)."""
+        return self.intra.reduce_cost(nbytes)
+
+    @staticmethod
+    def nvlink_ib(gpus_per_node: int = 4, contention: float = None) -> "TwoLevelNetwork":
+        """The paper's Azure cluster shape: NVSwitch inside each node,
+        100 Gb/s InfiniBand between nodes, NIC shared by the node's
+        GPUs (contention defaults to ``gpus_per_node``)."""
+        return TwoLevelNetwork(
+            intra=NetworkModel.nccl_nvlink(),
+            inter=NetworkModel.infiniband(),
+            gpus_per_node=gpus_per_node,
+            contention=float(gpus_per_node if contention is None else contention),
+            name=f"nvlink+ib/{gpus_per_node}",
+        )

@@ -184,6 +184,10 @@ class Comm:
         size_bytes = int(nbytes) if nbytes is not None else int(np.asarray(payload).nbytes)
         cluster = self._cluster
         net = cluster.network
+        # Two-level networks price each (src, dst) pair by link class
+        # (intra- vs inter-node); single-level models cost all pairs
+        # identically through send_cost.
+        pair_cost = getattr(net, "pair_send_cost", None)
         plan = cluster.faults
         factor = plan.delay_factor(self.rank) if plan is not None else 1.0
         max_retries = (
@@ -198,7 +202,10 @@ class Comm:
         while True:
             attempt += 1
             t0 = self.clock
-            self.clock += net.send_cost(size_bytes) * factor
+            if pair_cost is not None:
+                self.clock += pair_cost(size_bytes, self.rank, dst) * factor
+            else:
+                self.clock += net.send_cost(size_bytes) * factor
             self.bytes_sent += size_bytes
             self.messages_sent += 1
             if plan is None or not plan.consume_drop(self.rank, dst):

@@ -44,7 +44,8 @@ def parse_op(value) -> ReduceOpType:
 
 def parse_topology(value) -> str:
     """Parse/validate a topology name (``tree``/``tree_any``/``linear``/
-    ``rvh``/``ring``); case-insensitive, ``-`` accepted for ``_``."""
+    ``rvh``/``ring``/``hierarchical``); case-insensitive, ``-`` accepted
+    for ``_``."""
     topology = str(value).lower().replace("-", "_")
     if topology not in TOPOLOGIES:
         raise ValueError(
@@ -74,6 +75,7 @@ class RunConfig:
 
     op: str = "adasum"
     topology: str = "tree"
+    gpus_per_node: int = 1
     per_layer: bool = True
     adasum_pre_optimizer: bool = False
     fp16: bool = False
@@ -100,6 +102,22 @@ class RunConfig:
             )
         if self.num_ranks < 1:
             raise ValueError("num_ranks must be >= 1")
+        if self.gpus_per_node < 1:
+            raise ValueError("gpus_per_node must be >= 1")
+        if self.gpus_per_node > 1 and self.topology != "hierarchical":
+            raise ValueError(
+                "gpus_per_node > 1 requires topology='hierarchical', "
+                f"got {self.topology!r}"
+            )
+        if (
+            self.topology == "hierarchical"
+            and self.num_ranks > 1
+            and self.num_ranks % self.gpus_per_node
+        ):
+            raise ValueError(
+                f"num_ranks ({self.num_ranks}) must be a multiple of "
+                f"gpus_per_node ({self.gpus_per_node}) for a hierarchical run"
+            )
         if self.microbatch < 1:
             raise ValueError("microbatch must be >= 1")
         if self.bucket_cap_mb is not None and self.bucket_cap_mb <= 0:
@@ -129,7 +147,10 @@ class RunConfig:
     def make_reducer(self) -> StrategyReducer:
         """Build the registry-backed reducer this config describes."""
         return StrategyReducer(
-            op=self.op, topology=self.topology, per_layer=self.per_layer
+            op=self.op,
+            topology=self.topology,
+            per_layer=self.per_layer,
+            gpus_per_node=self.gpus_per_node,
         )
 
     def replace(self, **changes) -> "RunConfig":

@@ -52,20 +52,24 @@ def make_reducer(
     tree: bool = True,
     allow_non_pow2: bool = False,
     topology: str = None,
+    gpus_per_node: int = None,
 ) -> GradientReducer:
     """Build the registry-backed reducer implementing ``op``.
 
     ``op`` is a :class:`ReduceOpType` or its string value.  ``topology``
     names a registered cell directly (``"tree"`` / ``"tree_any"`` /
-    ``"linear"`` / ``"rvh"`` / ``"ring"``); when ``None`` it derives
-    from the legacy ``(tree, allow_non_pow2)`` flag pair.
+    ``"linear"`` / ``"rvh"`` / ``"ring"`` / ``"hierarchical"``); when
+    ``None`` it derives from the legacy ``(tree, allow_non_pow2)`` flag
+    pair.  ``gpus_per_node`` parameterizes the hierarchical topology.
     """
     if topology is None:
         if tree:
             topology = "tree_any" if allow_non_pow2 else "tree"
         else:
             topology = "linear"
-    return StrategyReducer(op=op, topology=topology, per_layer=per_layer)
+    return StrategyReducer(
+        op=op, topology=topology, per_layer=per_layer, gpus_per_node=gpus_per_node
+    )
 
 
 def allreduce(
@@ -133,6 +137,7 @@ class DistributedOptimizer:
         allow_non_pow2: bool = False,
         wire_dtype: str = "fp32",
         topology: str = None,
+        gpus_per_node: int = None,
     ):
         if num_ranks < 1:
             raise ValueError("num_ranks must be >= 1")
@@ -148,8 +153,10 @@ class DistributedOptimizer:
             tree=tree,
             allow_non_pow2=allow_non_pow2,
             topology=topology,
+            gpus_per_node=gpus_per_node,
         )
         self.topology = self.reducer.topology
+        self.gpus_per_node = getattr(self.reducer, "gpus_per_node", 1)
         self.tree = self.reducer.tree
         self.allow_non_pow2 = self.reducer.allow_non_pow2
         self.adasum_pre_optimizer = adasum_pre_optimizer
@@ -205,6 +212,7 @@ class DistributedOptimizer:
             fp16=config.fp16,
             wire_dtype=config.wire_dtype,
             topology=topology,
+            gpus_per_node=getattr(config, "gpus_per_node", None),
         )
 
     # ------------------------------------------------------------------

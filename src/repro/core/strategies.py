@@ -55,7 +55,16 @@ from repro.core.operator import (
 
 #: The registered ops / topologies / layouts (the declared matrix).
 OPS: Tuple[str, ...] = ("sum", "average", "adasum")
-TOPOLOGIES: Tuple[str, ...] = ("tree", "tree_any", "linear", "rvh", "ring")
+TOPOLOGIES: Tuple[str, ...] = (
+    "tree",
+    "tree_any",
+    "linear",
+    "rvh",
+    "ring",
+    "hierarchical",
+)
+#: Topologies whose cells share the elementwise sum/average kernel.
+_FLAT_TOPOLOGIES: Tuple[str, ...] = ("tree", "tree_any", "linear", "rvh", "ring")
 LAYOUTS: Tuple[str, ...] = ("dict", "flat")
 
 
@@ -177,6 +186,23 @@ class ReduceStrategy:
             f"strategy ({self.op!r}, {self.topology!r}) has no cluster-"
             f"collective form"
         )
+
+    # -- parameterization ----------------------------------------------
+    def bind(self, **params) -> "ReduceStrategy":
+        """Return this cell specialized with topology parameters.
+
+        Most cells take none; parameterized topologies (currently
+        ``hierarchical`` with ``gpus_per_node``) override this to return
+        a bound copy, leaving the registered default untouched.  Unknown
+        non-``None`` parameters raise so configuration typos fail fast.
+        """
+        extra = sorted(k for k, v in params.items() if v is not None)
+        if extra:
+            raise ValueError(
+                f"strategy ({self.op!r}, {self.topology!r}) accepts no "
+                f"parameters, got {extra}"
+            )
+        return self
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(op={self.op!r}, topology={self.topology!r})"
@@ -410,7 +436,115 @@ class _AdasumRVHStrategy(ReduceStrategy):
         return _rvh_flat(comm, row, boundaries)
 
 
-for _topology in TOPOLOGIES:
+class _HierarchicalMixin:
+    """Shared ``gpus_per_node`` binding for the two-level cells.
+
+    The registered default is ``gpus_per_node=1`` (every rank its own
+    node), which degenerates to the flat cell — so the hierarchical
+    column participates in every generic registry test.  ``bind``
+    returns a parameterized copy; the registry entry itself is never
+    mutated.
+    """
+
+    topology = "hierarchical"
+
+    def __init__(self, gpus_per_node: int = 1):
+        gpus_per_node = int(gpus_per_node)
+        if gpus_per_node < 1:
+            raise ValueError(f"gpus_per_node must be >= 1, got {gpus_per_node}")
+        self.gpus_per_node = gpus_per_node
+
+    def bind(self, gpus_per_node=None, **params):
+        super().bind(**params)
+        if gpus_per_node is None or int(gpus_per_node) == self.gpus_per_node:
+            return self
+        return type(self)(gpus_per_node=int(gpus_per_node))
+
+    def validate_world(self, n: int) -> None:
+        super().validate_world(n)
+        # Node symmetry is NOT required: a world whose size is not a
+        # multiple of gpus_per_node (an elastic re-shard after losing a
+        # rank) falls back to the flat tree_any geometry.
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(op={self.op!r}, "
+            f"gpus_per_node={self.gpus_per_node})"
+        )
+
+
+class _HierarchicalSumStrategy(_HierarchicalMixin, _SumStrategy):
+    """Two-level sum: elementwise, so bit-identical to every flat cell.
+
+    In-process the kernel is the shared :func:`_flat_sum`; the cluster
+    form executes intra-node reduce-scatter / cross-node allreduce /
+    intra-node allgather over the wire.
+    """
+
+    def combine_comm(self, comm, row, boundaries=None):
+        from repro.comm.hierarchical import hierarchical_sum_allreduce
+
+        g = self.gpus_per_node if comm.size % self.gpus_per_node == 0 else 1
+        return hierarchical_sum_allreduce(comm, row, g)
+
+
+class _HierarchicalAverageStrategy(_HierarchicalMixin, _AverageStrategy):
+    """Two-level mean; same degeneracy contract as the hierarchical sum."""
+
+    def combine_comm(self, comm, row, boundaries=None):
+        from repro.comm.hierarchical import hierarchical_sum_allreduce
+
+        g = self.gpus_per_node if comm.size % self.gpus_per_node == 0 else 1
+        return hierarchical_sum_allreduce(comm, row, g, average=True)
+
+
+class _HierarchicalAdasumStrategy(_HierarchicalMixin, ReduceStrategy):
+    """§4.2.2/§4.3 production cell: intra-node sum, Adasum across nodes.
+
+    ``combine_flat`` is the arithmetic reference: rows are grouped into
+    nodes of ``gpus_per_node``, each node's rows are *summed* (local
+    microbatches act as one larger batch), and the ``tree_any`` Adasum
+    recursion combines the node sums.  Node sums round through the
+    storage dtype before the Adasum stage, matching the executed
+    collective where the reduce-scatter output crosses the wire in the
+    input dtype.
+
+    Worlds that are not a multiple of ``gpus_per_node`` — the geometry
+    an elastic re-shard can leave behind — degenerate to the flat
+    ``tree_any`` recursion over all rows (every rank its own node).
+    """
+
+    op = "adasum"
+
+    def combine_flat(self, data, boundaries=None):
+        n = data.shape[0]
+        self.validate_world(n)
+        g = self.gpus_per_node
+        tree_any = get_strategy("adasum", "tree_any")
+        if g <= 1 or n % g or n == g:
+            if n == g and n > 1:
+                # Single node: pure local sum, no cross-node Adasum.
+                return _flat_sum(data, boundaries).astype(data.dtype)
+            return tree_any.combine_flat(data, boundaries)
+        node_rows = np.stack(
+            [
+                _flat_sum(data[k * g : (k + 1) * g], boundaries).astype(data.dtype)
+                for k in range(n // g)
+            ]
+        )
+        return tree_any.combine_flat(node_rows, boundaries)
+
+    def combine_pair(self, acc, other, boundaries=None, out=None):
+        return adasum_flat(acc, other, boundaries, out=out)
+
+    def combine_comm(self, comm, row, boundaries=None):
+        from repro.comm.hierarchical import hierarchical_adasum_allreduce
+
+        g = self.gpus_per_node if comm.size % self.gpus_per_node == 0 else 1
+        return hierarchical_adasum_allreduce(comm, row, g, boundaries=boundaries)
+
+
+for _topology in _FLAT_TOPOLOGIES:
     register_strategy(_SumStrategy(_topology))
     register_strategy(_AverageStrategy(_topology))
 register_strategy(_AdasumTreeStrategy())
@@ -418,6 +552,9 @@ register_strategy(_AdasumTreeAnyStrategy())
 register_strategy(_AdasumLinearStrategy())
 register_strategy(_AdasumRingStrategy())
 register_strategy(_AdasumRVHStrategy())
+register_strategy(_HierarchicalSumStrategy())
+register_strategy(_HierarchicalAverageStrategy())
+register_strategy(_HierarchicalAdasumStrategy())
 
 
 # ----------------------------------------------------------------------
@@ -471,20 +608,33 @@ class StrategyReducer(GradientReducer):
         :class:`~repro.core.distributed_optimizer.ReduceOpType`).
     topology:
         Any registered topology (``"tree"``, ``"tree_any"``,
-        ``"linear"``, ``"rvh"``, ``"ring"``).
+        ``"linear"``, ``"rvh"``, ``"ring"``, ``"hierarchical"``).
     per_layer:
         Apply the op independently per layer (paper default, §3.6);
         ``False`` combines the whole flattened model as one vector.
+    gpus_per_node:
+        Node width for the ``hierarchical`` topology (bound via
+        :meth:`ReduceStrategy.bind`); other topologies reject values
+        other than ``None``/``1``.
 
     Compatibility attributes mirror the legacy reducer classes:
     ``name`` (the op), ``post_optimizer``, ``tree`` (topology is a tree
     recursion), ``allow_non_pow2`` (the elastic ``tree_any`` geometry).
     """
 
-    def __init__(self, op="adasum", topology: str = "tree", per_layer: bool = True):
+    def __init__(
+        self,
+        op="adasum",
+        topology: str = "tree",
+        per_layer: bool = True,
+        gpus_per_node: Optional[int] = None,
+    ):
         op = str(getattr(op, "value", op)).lower()
         topology = str(topology).lower()
         self.strategy = get_strategy(op, topology, "flat")
+        if gpus_per_node is not None and int(gpus_per_node) != 1:
+            self.strategy = self.strategy.bind(gpus_per_node=int(gpus_per_node))
+        self.gpus_per_node = getattr(self.strategy, "gpus_per_node", 1)
         self.op = op
         self.name = op
         self.topology = topology
@@ -502,7 +652,10 @@ class StrategyReducer(GradientReducer):
         return self.strategy.combine_flat(data, bounds)
 
     def __repr__(self) -> str:
+        extra = (
+            f", gpus_per_node={self.gpus_per_node}" if self.gpus_per_node != 1 else ""
+        )
         return (
             f"StrategyReducer(op={self.op!r}, topology={self.topology!r}, "
-            f"per_layer={self.per_layer})"
+            f"per_layer={self.per_layer}{extra})"
         )

@@ -122,6 +122,8 @@ class ElasticTrainer:
         adasum_pre_optimizer: bool = False,
         per_layer: bool = True,
         tree: bool = True,
+        topology: Optional[str] = None,
+        gpus_per_node: int = 1,
         fp16: bool = False,
         seed: int = 0,
         schedule: Optional[ElasticSchedule] = None,
@@ -151,6 +153,12 @@ class ElasticTrainer:
         self.adasum_pre_optimizer = adasum_pre_optimizer
         self.per_layer = per_layer
         self.tree = tree
+        # Widen 'tree' to the any-count geometry up front: the elastic
+        # world can shrink to any survivor count mid-run.
+        if topology == "tree":
+            topology = "tree_any"
+        self.topology = topology
+        self.gpus_per_node = int(gpus_per_node)
         self.fp16 = fp16
         self.wire_dtype = wire_dtype
         self.bucket_cap_mb = bucket_cap_mb
@@ -204,7 +212,10 @@ class ElasticTrainer:
         format; elastic-only knobs (``straggler``, ``snapshot_every``,
         checkpointing, ...) pass through ``kwargs``.  The ``rvh``
         topology has no elastic collective (its group allreduce assumes
-        a fixed power-of-two world) and is rejected here.
+        a fixed power-of-two world) and is rejected here; the
+        ``hierarchical`` topology is supported — after a kill breaks
+        node symmetry, the strategy itself falls back to the flat
+        ``tree_any`` cross-node geometry.
         """
         if config.topology == "rvh":
             raise ValueError(
@@ -222,6 +233,8 @@ class ElasticTrainer:
             adasum_pre_optimizer=config.adasum_pre_optimizer,
             per_layer=config.per_layer,
             tree=config.tree,
+            topology=config.topology,
+            gpus_per_node=config.gpus_per_node,
             fp16=config.fp16,
             seed=config.seed,
             schedule=config.faults,
@@ -253,6 +266,8 @@ class ElasticTrainer:
             fp16=self.fp16,
             allow_non_pow2=True,
             wire_dtype=self.wire_dtype,
+            topology=self.topology,
+            gpus_per_node=self.gpus_per_node if self.topology == "hierarchical" else None,
         )
         self.arena = GradientArena.from_model(self.model, size)
         self.iterator.reshard(size)

@@ -9,7 +9,11 @@ toward the paper's shape (still CPU-tractable).
 
 from repro.experiments.fig1_orthogonality import run_fig1
 from repro.experiments.fig2_hessian import run_fig2
-from repro.experiments.fig4_latency import run_fig4, validate_rvh_simulation
+from repro.experiments.fig4_latency import (
+    run_fig4,
+    run_fig4_hierarchical,
+    validate_rvh_simulation,
+)
 from repro.experiments.fig5_resnet import run_fig5
 from repro.experiments.fig6_lenet import run_fig6
 from repro.experiments.table1_parallelize import run_table1
@@ -24,6 +28,7 @@ __all__ = [
     "run_fig1",
     "run_fig2",
     "run_fig4",
+    "run_fig4_hierarchical",
     "validate_rvh_simulation",
     "run_fig5",
     "run_fig6",

@@ -15,7 +15,15 @@ from typing import List, Tuple
 
 import numpy as np
 
-from repro.comm import NetworkModel, adasum_rvh_cost, nccl_allreduce_cost
+from typing import Dict, Optional
+
+from repro.comm import (
+    NetworkModel,
+    TwoLevelNetwork,
+    adasum_rvh_cost,
+    hierarchical_allreduce_cost,
+    nccl_allreduce_cost,
+)
 from repro.core import allreduce_adasum_cluster
 
 
@@ -61,6 +69,104 @@ def run_fig4(
         for e in exponents
     ]
     return Fig4Result(points=points, ranks=ranks)
+
+
+@dataclasses.dataclass
+class HierLatencyPoint:
+    """One (rank count, tensor size) cell of the two-level scaling study."""
+
+    ranks: int
+    nbytes: int
+    hier_adasum_ms: float
+    hier_sum_ms: float
+    flat_rvh_ms: float
+
+    @property
+    def ratio(self) -> float:
+        """Adasum's overhead over the plain two-level sum: the extra
+        dot-product allreduces and pairwise arithmetic."""
+        return self.hier_adasum_ms / self.hier_sum_ms
+
+
+@dataclasses.dataclass
+class Fig4HierResult:
+    points: List[HierLatencyPoint]
+    gpus_per_node: int
+    network: TwoLevelNetwork
+
+    def rows(self) -> List[Tuple]:
+        return [
+            (p.ranks, f"2^{int(np.log2(p.nbytes))}", f"{p.hier_adasum_ms:.3f}",
+             f"{p.hier_sum_ms:.3f}", f"{p.flat_rvh_ms:.3f}", f"{p.ratio:.2f}x")
+            for p in self.points
+        ]
+
+    def crossover_bytes(self, tolerance: float = 0.05) -> Dict[int, Optional[int]]:
+        """Per rank count: the smallest swept tensor size from which
+        hierarchical Adasum stays within ``tolerance`` of the two-level
+        sum — i.e. where the α-bound dot-product allreduces of Algorithm
+        1 stop mattering against the β-bound slice traffic.  ``None``
+        when the sweep never reaches that regime.
+        """
+        out: Dict[int, Optional[int]] = {}
+        for ranks in sorted({p.ranks for p in self.points}):
+            series = sorted(
+                (p for p in self.points if p.ranks == ranks),
+                key=lambda p: p.nbytes,
+            )
+            crossed: Optional[int] = None
+            # Scan from the top so the answer is the *stable* crossover,
+            # not a transient dip.
+            for p in reversed(series):
+                if p.ratio <= 1.0 + tolerance:
+                    crossed = p.nbytes
+                else:
+                    break
+            out[ranks] = crossed
+        return out
+
+
+def run_fig4_hierarchical(
+    rank_counts=(256, 512, 1024),
+    gpus_per_node: int = 8,
+    exponents=range(12, 29, 2),
+    network: TwoLevelNetwork = None,
+) -> Fig4HierResult:
+    """Figure-4-style scaling study on the two-level fabric (§4.2.2).
+
+    For each simulated world size the sweep prices the hierarchical
+    Adasum (intra-node sum, AdasumRVH across nodes), the hierarchical
+    plain sum, and the flat single-level AdasumRVH over the contended
+    inter-node link — exposing both the benefit of keeping ``g-1`` of
+    every ``g`` hops on NVLink and the message-size crossover where the
+    extra dot-product allreduce of Algorithm 1 stops mattering.
+    """
+    net = network or TwoLevelNetwork.nvlink_ib(gpus_per_node=gpus_per_node)
+    g = net.gpus_per_node
+    points = []
+    for ranks in rank_counts:
+        if ranks % g:
+            raise ValueError(f"rank count {ranks} not divisible by {g} GPUs/node")
+        nodes = ranks // g
+        for e in exponents:
+            nbytes = 1 << e
+            hier_kwargs = dict(
+                nodes=nodes, gpus_per_node=g,
+                intra=net.intra, inter=net.inter, contention=net.contention,
+            )
+            contended_inter = dataclasses.replace(
+                net.inter, beta=net.inter.beta * net.contention
+            )
+            points.append(HierLatencyPoint(
+                ranks=ranks,
+                nbytes=nbytes,
+                hier_adasum_ms=hierarchical_allreduce_cost(
+                    nbytes, cross_node_adasum=True, **hier_kwargs) * 1e3,
+                hier_sum_ms=hierarchical_allreduce_cost(
+                    nbytes, cross_node_adasum=False, **hier_kwargs) * 1e3,
+                flat_rvh_ms=adasum_rvh_cost(nbytes, ranks, contended_inter) * 1e3,
+            ))
+    return Fig4HierResult(points=points, gpus_per_node=g, network=net)
 
 
 def validate_rvh_simulation(

@@ -47,6 +47,10 @@ class TrainingTimeModel:
     adasum:
         Whether the cross-node reduction is AdasumRVH (slightly more
         arithmetic + the dot-product allreduce) or plain RVH/ring sum.
+    contention:
+        Multiplier on the inter-node bandwidth term: a node's local
+        ranks run their cross-node slice reductions over one shared NIC
+        (``gpus_per_node`` = fully serialized; 1.0 = dedicated links).
     """
 
     seconds_per_example: float
@@ -56,6 +60,7 @@ class TrainingTimeModel:
     intra: NetworkModel = dataclasses.field(default_factory=NetworkModel.pcie)
     inter: NetworkModel = dataclasses.field(default_factory=NetworkModel.infiniband)
     adasum: bool = False
+    contention: float = 1.0
 
     # ------------------------------------------------------------------
     def allreduce_seconds(self) -> float:
@@ -69,6 +74,7 @@ class TrainingTimeModel:
                 intra=self.intra,
                 inter=self.inter,
                 cross_node_adasum=self.adasum,
+                contention=self.contention,
             )
         if self.adasum:
             return adasum_rvh_cost(self.model_bytes, self.num_workers, self.inter)

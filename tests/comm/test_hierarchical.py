@@ -10,6 +10,7 @@ from repro.comm import (
     cross_node_peers,
     hierarchical_adasum_allreduce,
     hierarchical_allreduce,
+    hierarchical_sum_allreduce,
 )
 from repro.comm.collectives import allreduce_recursive_doubling
 from repro.core import adasum_tree
@@ -139,3 +140,163 @@ class TestHierarchicalAdasum:
             rank_args=[(v,) for v in vecs],
         )
         assert cluster.max_clock() > 0
+
+
+class TestWireAccounting:
+    """Satellite: payloads are data-only, in the input dtype.
+
+    The allgather used to concatenate the ``(lo, hi)`` slice indices
+    into every hop's payload — 16 extra float64 wire bytes per hop plus
+    a float64 round-trip of the data.  Both stages now compute chunk
+    ranges locally, so the traced byte counts are exactly the slice
+    data.
+    """
+
+    @pytest.mark.parametrize("n", [10, 11, 37])
+    def test_exact_total_bytes_sum(self, n):
+        # size=4, g=2, 2 nodes: reduce-scatter, cross-node recursive
+        # doubling, and allgather each move every element once per rank
+        # pair => 6n floats = 24n bytes in total.
+        vecs = _vectors(4, n, seed=3)
+        cluster = Cluster(4)
+        cluster.run(
+            lambda c, v: hierarchical_sum_allreduce(c, v, 2),
+            rank_args=[(v,) for v in vecs],
+        )
+        assert cluster.total_bytes() == 24 * n
+
+    def test_every_payload_is_a_bare_chunk(self):
+        # n=10 splits into two 5-float chunks, so every message on the
+        # wire — both intra stages and the cross-node exchange — must be
+        # exactly 20 bytes.  The old metadata smuggling made allgather
+        # hops (5 + 2) * 8 = 56 bytes.
+        n = 10
+        vecs = _vectors(4, n, seed=4)
+        cluster = Cluster(4, trace=True)
+        cluster.run(
+            lambda c, v: hierarchical_sum_allreduce(c, v, 2),
+            rank_args=[(v,) for v in vecs],
+        )
+        sends = [ev for ev in cluster.tracer.events if ev.op == "send"]
+        assert sends and {ev.nbytes for ev in sends} == {20}
+
+    def test_adasum_payloads_are_dtype_sized(self):
+        vecs = _vectors(4, 24, seed=5)
+        cluster = Cluster(4, trace=True)
+        cluster.run(
+            lambda c, v: hierarchical_adasum_allreduce(c, v, 2),
+            rank_args=[(v,) for v in vecs],
+        )
+        sends = [ev for ev in cluster.tracer.events if ev.op == "send"]
+        # fp32 data only: every payload is a whole number of floats and
+        # no bigger than one 12-element chunk (48 bytes).
+        assert sends
+        assert all(ev.nbytes % 4 == 0 and ev.nbytes <= 48 for ev in sends)
+
+
+def _node_sums(vecs, g):
+    return [
+        (np.sum(np.stack(vecs[k * g:(k + 1) * g]).astype(np.float64), axis=0)
+         ).astype(vecs[0].dtype)
+        for k in range(len(vecs) // g)
+    ]
+
+
+def _per_slice_reference(vecs, g, boundaries=None):
+    """adasum tree over node sums, applied slice-by-slice like the wire."""
+    from repro.comm.hierarchical import _chunk_bounds, _rebase_boundaries
+    from repro.core.strategies import get_strategy
+
+    n = vecs[0].size
+    sums = _node_sums(vecs, g)
+    out = np.empty(n, dtype=vecs[0].dtype)
+    cell = get_strategy("adasum", "tree_any")
+    for lo, hi in _chunk_bounds(n, g):
+        rows = np.stack([s[lo:hi] for s in sums])
+        out[lo:hi] = cell.combine_flat(rows, _rebase_boundaries(boundaries, lo, hi))
+    return out
+
+
+class TestCrossTopologyAndBoundaries:
+    def test_tree_any_cross_bit_exact_non_pow2_nodes(self):
+        # 6 ranks, g=2 -> 3 nodes: auto-selects the tree_any cross
+        # geometry, which must reproduce per-slice adasum-over-node-sums
+        # bit for bit (g=2 keeps the local sum exact: the single
+        # reduce-scatter hop ships original fp32 data).
+        vecs = _vectors(6, 41, seed=6)
+        expected = _per_slice_reference(vecs, 2)
+        results = Cluster(6).run(
+            lambda c, v: hierarchical_adasum_allreduce(c, v, 2),
+            rank_args=[(v,) for v in vecs],
+        )
+        for r in results:
+            np.testing.assert_array_equal(r, expected)
+
+    def test_explicit_tree_any_matches_auto_on_pow2_nodes(self):
+        vecs = _vectors(8, 33, seed=7)
+        expected = _per_slice_reference(vecs, 2)
+        results = Cluster(8).run(
+            lambda c, v: hierarchical_adasum_allreduce(
+                c, v, 2, cross_topology="tree_any"
+            ),
+            rank_args=[(v,) for v in vecs],
+        )
+        for r in results:
+            np.testing.assert_array_equal(r, expected)
+
+    def test_fused_boundaries_respected(self):
+        # Fused layout: boundaries subdivide each slice, changing the
+        # per-layer Adasum dot products — the result must match the
+        # reference computed with the same rebased boundaries, and
+        # differ from the boundary-free reduction.
+        n = 40
+        boundaries = [0, 7, 19, 40]
+        vecs = _vectors(6, n, seed=8)
+        expected = _per_slice_reference(vecs, 2, boundaries)
+        results = Cluster(6).run(
+            lambda c, v: hierarchical_adasum_allreduce(c, v, 2, boundaries=boundaries),
+            rank_args=[(v,) for v in vecs],
+        )
+        for r in results:
+            np.testing.assert_array_equal(r, expected)
+        plain = _per_slice_reference(vecs, 2)
+        assert not np.array_equal(expected, plain)
+
+    def test_rvh_cross_close_to_reference_with_boundaries(self):
+        # Power-of-two node counts use AdasumRVH across nodes; it is
+        # numerically (not bitwise) equivalent to the tree reference.
+        n = 52
+        boundaries = [0, 13, 52]
+        vecs = _vectors(8, n, seed=9)
+        expected = _per_slice_reference(vecs, 2, boundaries)
+        results = Cluster(8).run(
+            lambda c, v: hierarchical_adasum_allreduce(c, v, 2, boundaries=boundaries),
+            rank_args=[(v,) for v in vecs],
+        )
+        for r in results:
+            np.testing.assert_allclose(r, expected, rtol=1e-3, atol=1e-5)
+
+    def test_unknown_cross_topology_rejected(self):
+        vecs = _vectors(4, 8, seed=0)
+        with pytest.raises(Exception) as ei:
+            Cluster(4).run(
+                lambda c, v: hierarchical_adasum_allreduce(
+                    c, v, 2, cross_topology="torus"
+                ),
+                rank_args=[(v,) for v in vecs],
+            )
+        assert "cross topology" in str(ei.value)
+
+    def test_uneven_chunks_non_divisible_length(self):
+        # Vector length not divisible by g: np.array_split-style uneven
+        # chunks still reassemble exactly.
+        vecs = _vectors(4, 13, seed=10)
+        expected = _per_slice_reference(vecs, 2)
+        results = Cluster(4).run(
+            lambda c, v: hierarchical_adasum_allreduce(
+                c, v, 2, cross_topology="tree_any"
+            ),
+            rank_args=[(v,) for v in vecs],
+        )
+        for r in results:
+            np.testing.assert_array_equal(r, expected)

@@ -8,6 +8,7 @@ from repro.comm import (
     NetworkModel,
     allreduce_ring,
     adasum_rvh_cost,
+    hierarchical_adasum_allreduce,
     hierarchical_allreduce_cost,
     ring_allreduce_cost,
     rvh_allreduce_cost,
@@ -118,3 +119,182 @@ class TestSimulationAgreement:
         cluster.run(lambda c, v: adasum_rvh(c, v), rank_args=[(v,) for v in vecs])
         analytic = adasum_rvh_cost(n * 4, p, net)
         assert cluster.max_clock() == pytest.approx(analytic, rel=0.5)
+
+
+class TestNonPow2RankCosts:
+    """Regression: ``int(math.log2(p))`` flooring used to price p=6 like p=4.
+
+    Non-power-of-two worlds decompose into power-of-two blocks that run
+    in parallel plus one full-vector combine exchange, so the cost must
+    strictly exceed the largest contained power-of-two block.
+    """
+
+    @pytest.mark.parametrize("p", [3, 5, 6, 12])
+    @pytest.mark.parametrize("cost_fn", [rvh_allreduce_cost, adasum_rvh_cost])
+    def test_cost_exceeds_pow2_block(self, p, cost_fn):
+        net = NetworkModel.infiniband()
+        nbytes = 1 << 16
+        p0 = 1 << (p.bit_length() - 1)  # largest power of two <= p
+        assert cost_fn(nbytes, p, net) > cost_fn(nbytes, p0, net)
+
+    @pytest.mark.parametrize("p", [3, 5, 6, 12])
+    @pytest.mark.parametrize(
+        "cost_fn,adasum", [(rvh_allreduce_cost, False), (adasum_rvh_cost, True)]
+    )
+    def test_block_decomposition_structure(self, p, cost_fn, adasum):
+        from repro.comm.netmodel import _pow2_block_overhead
+
+        net = NetworkModel.infiniband()
+        nbytes = 1 << 16
+        p0 = 1 << (p.bit_length() - 1)
+        blocks = max(cost_fn(nbytes, p0, net), cost_fn(nbytes, p - p0, net))
+        expected = blocks + _pow2_block_overhead(nbytes, net, adasum=adasum)
+        assert cost_fn(nbytes, p, net) == pytest.approx(expected)
+
+    def test_pow2_unchanged_by_decomposition_path(self):
+        # Power-of-two worlds never pay the combine-exchange overhead.
+        net = NetworkModel.infiniband()
+        nbytes = 1 << 20
+        assert rvh_allreduce_cost(nbytes, 4, net) < rvh_allreduce_cost(nbytes, 6, net)
+        assert rvh_allreduce_cost(nbytes, 6, net) < rvh_allreduce_cost(
+            nbytes, 8, net
+        ) + 2 * net.send_cost(nbytes)
+
+
+class TestTwoLevelNetwork:
+    def _net(self, g=2, contention=1.0):
+        from repro.comm import TwoLevelNetwork
+
+        intra = NetworkModel(alpha=1e-6, beta=1e-10, gamma=1e-9, name="intra")
+        inter = NetworkModel(alpha=1e-3, beta=1e-6, gamma=1e-7, name="inter")
+        return TwoLevelNetwork(
+            intra=intra, inter=inter, gpus_per_node=g, contention=contention
+        )
+
+    def test_link_selection(self):
+        net = self._net(g=2)
+        assert net.node_of(0) == net.node_of(1) == 0
+        assert net.node_of(2) == net.node_of(3) == 1
+        assert net.link_for(0, 1) is net.intra
+        assert net.link_for(2, 3) is net.intra
+        assert net.link_for(1, 2) is net.inter
+        assert net.link_for(0, 3) is net.inter
+
+    def test_pair_send_cost_intra_vs_inter(self):
+        net = self._net(g=2)
+        nbytes = 1 << 16
+        assert net.pair_send_cost(nbytes, 0, 1) == pytest.approx(
+            net.intra.send_cost(nbytes)
+        )
+        assert net.pair_send_cost(nbytes, 0, 2) > net.pair_send_cost(nbytes, 0, 1)
+
+    def test_contention_scales_inter_bandwidth_only(self):
+        nbytes = 1 << 20
+        base = self._net(g=2, contention=1.0)
+        contended = self._net(g=2, contention=4.0)
+        # Intra-node links are dedicated: contention never applies.
+        assert contended.pair_send_cost(nbytes, 0, 1) == pytest.approx(
+            base.pair_send_cost(nbytes, 0, 1)
+        )
+        # Inter-node bandwidth term is multiplied; latency term is not.
+        extra = contended.pair_send_cost(nbytes, 0, 2) - base.pair_send_cost(nbytes, 0, 2)
+        assert extra == pytest.approx(3.0 * base.inter.beta * nbytes)
+
+    def test_nvlink_ib_preset(self):
+        from repro.comm import TwoLevelNetwork
+
+        net = TwoLevelNetwork.nvlink_ib(gpus_per_node=4)
+        assert net.gpus_per_node == 4
+        # Default contention: every local rank shares the one NIC.
+        assert net.contention == 4
+        nbytes = 1 << 24
+        assert net.intra.send_cost(nbytes) < net.inter.send_cost(nbytes)
+
+
+class TestHierarchicalCostAgreement:
+    """Satellite: analytic two-level cost vs the *executed* collective.
+
+    The analytic form serializes the stages a real run pipelines, so it
+    is an upper envelope: the simulated clock lands within it but never
+    collapses far below.
+    """
+
+    INTRA = NetworkModel(alpha=1e-4, beta=1e-7, gamma=1e-8, name="intra")
+    INTER = NetworkModel(alpha=1e-3, beta=1e-6, gamma=1e-7, name="inter")
+
+    def _run(self, fn, nodes, g, n_floats, seed=0):
+        from repro.comm import TwoLevelNetwork
+
+        size = nodes * g
+        net = TwoLevelNetwork(intra=self.INTRA, inter=self.INTER, gpus_per_node=g)
+        cluster = Cluster(size, network=net, timeout=60)
+        rng = np.random.default_rng(seed)
+        vecs = [rng.standard_normal(n_floats).astype(np.float32) for _ in range(size)]
+        cluster.run(fn, rank_args=[(v,) for v in vecs])
+        return cluster.max_clock()
+
+    @pytest.mark.parametrize(
+        "nodes,g,n_floats",
+        [(2, 2, 257), (4, 2, 123), (2, 4, 1001), (3, 2, 77)],
+    )
+    def test_sum_within_analytic_envelope(self, nodes, g, n_floats):
+        from repro.comm import hierarchical_sum_allreduce
+
+        sim = self._run(
+            lambda c, v: hierarchical_sum_allreduce(c, v, g), nodes, g, n_floats
+        )
+        analytic = hierarchical_allreduce_cost(
+            n_floats * 4, nodes, g, intra=self.INTRA, inter=self.INTER
+        )
+        assert 0.3 * analytic < sim <= 1.1 * analytic
+
+    @pytest.mark.parametrize("nodes,g,n_floats", [(2, 2, 257), (4, 4, 512)])
+    def test_adasum_pow2_nodes_tight(self, nodes, g, n_floats):
+        # Power-of-two node counts run AdasumRVH across nodes — exactly
+        # what the analytic form prices, so agreement is tight.
+        sim = self._run(
+            lambda c, v: hierarchical_adasum_allreduce(c, v, g), nodes, g, n_floats
+        )
+        analytic = hierarchical_allreduce_cost(
+            n_floats * 4, nodes, g,
+            intra=self.INTRA, inter=self.INTER, cross_node_adasum=True,
+        )
+        assert sim == pytest.approx(analytic, rel=0.1)
+
+    def test_property_analytic_envelope(self):
+        # Property sweep (seeded, deterministic): odd sizes that do not
+        # divide by g exercise the fractional slice-bytes fix — the old
+        # int() truncation priced the g=1 slice at 0 bytes for small n.
+        from repro.comm import hierarchical_sum_allreduce
+
+        hypothesis = pytest.importorskip("hypothesis")
+        from hypothesis import given, settings, strategies as st
+
+        @settings(max_examples=6, deadline=None)
+        @given(
+            n_floats=st.integers(min_value=33, max_value=300),
+            nodes=st.sampled_from([2, 3, 4]),
+            g=st.sampled_from([2, 4]),
+        )
+        def check(n_floats, nodes, g):
+            sim = self._run(
+                lambda c, v: hierarchical_sum_allreduce(c, v, g), nodes, g, n_floats
+            )
+            analytic = hierarchical_allreduce_cost(
+                n_floats * 4, nodes, g, intra=self.INTRA, inter=self.INTER
+            )
+            assert 0.0 < sim <= 1.1 * analytic
+
+        check()
+
+    def test_fractional_slice_bytes_regression(self):
+        # nbytes < g used to truncate the per-GPU slice to zero bytes,
+        # erasing the whole cross-node term.  Now it stays positive and
+        # the cost is monotone in nbytes.
+        cost_small = hierarchical_allreduce_cost(
+            3, nodes=4, gpus_per_node=8, intra=self.INTRA, inter=self.INTER
+        )
+        cost_zero = hierarchical_allreduce_cost(
+            0, nodes=4, gpus_per_node=8, intra=self.INTRA, inter=self.INTER
+        )
+        assert cost_small > cost_zero

@@ -104,6 +104,12 @@ class TestRunConfig:
             (dict(min_ranks=0), "min_ranks"),
             (dict(timeout=0), "timeout"),
             (dict(overlap=True, parallel_ranks=True), "mutually exclusive"),
+            (dict(gpus_per_node=0), "gpus_per_node"),
+            (dict(topology="tree", gpus_per_node=2), "hierarchical"),
+            (
+                dict(topology="hierarchical", num_ranks=6, gpus_per_node=4),
+                "multiple of",
+            ),
         ],
     )
     def test_invalid_combinations_fail_fast(self, kwargs, match):
@@ -123,11 +129,20 @@ class TestRunConfig:
         ("linear", False, True),
         ("rvh", False, True),
         ("ring", False, True),
+        ("hierarchical", False, True),
     ])
     def test_legacy_flag_views(self, topology, tree, anp):
         cfg = RunConfig(topology=topology)
         assert cfg.tree is tree
         assert cfg.allow_non_pow2 is anp
+
+    def test_hierarchical_reducer_binds_gpus_per_node(self):
+        cfg = RunConfig(
+            op="adasum", topology="hierarchical", num_ranks=8, gpus_per_node=4
+        )
+        reducer = cfg.make_reducer()
+        assert reducer.topology == "hierarchical"
+        assert reducer.gpus_per_node == 4
 
 
 def _toy_problem(seed=0):
@@ -191,6 +206,48 @@ class TestFromConfig:
             loss_cfg = t_cfg.train_epoch(epoch, max_steps=3)
             loss_man = t_man.train_epoch(epoch, max_steps=3)
             assert loss_cfg == loss_man
+        for (na, pa), (nb, pb) in zip(
+            sorted(model_a.named_parameters()), sorted(model_b.named_parameters())
+        ):
+            assert na == nb
+            np.testing.assert_array_equal(pa.data, pb.data)
+
+    def test_hierarchical_trainer_from_config_bit_identical_to_reference(self):
+        # RunConfig(topology="hierarchical", gpus_per_node=g) end to end:
+        # the trained weights must match a manual trainer whose reducer
+        # is the reference adasum-tree-over-node-sums cell.
+        from repro.core.strategies import get_strategy
+
+        model_a, x, y = _toy_problem()
+        model_b, _, _ = _toy_problem()
+        cfg = RunConfig(
+            op="adasum", topology="hierarchical", num_ranks=8, gpus_per_node=2,
+            microbatch=8, seed=3,
+        )
+        assert cfg.make_reducer().strategy is not get_strategy(
+            "adasum", "hierarchical"
+        )  # bound copy, registry default untouched
+
+        t_cfg = ParallelTrainer.from_config(
+            model_a, nn.CrossEntropyLoss(), lambda ps: SGD(ps, 0.05), x, y, cfg
+        )
+        t_ref = ParallelTrainer(
+            model_b,
+            nn.CrossEntropyLoss(),
+            DistributedOptimizer(
+                model_b, lambda ps: SGD(ps, 0.05), num_ranks=8,
+                op=ReduceOpType.ADASUM, topology="hierarchical",
+                gpus_per_node=2,
+            ),
+            x,
+            y,
+            8,
+            seed=3,
+        )
+        for epoch in range(2):
+            assert t_cfg.train_epoch(epoch, max_steps=3) == t_ref.train_epoch(
+                epoch, max_steps=3
+            )
         for (na, pa), (nb, pb) in zip(
             sorted(model_a.named_parameters()), sorted(model_b.named_parameters())
         ):

@@ -70,7 +70,8 @@ class TestRegistry:
             for layout in LAYOUTS
         }
         assert cells == expected
-        assert len(cells) == 30
+        # 3 ops × 6 topologies × 2 layouts
+        assert len(cells) == 36
 
     def test_arena_layout_alias(self):
         assert get_strategy("adasum", "tree", "arena") is get_strategy(
@@ -246,3 +247,72 @@ class TestValidation:
             for topology in TOPOLOGIES:
                 out = reduce_flat(data, boundaries, op=op, topology=topology)
                 _assert_bit_equal(out, data[0], msg=f"({op}, {topology})")
+
+
+class TestHierarchicalStrategy:
+    """The (op, 'hierarchical') cells: §4.3 node-sum semantics + bind()."""
+
+    @pytest.mark.parametrize("ranks,g", [(4, 2), (8, 2), (8, 4), (6, 2), (6, 3)])
+    def test_adasum_equals_tree_any_over_node_sums(self, ranks, g):
+        data, boundaries = _rows(_dicts(11, ranks))
+        cell = get_strategy("adasum", "hierarchical").bind(gpus_per_node=g)
+        got = cell.combine_flat(data, boundaries)
+        node_sums = np.stack([
+            reduce_flat(data[k * g:(k + 1) * g], boundaries, op="sum",
+                        topology="tree_any")
+            for k in range(ranks // g)
+        ])
+        expected = reduce_flat(node_sums, boundaries, op="adasum",
+                               topology="tree_any")
+        _assert_bit_equal(got, expected, f"ranks={ranks} g={g}")
+
+    def test_non_divisible_world_falls_back_to_tree_any(self):
+        # 7 rows with g=2: node symmetry is broken (the elastic reshard
+        # case) — the cell degrades to plain tree_any over all rows.
+        data, boundaries = _rows(_dicts(12, 7))
+        cell = get_strategy("adasum", "hierarchical").bind(gpus_per_node=2)
+        _assert_bit_equal(
+            cell.combine_flat(data, boundaries),
+            reduce_flat(data, boundaries, op="adasum", topology="tree_any"),
+        )
+
+    def test_single_node_world_is_plain_sum(self):
+        # All ranks share one node: Adasum never runs, gradients sum.
+        data, boundaries = _rows(_dicts(13, 4))
+        cell = get_strategy("adasum", "hierarchical").bind(gpus_per_node=4)
+        _assert_bit_equal(
+            cell.combine_flat(data, boundaries),
+            reduce_flat(data, boundaries, op="sum", topology="tree_any"),
+        )
+
+    @pytest.mark.parametrize("op", ["sum", "average"])
+    def test_elementwise_ops_match_flat(self, op):
+        data, boundaries = _rows(_dicts(14, 6))
+        cell = get_strategy(op, "hierarchical").bind(gpus_per_node=2)
+        _assert_bit_equal(
+            cell.combine_flat(data, boundaries),
+            reduce_flat(data, boundaries, op=op, topology="tree_any"),
+        )
+
+    def test_bind_returns_new_instance_registry_untouched(self):
+        default = get_strategy("adasum", "hierarchical")
+        bound = default.bind(gpus_per_node=4)
+        assert bound is not default
+        assert bound.gpus_per_node == 4
+        assert get_strategy("adasum", "hierarchical").gpus_per_node == 1
+        # Binding the current value is a no-op returning self.
+        assert bound.bind(gpus_per_node=4) is bound
+        assert default.bind() is default
+
+    def test_bind_rejected_on_flat_cells(self):
+        with pytest.raises(ValueError, match="gpus_per_node"):
+            get_strategy("adasum", "tree").bind(gpus_per_node=4)
+
+    def test_reducer_carries_gpus_per_node(self):
+        r = StrategyReducer(op="adasum", topology="hierarchical", gpus_per_node=4)
+        assert r.gpus_per_node == 4
+        assert not r.tree
+        assert r.allow_non_pow2
+        assert "gpus_per_node=4" in repr(r)
+        flat = StrategyReducer(op="adasum", topology="tree")
+        assert flat.gpus_per_node == 1
