@@ -27,13 +27,19 @@ regresses by more than ``--regression-threshold`` (default 25%).
 ``--ops`` restricts the run to a comma-separated subset (CI uses this
 to guard just the cheap kernels).  In compare mode nothing is written
 unless ``--out`` is given explicitly.
+``--proc-guard`` additionally requires the process backend to beat the
+threaded backend by ``--proc-speedup`` (default 1.2x) at 4 ranks on
+LeNet; it auto-skips on single-core hosts, where one OS process per
+rank cannot outrun anything.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import pathlib
+import platform
 import statistics
 import sys
 import time
@@ -64,37 +70,45 @@ def _lenet_grad_dicts(num_ranks: int = 8):
 
 _TRAINER_MODES = {
     "serial": {},
-    "parallel": {"parallel_ranks": True},
+    "parallel": {"execution": "threads"},
     "overlap": {"overlap": True, "bucket_cap_mb": 0.01},
+    "procs": {"execution": "processes"},
 }
 
+# Trainers whose teardown matters (the process backend owns worker
+# processes and /dev/shm segments) register a close here; main() drains
+# it after each op so pools don't linger and skew later measurements.
+_CLEANUPS = []
 
-def _lenet_trainer(mode: str):
+
+def _lenet_trainer(mode: str, num_ranks: int = 4):
     rng = np.random.default_rng(0)
     model = LeNet5(rng=rng)
     x = rng.standard_normal((256, 1, 28, 28)).astype(np.float32)
     y = rng.integers(0, 10, 256)
     dopt = DistributedOptimizer(
         model, lambda ps: SGD(ps, 0.01, momentum=0.9),
-        num_ranks=4, op=ReduceOpType.ADASUM, adasum_pre_optimizer=True,
+        num_ranks=num_ranks, op=ReduceOpType.ADASUM, adasum_pre_optimizer=True,
     )
     trainer = ParallelTrainer(model, nn.CrossEntropyLoss(), dopt, x, y,
                               microbatch=8, **_TRAINER_MODES[mode])
+    _CLEANUPS.append(trainer.close)
     indices = next(iter(trainer.iterator.epoch(0)))[1]
     return trainer, indices
 
 
-def _minibert_trainer(mode: str):
+def _minibert_trainer(mode: str, num_ranks: int = 4):
     rng = np.random.default_rng(0)
     model = MiniBERT(rng=rng)
     x = rng.integers(0, 64, (128, 32))
     y = rng.integers(0, 64, (128, 32))
     dopt = DistributedOptimizer(
         model, lambda ps: Adam(ps, 1e-3),
-        num_ranks=4, op=ReduceOpType.ADASUM,
+        num_ranks=num_ranks, op=ReduceOpType.ADASUM,
     )
     trainer = ParallelTrainer(model, nn.CrossEntropyLoss(), dopt, x, y,
                               microbatch=8, **_TRAINER_MODES[mode])
+    _CLEANUPS.append(trainer.close)
     indices = next(iter(trainer.iterator.epoch(0)))[1]
     return trainer, indices
 
@@ -133,9 +147,9 @@ def build_ops():
         y = rng.integers(0, 10, 16)
         return lambda: compute_grads(model, loss_fn, x, y)
 
-    def train_step_setup(factory, mode):
+    def train_step_setup(factory, mode, num_ranks=4):
         def setup():
-            trainer, indices = factory(mode)
+            trainer, indices = factory(mode, num_ranks)
             trainer.train_step(indices)  # warm caches / replicas
             return lambda: trainer.train_step(indices)
         return setup
@@ -207,9 +221,13 @@ def build_ops():
         ("lenet_train_step_r4", train_step_setup(_lenet_trainer, "serial")),
         ("lenet_train_step_r4_parallel", train_step_setup(_lenet_trainer, "parallel")),
         ("lenet_train_step_r4_overlap", train_step_setup(_lenet_trainer, "overlap")),
+        ("lenet_step_procs_2", train_step_setup(_lenet_trainer, "procs", 2)),
+        ("lenet_step_procs_4", train_step_setup(_lenet_trainer, "procs", 4)),
+        ("lenet_step_procs_8", train_step_setup(_lenet_trainer, "procs", 8)),
         ("minibert_train_step_r4", train_step_setup(_minibert_trainer, "serial")),
         ("minibert_train_step_r4_parallel", train_step_setup(_minibert_trainer, "parallel")),
         ("minibert_train_step_r4_overlap", train_step_setup(_minibert_trainer, "overlap")),
+        ("minibert_step_procs_4", train_step_setup(_minibert_trainer, "procs", 4)),
         ("elastic_step_8r", elastic_step_setup),
         ("elastic_recovery_8to7", elastic_recovery_setup),
     ]
@@ -254,11 +272,23 @@ def main(argv=None) -> int:
     parser.add_argument("--regression-threshold", type=float, default=0.25,
                         help="allowed fractional mean regression in compare "
                              "mode (0.25 = 25%%)")
+    parser.add_argument("--proc-guard", action="store_true",
+                        help="require the process backend to beat the "
+                             "threaded backend by --proc-speedup at 4 ranks "
+                             "on LeNet; auto-skipped on single-core hosts "
+                             "where real parallel speedup is impossible")
+    parser.add_argument("--proc-speedup", type=float, default=1.2,
+                        help="required threads/procs mean ratio for "
+                             "--proc-guard (1.2 = procs at least 1.2x "
+                             "faster than threads)")
     args = parser.parse_args(argv)
 
     root = pathlib.Path(__file__).resolve().parent.parent
     out_path = pathlib.Path(args.out) if args.out else root / "results" / "BENCH_PR2.json"
-    write_output = args.compare is None or args.out is not None
+    # Guard-only invocations (compare / proc-guard) are read-only unless
+    # an output path is asked for explicitly.
+    write_output = ((args.compare is None and not args.proc_guard)
+                    or args.out is not None)
 
     try:  # hot-loop temporaries should not churn mmap (see docs/performance.md)
         from repro.tensor import tune_allocator
@@ -286,6 +316,8 @@ def main(argv=None) -> int:
         results[name] = {"mean_ms": round(mean, 4), "stddev_ms": round(stddev, 4),
                          "rounds": n}
         print(f"  {name}: {mean:.3f} ms ± {stddev:.3f} ({n} rounds)")
+        while _CLEANUPS:  # tear down worker pools / shm before the next op
+            _CLEANUPS.pop()()
 
     if write_output:
         payload = {"schema": "bench-snapshot-v1", "ops": {}}
@@ -295,6 +327,11 @@ def main(argv=None) -> int:
             payload["baseline"] = results
         payload["current"] = results
         payload["ops"] = sorted(set(payload.get("baseline", {})) | set(results))
+        payload["meta"] = {
+            "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        }
         if payload.get("baseline"):
             speedups = {}
             for op in payload["ops"]:
@@ -332,6 +369,31 @@ def main(argv=None) -> int:
                   f"{threshold:.0%}: {regressions}", file=sys.stderr)
             return 1
         print("perf guard passed")
+
+    if args.proc_guard:
+        cpus = os.cpu_count() or 1
+        if cpus < 2:
+            print(f"proc guard SKIPPED: only {cpus} CPU visible — the "
+                  "process backend cannot beat threads without real cores "
+                  "(guard enforces on multicore CI runners)")
+        else:
+            threads_op, procs_op = "lenet_train_step_r4_parallel", "lenet_step_procs_4"
+            missing = [op for op in (threads_op, procs_op) if op not in results]
+            if missing:
+                print(f"proc guard: missing ops {missing} (add them via "
+                      "--ops or run the full suite)", file=sys.stderr)
+                return 2
+            ratio = results[threads_op]["mean_ms"] / results[procs_op]["mean_ms"]
+            verdict = "ok" if ratio >= args.proc_speedup else "FAIL"
+            print(f"proc guard ({cpus} CPUs): threads "
+                  f"{results[threads_op]['mean_ms']:.3f} ms / procs "
+                  f"{results[procs_op]['mean_ms']:.3f} ms = {ratio:.2f}x "
+                  f"(need >= {args.proc_speedup:.2f}x) {verdict}")
+            if ratio < args.proc_speedup:
+                print(f"FAIL: process backend only {ratio:.2f}x vs threads "
+                      f"at 4 ranks (required {args.proc_speedup:.2f}x)",
+                      file=sys.stderr)
+                return 1
     return 0
 
 

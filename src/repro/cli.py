@@ -317,6 +317,11 @@ def _elastic_main(argv) -> int:
                         help="committed steps between checkpoints")
     parser.add_argument("--resume", default=None,
                         help="resume from a checkpoint (any saved world size)")
+    parser.add_argument("--execution", choices=("serial", "processes"),
+                        default="serial",
+                        help="phase-1 compute backend: 'processes' runs one "
+                             "OS process per rank over shared-memory gradient "
+                             "rows (bit-identical; pools respawn on rebuild)")
     parser.add_argument("--timeout", type=float, default=10.0)
     parser.add_argument("--seed", type=int, default=0)
     args = parser.parse_args(argv)
@@ -355,6 +360,7 @@ def _elastic_main(argv) -> int:
         num_ranks=args.ranks, microbatch=args.microbatch, seed=args.seed,
         faults=schedule if have_faults else None,
         network=network, timeout=args.timeout, min_ranks=args.min_ranks,
+        execution=args.execution,
     )
     trainer = ElasticTrainer.from_config(
         model, nn.CrossEntropyLoss(), lambda ps: SGD(ps, lr=args.lr), x, y,
@@ -390,6 +396,101 @@ def _elastic_main(argv) -> int:
               f"(kill to first post-recovery committed step)")
     print(f"final world: {list(trainer.membership)} "
           f"(simulated comm time {trainer.sim_time * 1e3:.3f} ms)")
+    trainer.close()
+    return 0
+
+
+def _train_main(argv) -> int:
+    """``python -m repro train``: one training run per execution backend."""
+    from repro import nn
+    from repro.core.config import EXECUTIONS, RunConfig
+    from repro.models import MLP, LeNet5
+    from repro.optim import SGD
+    from repro.train.trainer import ParallelTrainer
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro train",
+        description="Train a small model under one or more execution "
+                    "backends (serial / threads / processes) and report "
+                    "wall-clock per step.  All backends are bit-identical; "
+                    "'processes' runs one OS process per rank writing "
+                    "gradients into shared memory.  See docs/performance.md.",
+    )
+    parser.add_argument("--execution", action="append", choices=EXECUTIONS,
+                        default=None,
+                        help="backend to run (repeatable; default: all three)")
+    parser.add_argument("--model", choices=("mlp", "lenet"), default="mlp")
+    parser.add_argument("--ranks", type=int, default=4)
+    parser.add_argument("--steps", type=int, default=10)
+    parser.add_argument("--samples", type=int, default=512)
+    parser.add_argument("--microbatch", type=int, default=4)
+    parser.add_argument("--lr", type=float, default=0.1)
+    parser.add_argument("--op", choices=("adasum", "sum", "average"),
+                        default="adasum")
+    parser.add_argument("--topology",
+                        choices=("tree", "tree_any", "linear", "ring",
+                                 "hierarchical"),
+                        default="tree_any")
+    parser.add_argument("--gpus-per-node", type=int, default=1)
+    parser.add_argument("--start-method", default=None,
+                        choices=("fork", "spawn", "forkserver"),
+                        help="process-backend start method (default: fork "
+                             "where available)")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    backends = args.execution or list(EXECUTIONS)
+
+    rng = np.random.default_rng(args.seed)
+    if args.model == "lenet":
+        x = rng.standard_normal((args.samples, 1, 28, 28)).astype(np.float32)
+        y = rng.integers(0, 10, args.samples)
+    else:
+        x = rng.standard_normal((args.samples, 16)).astype(np.float32)
+        y = (x @ rng.standard_normal((16, 4))).argmax(axis=1)
+
+    def build_model():
+        model_rng = np.random.default_rng(args.seed)
+        if args.model == "lenet":
+            return LeNet5(rng=model_rng)
+        return MLP((16, 64, 64, 4), rng=model_rng)
+
+    config = RunConfig(
+        op=args.op, topology=args.topology, gpus_per_node=args.gpus_per_node,
+        num_ranks=args.ranks, microbatch=args.microbatch, seed=args.seed,
+    )
+    reference = None
+    for execution in backends:
+        model = build_model()
+        kwargs = {}
+        if execution == "processes" and args.start_method:
+            kwargs["start_method"] = args.start_method
+        trainer = ParallelTrainer.from_config(
+            model, nn.CrossEntropyLoss(), lambda ps: SGD(ps, lr=args.lr),
+            x, y, config.replace(execution=execution), **kwargs,
+        )
+        t0 = time.time()
+        steps = 0
+        loss = float("nan")
+        for _, rank_indices in trainer.iterator.epoch(0):
+            if steps >= args.steps:
+                break
+            loss = trainer.train_step(rank_indices)
+            steps += 1
+        per_step = (time.time() - t0) / max(1, steps)
+        trainer.close()
+        params = {n: p.data.copy() for n, p in model.named_parameters()}
+        if reference is None:
+            reference = params
+            match = "(reference)"
+        else:
+            identical = all(
+                np.array_equal(params[n].view(np.uint8),
+                               reference[n].view(np.uint8))
+                for n in reference
+            )
+            match = "bit-identical" if identical else "DIVERGED"
+        print(f"{execution:10s}: {per_step * 1e3:8.3f} ms/step  "
+              f"loss {loss:.4f}  {match}")
     return 0
 
 
@@ -497,6 +598,8 @@ def main(argv=None) -> int:
         return _elastic_main(argv[1:])
     if argv and argv[0] == "overlap":
         return _overlap_main(argv[1:])
+    if argv and argv[0] == "train":
+        return _train_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Reproduce a table/figure from the Adasum paper "
@@ -504,7 +607,7 @@ def main(argv=None) -> int:
     )
     parser.add_argument("experiment",
                         help="experiment id (or 'list' / 'all' / 'trace' / "
-                             "'elastic' / 'overlap')")
+                             "'elastic' / 'overlap' / 'train')")
     parser.add_argument("--full", action="store_true",
                         help="run the larger (slower) profile")
     args = parser.parse_args(argv)
@@ -516,6 +619,8 @@ def main(argv=None) -> int:
         print("  elastic      elastic training run (python -m repro elastic --help)")
         print("  overlap      phased vs bucketed-overlap comparison "
               "(python -m repro overlap --help)")
+        print("  train        execution-backend comparison incl. "
+              "--execution processes (python -m repro train --help)")
         return 0
 
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]

@@ -24,9 +24,13 @@ tracing (:class:`~repro.comm.tracing.CommTracer`) hook in here; see
 
 from __future__ import annotations
 
+import atexit
+import multiprocessing
+import pickle
 import queue
 import threading
 import time
+import traceback
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -672,3 +676,325 @@ class Cluster:
     def total_bytes(self) -> int:
         """Total bytes moved during the last :meth:`run`."""
         return sum(c.bytes_sent for c in self.comms)
+
+
+# ======================================================================
+# Process-per-rank transport (the non-simulated backend)
+# ======================================================================
+
+def default_start_method() -> str:
+    """Preferred ``multiprocessing`` start method for rank workers.
+
+    ``fork`` when the platform offers it (workers inherit the imported
+    interpreter — startup in milliseconds, and
+    :func:`repro.tensor.reset_process_state` runs in every child so no
+    stale kernel cache survives the fork); ``spawn`` otherwise.  The
+    bootstrap path is spawn-safe by construction — everything a worker
+    needs is picklable — so callers may force ``spawn`` for bit-for-bit
+    parity with platforms that have nothing else.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+def _describe_exception(exc: BaseException) -> Tuple[str, str, str]:
+    return (type(exc).__name__, str(exc), traceback.format_exc())
+
+
+def _transport_worker_main(rank: int, conn, bootstrap, spec) -> None:
+    """Entry point of one rank worker (top-level: spawn-picklable).
+
+    Bootstrap order matters: per-process kernel/allocator state is reset
+    *before* user code runs, so neither a forked copy of the parent's
+    GEMM verdict cache nor an untuned spawned heap leaks into gradient
+    computation (see :func:`repro.tensor.reset_process_state`).
+    """
+    from repro.tensor import reset_process_state, tune_allocator
+
+    reset_process_state()
+    tune_allocator()
+    handler = None
+    try:
+        handler = bootstrap(rank, spec)
+        conn.send_bytes(pickle.dumps(("ready", rank)))
+        while True:
+            msg = pickle.loads(conn.recv_bytes())
+            if msg[0] == "__shutdown__":
+                break
+            try:
+                reply = ("ok", handler(msg))
+            except BaseException as exc:  # noqa: BLE001 - shipped to parent
+                reply = ("error", _describe_exception(exc))
+            conn.send_bytes(pickle.dumps(reply))
+    except (EOFError, OSError, KeyboardInterrupt):  # parent went away
+        pass
+    except BaseException as exc:  # bootstrap failed: report once
+        try:
+            conn.send_bytes(pickle.dumps(("error", _describe_exception(exc))))
+        except OSError:
+            pass
+    finally:
+        if handler is not None and hasattr(handler, "close"):
+            try:
+                handler.close()
+            except Exception:
+                pass
+        conn.close()
+
+
+class ProcessTransport:
+    """Process-per-rank execution: pipe control plane, shared-memory data plane.
+
+    Each rank is a real OS process started via ``fork``/``spawn``.  The
+    parent exchanges only *small control messages* (step indices, loss
+    scalars, shutdown) over per-rank duplex pipes; gradient payloads
+    never cross a pipe — both sides map the same
+    :class:`~repro.core.arena.SharedGradientArena` segments, which is
+    the zero-copy data plane.
+
+    The contract mirrors :class:`Cluster`: every blocking collect shares
+    one wall-clock deadline per round, a timeout raises a diagnostic
+    :class:`CommTimeoutError` naming the blocked rank and every other
+    outstanding one, a dead worker raises :class:`CommError` with
+    structured ``rank_errors``, and an attached :class:`FaultPlan`'s
+    kills terminate the real worker process (the elastic supervisor
+    classifies, evicts, and respawns exactly as it does for simulated
+    ranks).  Control-plane bytes are counted exactly (pickled frame
+    sizes) and reported to an optional :class:`CommTracer` on a
+    wall-clock timeline.
+
+    Parameters
+    ----------
+    num_ranks:
+        Worker count (one process per rank).
+    bootstrap:
+        Picklable ``f(rank, spec) -> handler``; runs once inside the
+        worker after :func:`repro.tensor.reset_process_state`.  The
+        returned ``handler(msg)`` serves each control message; if it has
+        a ``close()`` it is called at shutdown.
+    spec:
+        Picklable bootstrap argument (model bytes, segment names, ...).
+    timeout:
+        Wall-clock deadline shared by each round of collects — the
+        hang-detection budget, as in :class:`Cluster`.
+    faults:
+        Optional :class:`FaultPlan`; ``kill_rank`` schedules terminate
+        the worker's OS process at dispatch time.  (Delays and drops
+        model *simulated* wires and do not apply to a real transport.)
+    tracer:
+        Optional :class:`CommTracer` recording control-plane traffic.
+    start_method:
+        ``"fork"`` / ``"spawn"`` / ``"forkserver"``; default
+        :func:`default_start_method`.
+    """
+
+    def __init__(
+        self,
+        num_ranks: int,
+        bootstrap: Callable,
+        spec: Any,
+        timeout: float = 60.0,
+        faults: Optional[FaultPlan] = None,
+        tracer: Optional[CommTracer] = None,
+        start_method: Optional[str] = None,
+    ):
+        if num_ranks < 1:
+            raise ValueError("num_ranks must be >= 1")
+        self.num_ranks = num_ranks
+        self.timeout = timeout
+        self.faults = faults
+        if faults is not None:
+            faults.reset()
+        self.tracer = tracer
+        self.start_method = start_method or default_start_method()
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.messages_sent = 0
+        self._ops_dispatched: Dict[int, int] = {r: 0 for r in range(num_ranks)}
+        self._closed = False
+        ctx = multiprocessing.get_context(self.start_method)
+        self._procs: List = []
+        self._conns: List = []
+        for rank in range(num_ranks):
+            parent_conn, child_conn = ctx.Pipe(duplex=True)
+            proc = ctx.Process(
+                target=_transport_worker_main,
+                args=(rank, child_conn, bootstrap, spec),
+                name=f"repro-rank-{rank}",
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            self._procs.append(proc)
+            self._conns.append(parent_conn)
+        self._atexit = self.shutdown
+        atexit.register(self._atexit)
+        # Ready handshake under the deadline: a worker that fails to
+        # bootstrap (or import) is reported before the first step.
+        deadline = time.monotonic() + timeout
+        for rank in range(num_ranks):
+            reply = self._collect_one(rank, deadline, op="bootstrap")
+            if reply != ("ready", rank):
+                self.shutdown()
+                raise CommError(
+                    f"rank {rank}: unexpected bootstrap reply {reply!r}"
+                )
+
+    # ------------------------------------------------------------------
+    def _trace(self, rank, op, t0, t1, nbytes) -> None:
+        if self.tracer is not None:
+            self.tracer.record(rank, op, t0, t1, nbytes, peer=rank)
+
+    def _send(self, rank: int, msg: Any) -> None:
+        frame = pickle.dumps(msg)
+        t0 = time.perf_counter()
+        try:
+            self._conns[rank].send_bytes(frame)
+        except (BrokenPipeError, OSError) as exc:
+            raise self._dead_worker_error(rank, exc)
+        self.bytes_sent += len(frame)
+        self.messages_sent += 1
+        self._trace(rank, "send", t0, time.perf_counter(), len(frame))
+
+    def _dead_worker_error(self, rank: int, cause: BaseException) -> CommError:
+        code = self._procs[rank].exitcode
+        err = CommError(
+            f"rank {rank}: worker process died (exitcode={code}) — {cause!r}"
+        )
+        err.rank_errors = {rank: cause}
+        err.__cause__ = cause
+        return err
+
+    def _collect_one(self, rank: int, deadline: float, op: str = "step") -> Any:
+        conn = self._conns[rank]
+        t0 = time.perf_counter()
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise CommTimeoutError(
+                    f"rank {rank}: {op} reply timed out after "
+                    f"{self.timeout:.3g}s wall clock; worker "
+                    f"{'alive' if self._procs[rank].is_alive() else 'dead'}",
+                    rank=rank, op=op, peer=None,
+                )
+            try:
+                if conn.poll(min(_POLL_SECONDS, remaining)):
+                    frame = conn.recv_bytes()
+                    break
+            except (EOFError, OSError) as exc:
+                raise self._dead_worker_error(rank, exc)
+            if not self._procs[rank].is_alive():
+                raise self._dead_worker_error(
+                    rank, RuntimeError("worker exited without replying")
+                )
+        self.bytes_received += len(frame)
+        self._trace(rank, "recv", t0, time.perf_counter(), len(frame))
+        reply = pickle.loads(frame)
+        if reply[0] == "error":
+            type_name, message, tb = reply[1]
+            remote = RuntimeError(f"{type_name}: {message}")
+            if type_name == "RankKilledError":
+                remote = RankKilledError(message, rank=rank)
+            err = CommError(
+                f"rank {rank} failed in worker: {type_name}: {message}\n{tb}"
+            )
+            err.rank_errors = {rank: remote}
+            raise err
+        return reply[1] if reply[0] == "ok" else reply
+
+    def _kill_worker(self, rank: int) -> None:
+        proc = self._procs[rank]
+        if proc.is_alive():
+            proc.terminate()
+            proc.join(timeout=5.0)
+
+    # ------------------------------------------------------------------
+    def call(self, payloads: Sequence[Any], ranks: Optional[Sequence[int]] = None) -> List[Any]:
+        """One parallel round: dispatch ``payloads[i]`` to ``ranks[i]``,
+        collect every reply in rank order under a shared deadline.
+
+        An attached fault plan is consulted per dispatch: a due kill
+        terminates that worker's OS process first, so the round fails
+        exactly the way a real dead rank would — the collect raises
+        :class:`CommError` with structured ``rank_errors``.
+        """
+        if self._closed:
+            raise CommError("ProcessTransport is shut down")
+        ranks = list(range(len(payloads))) if ranks is None else list(ranks)
+        if len(ranks) != len(payloads):
+            raise ValueError(f"{len(payloads)} payloads for {len(ranks)} ranks")
+        killed: Dict[int, BaseException] = {}
+        for rank, payload in zip(ranks, payloads):
+            if self.faults is not None:
+                self._ops_dispatched[rank] += 1
+                try:
+                    self.faults.on_op(rank, "dispatch", 0.0)
+                except RankKilledError as exc:
+                    exc.rank = rank
+                    self._kill_worker(rank)
+                    killed[rank] = exc
+                    continue
+            self._send(rank, payload)
+        deadline = time.monotonic() + self.timeout
+        results: List[Any] = []
+        errors: Dict[int, BaseException] = dict(killed)
+        for rank in ranks:
+            if rank in killed:
+                results.append(None)
+                continue
+            try:
+                results.append(self._collect_one(rank, deadline))
+            except CommError as exc:
+                errors.update(exc.rank_errors or {rank: exc})
+                results.append(None)
+        if errors:
+            parts = [f"rank {r}: {e!r}" for r, e in sorted(errors.items())]
+            err = CommError("; ".join(parts))
+            err.rank_errors = errors
+            raise err
+        return results
+
+    def alive_ranks(self) -> List[int]:
+        return [r for r, p in enumerate(self._procs) if p.is_alive()]
+
+    # ------------------------------------------------------------------
+    def shutdown(self, grace: float = 5.0) -> None:
+        """Stop every worker (idempotent): polite shutdown, then terminate.
+
+        Registered with ``atexit`` so an abandoned transport can never
+        strand worker processes (which would in turn strand their
+        shared-memory attachments).
+        """
+        if self._closed:
+            return
+        self._closed = True
+        atexit.unregister(self._atexit)
+        for rank, conn in enumerate(self._conns):
+            try:
+                conn.send_bytes(pickle.dumps(("__shutdown__",)))
+            except (BrokenPipeError, OSError):
+                pass
+        join_by = time.monotonic() + grace
+        for proc in self._procs:
+            proc.join(timeout=max(0.0, join_by - time.monotonic()))
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=1.0)
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "ProcessTransport":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()
+
+    def __del__(self):  # pragma: no cover - GC timing dependent
+        try:
+            self.shutdown()
+        except Exception:
+            pass

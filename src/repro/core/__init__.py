@@ -53,7 +53,13 @@ from repro.core.operator import (
     adasum_per_layer,
     orthogonality_ratio,
 )
-from repro.core.arena import GradientArena, layer_id_index
+from repro.core.arena import (
+    GradientArena,
+    SharedGradientArena,
+    layer_id_index,
+    leaked_shared_segments,
+    live_shared_segments,
+)
 from repro.core.strategies import (
     ReduceStrategy,
     StrategyReducer,
@@ -62,7 +68,9 @@ from repro.core.strategies import (
     registered_cells,
 )
 from repro.core.config import (
+    EXECUTIONS,
     RunConfig,
+    parse_execution,
     parse_op,
     parse_topology,
     validate_execution_strategy,
@@ -112,13 +120,18 @@ __all__ = [
     "adasum_per_layer",
     "orthogonality_ratio",
     "GradientArena",
+    "SharedGradientArena",
     "layer_id_index",
+    "leaked_shared_segments",
+    "live_shared_segments",
     "ReduceStrategy",
     "StrategyReducer",
     "get_strategy",
     "register_strategy",
     "registered_cells",
     "RunConfig",
+    "EXECUTIONS",
+    "parse_execution",
     "parse_op",
     "parse_topology",
     "validate_execution_strategy",

@@ -18,7 +18,11 @@ rounding points.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Mapping, Sequence, Tuple
+import atexit
+import os
+import threading
+import weakref
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -51,12 +55,24 @@ class GradientArena:
         self.layout = layout
         self.num_ranks = num_ranks
         self.dtype = np.dtype(dtype)
-        self.data = np.zeros((num_ranks, layout.total_size), dtype=self.dtype)
+        self.data = self._allocate()
+        self._build_views()
+
+    def _allocate(self) -> np.ndarray:
+        """Allocate the ``(num_ranks, total_size)`` backing buffer.
+
+        Subclasses override to place the buffer elsewhere (e.g. a
+        shared-memory segment); the base class uses the process heap.
+        """
+        return np.zeros((self.num_ranks, self.layout.total_size), dtype=self.dtype)
+
+    def _build_views(self) -> None:
         # Named zero-copy views, one dict per rank.  A view is a shaped
         # window into the rank's row: writing through it fills the flat
         # buffer directly.
+        layout = self.layout
         self._views: List[Dict[str, np.ndarray]] = []
-        for rank in range(num_ranks):
+        for rank in range(self.num_ranks):
             row = self.data[rank]
             views = {
                 name: row[lo:hi].reshape(shape)
@@ -159,6 +175,257 @@ class GradientArena:
         return (
             f"GradientArena(ranks={self.num_ranks}, layers={self.num_layers}, "
             f"size={self.layout.total_size}, dtype={self.dtype})"
+        )
+
+
+#: Name prefix of every shared-memory segment this module creates; leak
+#: checks glob ``/dev/shm`` for it (see :func:`leaked_shared_segments`).
+SHM_PREFIX = "repro-arena"
+
+# Live *owned* segments of this process, by name.  The atexit sweep
+# unlinks whatever is left so an aborted run (CommError, SIGTERM-safe
+# paths, a test that forgot to close) never strands a /dev/shm file.
+_live_segments: Dict[str, "weakref.ReferenceType[SharedGradientArena]"] = {}
+_live_lock = threading.Lock()
+_shm_counter = 0
+
+
+def _next_segment_name() -> str:
+    global _shm_counter
+    with _live_lock:
+        _shm_counter += 1
+        counter = _shm_counter
+    return f"{SHM_PREFIX}-{os.getpid()}-{counter}-{os.urandom(3).hex()}"
+
+
+def live_shared_segments() -> List[str]:
+    """Names of shared segments this process owns and has not unlinked."""
+    with _live_lock:
+        return sorted(_live_segments)
+
+
+def leaked_shared_segments() -> List[str]:
+    """Arena segments present in ``/dev/shm`` (any process), by name.
+
+    The leak-check primitive for tests: after a run (normal exit,
+    aborted collective, elastic rebuild) this must return the same set
+    as before it.  Returns ``[]`` on platforms without ``/dev/shm``.
+    """
+    shm_dir = "/dev/shm"
+    if not os.path.isdir(shm_dir):
+        return []
+    return sorted(
+        name for name in os.listdir(shm_dir) if name.startswith(SHM_PREFIX)
+    )
+
+
+@atexit.register
+def _unlink_live_segments() -> None:
+    """Last-resort sweep: unlink every still-owned segment at exit."""
+    with _live_lock:
+        arenas = [(name, ref()) for name, ref in _live_segments.items()]
+        _live_segments.clear()
+    for name, arena in arenas:
+        if arena is not None:
+            arena.unlink()
+        else:  # owner was collected without unlink; remove the file
+            try:
+                from multiprocessing import shared_memory
+
+                seg = shared_memory.SharedMemory(name=name)
+                seg.close()
+                seg.unlink()
+            except (FileNotFoundError, OSError):
+                pass
+
+
+class SharedGradientArena(GradientArena):
+    """A :class:`GradientArena` whose rows live in OS shared memory.
+
+    Identical layout, views, and semantics — ``data`` is simply a NumPy
+    array mapped over a named :class:`multiprocessing.shared_memory`
+    segment, so worker *processes* attach to the same physical pages and
+    ``compute_grads_into`` lands gradients where the parent's flat
+    reduction reads them.  Zero gradient bytes ever cross a pipe.
+
+    Lifecycle
+    ---------
+    The creating process **owns** the segment: it should call
+    :meth:`unlink` (or use the arena as a context manager) when done.
+    Ownership is tracked module-wide and an ``atexit`` sweep unlinks
+    anything left over, so aborted runs cannot leak ``/dev/shm`` files.
+    Attached (worker-side) arenas only ever :meth:`close` their mapping.
+
+    Parameters
+    ----------
+    layout, num_ranks, dtype:
+        As :class:`GradientArena`.
+    name:
+        Segment name.  ``None`` (with ``create=True``) generates a
+        unique ``repro-arena-<pid>-...`` name; attaching requires the
+        creator's name.
+    create:
+        ``True`` creates (and owns) the segment; ``False`` attaches to
+        an existing one.
+    """
+
+    def __init__(
+        self,
+        layout: FusedTensorLayout,
+        num_ranks: int,
+        dtype=np.float32,
+        name: Optional[str] = None,
+        create: bool = True,
+    ):
+        self._shm = None
+        self._owner = bool(create)
+        self._requested_name = name
+        self._closed = False
+        super().__init__(layout, num_ranks, dtype=dtype)
+        self.name = self._shm.name
+        if self._owner:
+            with _live_lock:
+                _live_segments[self.name] = weakref.ref(self)
+
+    def _allocate(self) -> np.ndarray:
+        from multiprocessing import shared_memory
+
+        nbytes = max(1, self.num_ranks * self.layout.total_size * self.dtype.itemsize)
+        if self._owner:
+            name = self._requested_name or _next_segment_name()
+            self._shm = shared_memory.SharedMemory(
+                name=name, create=True, size=nbytes
+            )
+        else:
+            if self._requested_name is None:
+                raise ValueError("attaching requires the segment name")
+            self._shm = self._attach_untracked(self._requested_name)
+            if self._shm.size < nbytes:
+                size = self._shm.size
+                self._shm.close()
+                raise ValueError(
+                    f"segment {self._requested_name!r} holds {size} bytes, "
+                    f"need {nbytes} for this layout"
+                )
+        arr = np.ndarray(
+            (self.num_ranks, self.layout.total_size),
+            dtype=self.dtype,
+            buffer=self._shm.buf,
+        )
+        if self._owner:
+            arr.fill(0)
+        return arr
+
+    @staticmethod
+    def _attach_untracked(name: str):
+        """Map an existing segment without resource-tracker registration.
+
+        Only the owner may ever unlink a segment.  CPython < 3.13
+        registers attached segments with the resource tracker too — and
+        worker processes share the *parent's* tracker, so an attachee's
+        registration (or a naive post-hoc ``unregister``) corrupts the
+        owner's entry: either the segment is unlinked out from under
+        other attachees at worker exit, or the owner's own unlink hits a
+        noisy tracker ``KeyError``.  3.13+ exposes ``track=False``;
+        earlier interpreters need registration suppressed for the
+        duration of the constructor.
+        """
+        from multiprocessing import shared_memory
+
+        try:
+            return shared_memory.SharedMemory(name=name, track=False)
+        except TypeError:  # Python < 3.13: no ``track`` parameter
+            pass
+        from multiprocessing import resource_tracker
+
+        original = resource_tracker.register
+
+        def _register_skipping_shm(rname, rtype):
+            if rtype != "shared_memory":
+                original(rname, rtype)
+
+        resource_tracker.register = _register_skipping_shm
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def attach(
+        cls,
+        name: str,
+        layout: FusedTensorLayout,
+        num_ranks: int,
+        dtype=np.float32,
+    ) -> "SharedGradientArena":
+        """Map an existing segment created by another process."""
+        return cls(layout, num_ranks, dtype=dtype, name=name, create=False)
+
+    @property
+    def is_owner(self) -> bool:
+        return self._owner
+
+    def close(self) -> None:
+        """Drop this process's mapping (the segment itself survives).
+
+        Releases the NumPy views before closing the underlying mmap; a
+        row reference still held elsewhere keeps the mapping alive (the
+        ``BufferError`` is swallowed — :meth:`unlink` still removes the
+        name, so nothing can leak).
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._views = []
+        self.data = None
+        if self._shm is not None:
+            try:
+                self._shm.close()
+            except BufferError:  # a caller still holds a row view
+                pass
+
+    def unlink(self) -> None:
+        """Remove the segment from the system (owner-side; idempotent).
+
+        Safe to call however the run ended — normal exit, ``CommError``
+        abort, elastic rebuild — and again afterwards.
+        """
+        self.close()
+        with _live_lock:
+            _live_segments.pop(getattr(self, "name", None), None)
+        if self._shm is not None and self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:
+                pass
+            self._owner = False
+
+    # Context manager: workers close, owners unlink.
+    def __enter__(self) -> "SharedGradientArena":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._owner:
+            self.unlink()
+        else:
+            self.close()
+
+    def __del__(self):  # pragma: no cover - GC timing dependent
+        try:
+            if self._owner:
+                self.unlink()
+            else:
+                self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:
+        return (
+            f"SharedGradientArena(name={getattr(self, 'name', None)!r}, "
+            f"ranks={self.num_ranks}, layers={self.num_layers}, "
+            f"size={self.layout.total_size}, dtype={self.dtype}, "
+            f"owner={self._owner})"
         )
 
 

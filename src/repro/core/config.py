@@ -54,13 +54,43 @@ def parse_topology(value) -> str:
     return topology
 
 
-def validate_execution_strategy(overlap: bool, parallel_ranks: bool) -> None:
-    """The one home of the overlap/parallel-ranks exclusion rule."""
-    if overlap and parallel_ranks:
+#: Valid execution backends, in cost order: in-process serial loop,
+#: GIL-sharing threads, one OS process per rank over shared memory.
+EXECUTIONS = ("serial", "threads", "processes")
+
+
+def parse_execution(value) -> str:
+    """Parse/validate an execution backend name.
+
+    Accepts the legacy ``parallel_ranks`` booleans (``True`` →
+    ``"threads"``, ``False`` → ``"serial"``) so old call sites keep
+    working through the one validation chokepoint.
+    """
+    if isinstance(value, bool):
+        value = "threads" if value else "serial"
+    execution = str(value).lower()
+    if execution not in EXECUTIONS:
         raise ValueError(
-            "overlap and parallel_ranks are mutually exclusive execution "
-            "strategies; choose one"
+            f"unknown execution backend {value!r}; choose from {list(EXECUTIONS)}"
         )
+    return execution
+
+
+def validate_execution_strategy(overlap: bool, execution) -> str:
+    """The one home of the overlap/threads/processes exclusion rules.
+
+    ``execution`` may be a backend name or a legacy ``parallel_ranks``
+    bool.  Returns the normalized backend name.  Overlap reorders the
+    backward pass around communication and owns the step loop, so it is
+    mutually exclusive with every concurrent-rank backend.
+    """
+    execution = parse_execution(execution)
+    if overlap and execution != "serial":
+        raise ValueError(
+            f"overlap and execution={execution!r} are mutually exclusive "
+            "execution strategies; choose one"
+        )
+    return execution
 
 
 @dataclass(frozen=True)
@@ -83,6 +113,7 @@ class RunConfig:
     bucket_cap_mb: Optional[float] = None
     overlap: bool = False
     parallel_ranks: bool = False
+    execution: str = "serial"
     num_ranks: int = 1
     microbatch: int = 1
     seed: int = 0
@@ -126,7 +157,18 @@ class RunConfig:
             raise ValueError("min_ranks must be >= 1")
         if self.timeout <= 0:
             raise ValueError("timeout must be positive")
-        validate_execution_strategy(self.overlap, self.parallel_ranks)
+        execution = parse_execution(self.execution)
+        if self.parallel_ranks and execution == "serial":
+            # Legacy flag maps onto the backend enum (warn-once).
+            from repro.core.deprecation import warn_deprecated
+
+            warn_deprecated("parallel_ranks=True", 'execution="threads"')
+            execution = "threads"
+        execution = validate_execution_strategy(self.overlap, execution)
+        object.__setattr__(self, "execution", execution)
+        # Keep the legacy field readable: True exactly when the resolved
+        # backend is the threaded one, so old call sites see the truth.
+        object.__setattr__(self, "parallel_ranks", execution == "threads")
 
     # -- derived views -------------------------------------------------
     @property

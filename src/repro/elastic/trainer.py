@@ -44,7 +44,8 @@ from repro.comm.bucketing import BucketPlan
 from repro.comm.faults import RankKilledError
 from repro.comm.netmodel import NetworkModel
 from repro.comm.transport import Cluster, CommError
-from repro.core.arena import GradientArena
+from repro.core.arena import GradientArena, SharedGradientArena
+from repro.core.config import parse_execution
 from repro.core.distributed_optimizer import DistributedOptimizer, ReduceOpType
 from repro.core.orthogonality import OrthogonalityProbe
 from repro.data.sampler import ElasticBatchIterator
@@ -56,7 +57,11 @@ from repro.train.checkpoint import (
     save_checkpoint,
 )
 from repro.train.metrics import Meter
-from repro.train.trainer import compute_grads_into
+from repro.train.trainer import (
+    ParallelTrainer,
+    ProcessRankExecutor,
+    compute_grads_into,
+)
 
 from repro.elastic.collective import cluster_reduce
 from repro.elastic.failures import FailureReport, StragglerPolicy, classify_failure
@@ -99,6 +104,12 @@ class ElasticTrainer:
         transport to scaled fp16 — half the wire bytes and simulated
         transmission cost, losslessly (see
         :mod:`repro.elastic.collective`).
+    execution:
+        Phase-1 compute backend: ``"serial"`` (default) or
+        ``"processes"`` (one worker process per rank writing into a
+        :class:`~repro.core.arena.SharedGradientArena`; bit-identical).
+        Every N→M rebuild tears down the worker pool and its shared
+        segments and respawns both at the new size.
     bucket_cap_mb:
         Opt-in bucketed reduction: phase 2 runs one collective per
         tensor-aligned bucket of the arena (reverse layer order) instead
@@ -138,11 +149,18 @@ class ElasticTrainer:
         specialize_kernels: bool = True,
         wire_dtype: str = "fp32",
         bucket_cap_mb: Optional[float] = None,
+        execution: str = "serial",
     ):
         if microbatch < 1:
             raise ValueError("microbatch must be >= 1")
         if snapshot_every < 1:
             raise ValueError("snapshot_every must be >= 1")
+        execution = parse_execution(execution)
+        if execution == "threads":
+            raise ValueError(
+                "ElasticTrainer supports execution='serial' or 'processes'; "
+                "its phase-1 compute has no thread pool"
+            )
         tune_allocator()
         self.model = model
         self.loss_fn = loss_fn
@@ -173,6 +191,10 @@ class ElasticTrainer:
         self.min_ranks = min_ranks
         self.probe = probe
         self.specialize_kernels = specialize_kernels
+        self.execution = execution
+        self._proc_executor: Optional[ProcessRankExecutor] = None
+        if execution == "processes":
+            ParallelTrainer._check_parallel_safe(model, execution)
 
         self.membership = Membership(num_ranks)
         self.iterator = ElasticBatchIterator(
@@ -243,14 +265,32 @@ class ElasticTrainer:
             min_ranks=config.min_ranks,
             wire_dtype=config.wire_dtype,
             bucket_cap_mb=config.bucket_cap_mb,
+            execution=kwargs.pop("execution", config.execution),
             **kwargs,
         )
 
     # ------------------------------------------------------------------
     # World lifecycle
     # ------------------------------------------------------------------
+    def _teardown_execution(self) -> None:
+        """Release the previous world's execution resources (idempotent).
+
+        Under ``execution="processes"`` a world owns real OS state —
+        rank worker processes and shared-memory segments — which must be
+        reclaimed *before* a new world is built: an N→M rebuild respawns
+        the pool at the new size over freshly-sized segments, and the
+        old segments must not survive as ``/dev/shm`` leaks.
+        """
+        if self._proc_executor is not None:
+            self._proc_executor.close()
+            self._proc_executor = None
+        arena = getattr(self, "arena", None)
+        if isinstance(arena, SharedGradientArena):
+            arena.unlink()
+
     def _build_world(self) -> None:
         """(Re)build cluster, optimizer, and arena for the current world."""
+        self._teardown_execution()
         size = self.membership.size
         self.cluster = Cluster(
             size, network=self.network, timeout=self.timeout, trace=True
@@ -269,8 +309,27 @@ class ElasticTrainer:
             topology=self.topology,
             gpus_per_node=self.gpus_per_node if self.topology == "hierarchical" else None,
         )
-        self.arena = GradientArena.from_model(self.model, size)
+        if self.execution == "processes":
+            self.arena = SharedGradientArena.from_model(self.model, size)
+            self._proc_executor = ProcessRankExecutor(
+                self.model, self.loss_fn, self.x, self.y, self.microbatch, 1,
+                self.arena,
+                specialize_kernels=self.specialize_kernels,
+                timeout=self.timeout,
+            )
+        else:
+            self.arena = GradientArena.from_model(self.model, size)
         self.iterator.reshard(size)
+
+    def close(self) -> None:
+        """Stop rank workers and unlink shared segments (idempotent)."""
+        self._teardown_execution()
+
+    def __enter__(self) -> "ElasticTrainer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     @property
     def num_ranks(self) -> int:
@@ -485,16 +544,23 @@ class ElasticTrainer:
         indices = self.iterator.next_step()
         active = [r for r in range(size) if len(indices[r])]
 
-        # Phase 1 — compute: serial per-rank gradients on the shared
-        # model, written straight into the arena rows (same order and
-        # kernels as ParallelTrainer's serial path).
-        losses = [
-            compute_grads_into(
-                self.model, self.loss_fn, self.x[indices[r]], self.y[indices[r]],
-                self.arena.views(r),
+        # Phase 1 — compute: per-rank gradients written straight into
+        # the arena rows (same kernels and rank order as
+        # ParallelTrainer's serial path; the process backend lands them
+        # through shared memory instead).
+        if self._proc_executor is not None:
+            losses = self._proc_executor.compute(
+                [indices[r] for r in active], ranks=active
             )
-            for r in active
-        ]
+        else:
+            losses = [
+                compute_grads_into(
+                    self.model, self.loss_fn,
+                    self.x[indices[r]], self.y[indices[r]],
+                    self.arena.views(r),
+                )
+                for r in active
+            ]
         if self.probe is not None:
             self.probe.record(
                 [self.arena.views(r) for r in active], step=step_id

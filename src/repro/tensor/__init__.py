@@ -26,6 +26,7 @@ from repro.tensor.functional import (
     clear_kernel_caches,
     kernel_cache_stats,
     kernel_specialization_enabled,
+    reset_process_state,
     set_kernel_specialization,
     tune_allocator,
 )
@@ -40,6 +41,7 @@ __all__ = [
     "clear_kernel_caches",
     "kernel_cache_stats",
     "kernel_specialization_enabled",
+    "reset_process_state",
     "set_kernel_specialization",
     "tune_allocator",
     "gradcheck",

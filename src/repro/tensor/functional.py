@@ -18,6 +18,7 @@ cached kernels never perturb experiment results.
 from __future__ import annotations
 
 import functools
+import os
 import time
 from typing import Optional, Tuple
 
@@ -305,6 +306,39 @@ def clear_kernel_caches() -> None:
     _einsum_path.cache_clear()
     _einsum_plan.cache_clear()
     _gemm_verdict.clear()
+
+
+def reset_process_state() -> None:
+    """Reset per-process kernel/allocator state after a fork or spawn.
+
+    Worker bootstrap hook for the multi-process execution backend: a
+    child process must not trust state inherited (fork) or absent
+    (spawn) from its parent —
+
+    * the allocator-tuned flag is cleared so the child re-runs
+      ``mallopt`` against *its own* heap (fork copies the parent's heap
+      settings, but re-tuning is idempotent and a spawned child starts
+      untuned);
+    * the GEMM specialization verdicts are dropped: they were validated
+      against the parent's allocator/alignment state, which a fork
+      child's heap immediately diverges from;
+    * the im2col/einsum plan caches are cleared (pure shape caches, but
+      rebuilding them is cheap and keeps the child's cache statistics
+      meaningful);
+    * kernel specialization reverts to the conservative default (off);
+      executors re-enable it per their configuration.
+
+    Registered via :func:`os.register_at_fork` so plain ``fork``
+    children are safe even when they bypass the transport's bootstrap.
+    """
+    global _ALLOCATOR_TUNED
+    _ALLOCATOR_TUNED = False
+    clear_kernel_caches()
+    set_kernel_specialization(False)
+
+
+if hasattr(os, "register_at_fork"):  # not on Windows
+    os.register_at_fork(after_in_child=reset_process_state)
 
 
 def kernel_cache_stats() -> dict:

@@ -1,6 +1,11 @@
 """Data-parallel training simulator and convergence harness."""
 
-from repro.train.trainer import ParallelTrainer, compute_grads
+from repro.train.trainer import (
+    ParallelTrainer,
+    ProcessRankExecutor,
+    compute_grads,
+    compute_grads_into,
+)
 from repro.train.metrics import accuracy, Meter
 from repro.train.convergence import run_to_accuracy, ConvergenceResult
 from repro.train.simclock import TrainingTimeModel
@@ -11,7 +16,9 @@ __all__ = [
     "load_checkpoint",
     "read_checkpoint_meta",
     "ParallelTrainer",
+    "ProcessRankExecutor",
     "compute_grads",
+    "compute_grads_into",
     "accuracy",
     "Meter",
     "run_to_accuracy",

@@ -20,8 +20,10 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.comm.tracing import CommTracer
-from repro.core.arena import GradientArena
-from repro.core.config import validate_execution_strategy
+from repro.comm.transport import ProcessTransport
+from repro.core.arena import GradientArena, SharedGradientArena
+from repro.core.config import parse_execution, validate_execution_strategy
+from repro.core.deprecation import warn_deprecated
 from repro.core.distributed_optimizer import DistributedOptimizer
 from repro.core.orthogonality import OrthogonalityProbe
 from repro.core.overlap import OverlapScheduler, build_fused_engine
@@ -78,6 +80,176 @@ def compute_grads_into(
     return float(loss.data)
 
 
+class _ProcessRankWorker:
+    """One rank's state inside a worker process (never crosses the pipe).
+
+    Built by :func:`_process_rank_bootstrap` from a picklable spec.  The
+    worker attaches to the parent's shared gradient arena (its own row
+    is the gradient destination) and to a one-row parameter arena the
+    parent refreshes before every dispatch, so model replicas stay
+    byte-identical across processes without any per-step serialization.
+    """
+
+    def __init__(self, rank: int, spec: Dict):
+        from repro.tensor import set_kernel_specialization as _set_spec
+
+        self.rank = rank
+        layout = spec["layout"]
+        self.grads = SharedGradientArena.attach(
+            spec["grad_segment"], layout, spec["num_ranks"], dtype=spec["grad_dtype"]
+        )
+        self.params = SharedGradientArena.attach(
+            spec["param_segment"], layout, 1, dtype=spec["param_dtype"]
+        )
+        self.model = spec["model"]
+        self.loss_fn = spec["loss_fn"]
+        self.x = spec["x"]
+        self.y = spec["y"]
+        self.microbatch = spec["microbatch"]
+        self.accumulation = spec["accumulation"]
+        # Match the parent's train_step-scoped specialization setting so
+        # both sides run the exact same kernels (bit-exactness contract).
+        _set_spec(spec["specialize_kernels"])
+
+    def __call__(self, msg) -> float:
+        if msg[0] != "step":
+            raise ValueError(f"unknown control message {msg[0]!r}")
+        idx = msg[1]
+        pviews = self.params.views(0)
+        for name, p in self.model.named_parameters():
+            np.copyto(p.data, pviews[name])
+        views = self.grads.views(self.rank)
+        if self.accumulation == 1:
+            return compute_grads_into(
+                self.model, self.loss_fn, self.x[idx], self.y[idx], views
+            )
+        losses = []
+        for k in range(self.accumulation):
+            sub = idx[k * self.microbatch : (k + 1) * self.microbatch]
+            losses.append(
+                compute_grads_into(
+                    self.model, self.loss_fn, self.x[sub], self.y[sub], views,
+                    accumulate=k > 0,
+                )
+            )
+        row = self.grads.row(self.rank)
+        np.multiply(row, 1.0 / self.accumulation, out=row)
+        return float(np.mean(losses))
+
+    def close(self) -> None:
+        self.grads.close()
+        self.params.close()
+
+
+def _process_rank_bootstrap(rank: int, spec: Dict) -> _ProcessRankWorker:
+    """Top-level (spawn-picklable) bootstrap handed to the transport."""
+    return _ProcessRankWorker(rank, spec)
+
+
+class ProcessRankExecutor:
+    """Parent-side driver of the process-per-rank execution backend.
+
+    Owns the one-row *parameter* arena (the broadcast channel: parent
+    writes current weights, every worker reads them before computing)
+    and a :class:`~repro.comm.transport.ProcessTransport` whose workers
+    attach to the trainer's shared *gradient* arena.  A step is two
+    shared-memory writes and ``2 * world`` tiny pipe messages: params
+    out, ``("step", indices)`` per rank, loss floats back — gradient
+    payloads never serialize.
+
+    Parameters mirror the slice of :class:`ParallelTrainer` state the
+    workers need; ``faults``/``tracer``/``timeout``/``start_method``
+    forward to the transport.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        loss_fn: Callable,
+        x: np.ndarray,
+        y: np.ndarray,
+        microbatch: int,
+        accumulation: int,
+        arena: SharedGradientArena,
+        specialize_kernels: bool = True,
+        timeout: float = 60.0,
+        faults=None,
+        tracer: Optional[CommTracer] = None,
+        start_method: Optional[str] = None,
+    ):
+        if not isinstance(arena, SharedGradientArena):
+            raise TypeError(
+                "ProcessRankExecutor needs a SharedGradientArena; got "
+                f"{type(arena).__name__}"
+            )
+        self.model = model
+        self.arena = arena
+        dtypes = {p.data.dtype for _, p in model.named_parameters()}
+        if len(dtypes) != 1:
+            raise ValueError(
+                f"mixed parameter dtypes {sorted(map(str, dtypes))} cannot "
+                "share one parameter-broadcast arena"
+            )
+        self.param_arena = SharedGradientArena(
+            arena.layout, 1, dtype=dtypes.pop()
+        )
+        self._pviews = self.param_arena.views(0)
+        spec = {
+            "model": model,
+            "loss_fn": loss_fn,
+            "x": x,
+            "y": y,
+            "layout": arena.layout,
+            "grad_segment": arena.name,
+            "param_segment": self.param_arena.name,
+            "num_ranks": arena.num_ranks,
+            "grad_dtype": arena.dtype,
+            "param_dtype": self.param_arena.dtype,
+            "microbatch": microbatch,
+            "accumulation": accumulation,
+            "specialize_kernels": specialize_kernels,
+        }
+        self.transport = ProcessTransport(
+            arena.num_ranks,
+            _process_rank_bootstrap,
+            spec,
+            timeout=timeout,
+            faults=faults,
+            tracer=tracer,
+            start_method=start_method,
+        )
+
+    def compute(
+        self,
+        rank_indices: Sequence[np.ndarray],
+        ranks: Optional[Sequence[int]] = None,
+    ) -> List[float]:
+        """Run one step's forward/backward on every listed rank.
+
+        Publishes current parameters to shared memory, dispatches per-
+        rank sample indices, and returns losses in dispatch order;
+        gradients are already sitting in the arena rows when this
+        returns.  ``ranks`` names the target rank (= arena row) per
+        payload for partial-world steps; default ``0..len-1``.
+        """
+        for name, p in self.model.named_parameters():
+            np.copyto(self._pviews[name], p.data)
+        payloads = [("step", np.asarray(idx)) for idx in rank_indices]
+        ranks = list(range(len(payloads))) if ranks is None else list(ranks)
+        return self.transport.call(payloads, ranks=ranks)
+
+    def close(self) -> None:
+        """Stop the workers and unlink the parameter segment (idempotent)."""
+        self.transport.shutdown()
+        self.param_arena.unlink()
+
+    def __enter__(self) -> "ProcessRankExecutor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
 class ParallelTrainer:
     """Simulates ``num_ranks`` data-parallel workers over one model.
 
@@ -110,16 +282,29 @@ class ParallelTrainer:
         Optional :class:`~repro.train.simclock.TrainingTimeModel` that
         stamps trace durations; without it events are zero-duration
         (ordering only).
-    parallel_ranks:
-        Execute the simulated ranks' forward/backward passes
-        concurrently on a thread pool over per-rank model replicas
-        (NumPy's BLAS kernels release the GIL).  Each rank writes only
-        its own arena row and the reduction always runs after a barrier
-        in fixed rank order, so results are bit-identical to serial
-        execution.  Models whose forward pass mutates shared state in a
+    execution:
+        Rank execution backend — ``"serial"`` (default: a loop in this
+        process), ``"threads"`` (a thread pool over per-rank model
+        replicas; NumPy's BLAS kernels release the GIL), or
+        ``"processes"`` (one OS process per rank writing gradients into
+        a :class:`~repro.core.arena.SharedGradientArena`; sidesteps the
+        GIL entirely — see :class:`ProcessRankExecutor`).  Under every
+        backend each rank writes only its own arena row and the
+        reduction runs after a barrier in fixed rank order, so results
+        are bit-identical to serial execution.  The concurrent backends
+        reject models whose forward pass mutates shared state in a
         rank-order-dependent way (registered buffers such as BatchNorm
-        running stats, or active Dropout consuming a shared RNG) are
-        rejected, since serial execution orders those effects.
+        running stats, or active Dropout consuming a shared RNG), since
+        serial execution orders those effects.
+    parallel_ranks:
+        Deprecated alias: ``True`` means ``execution="threads"``
+        (warn-once via :mod:`repro.core.deprecation`).
+    start_method, comm_timeout, faults, comm_tracer:
+        Process-backend knobs forwarded to the
+        :class:`~repro.comm.transport.ProcessTransport`: multiprocessing
+        start method (default fork where available), per-round collect
+        deadline, fault plan whose kills terminate real worker
+        processes, and a wall-clock tracer of control-plane traffic.
     specialize_kernels:
         Allow validated single-GEMM conv kernels inside ``train_step``
         (on by default; scoped to the step and restored after).  The
@@ -167,10 +352,20 @@ class ParallelTrainer:
         overlap: bool = False,
         bucket_cap_mb: float = 1.0,
         overlap_tracer: Optional[CommTracer] = None,
+        execution: Optional[str] = None,
+        start_method: Optional[str] = None,
+        comm_timeout: float = 60.0,
+        faults=None,
+        comm_tracer: Optional[CommTracer] = None,
     ):
         if accumulation < 1:
             raise ValueError("accumulation must be >= 1")
-        validate_execution_strategy(overlap, parallel_ranks)
+        execution = parse_execution(execution if execution is not None else "serial")
+        if parallel_ranks and execution == "serial":
+            warn_deprecated("parallel_ranks=True", 'execution="threads"')
+            execution = "threads"
+        execution = validate_execution_strategy(overlap, execution)
+        self.execution = execution
         tune_allocator()
         self.model = model
         self.loss_fn = loss_fn
@@ -189,7 +384,10 @@ class ParallelTrainer:
         self.sim_time = 0.0
         # Flat-buffer gradient pipeline: every rank's gradients live in
         # one preallocated contiguous row; reduction runs flat kernels.
-        self.arena = GradientArena.from_model(model, self.num_ranks)
+        # The process backend places the rows in OS shared memory so
+        # worker processes write them directly (zero-copy data plane).
+        arena_cls = SharedGradientArena if execution == "processes" else GradientArena
+        self.arena = arena_cls.from_model(model, self.num_ranks)
         self._use_arena_step = hasattr(dist_opt, "step_arena")
         # Opt the hot training loop into validated kernel specialization
         # (scoped to train_step; see docs/performance.md for why this is
@@ -209,11 +407,12 @@ class ParallelTrainer:
                 tracer=overlap_tracer,
             )
             self._fused = build_fused_engine(model, self.num_ranks)
-        self.parallel_ranks = parallel_ranks
+        self.parallel_ranks = execution == "threads"
         self._replicas: List[Module] = []
         self._executor: Optional[ThreadPoolExecutor] = None
-        if parallel_ranks:
-            self._check_parallel_safe(model)
+        self._proc_executor: Optional[ProcessRankExecutor] = None
+        if execution == "threads":
+            self._check_parallel_safe(model, execution)
             # Rank 0 computes on the shared model; other ranks get
             # replicas re-synced from it at the start of every step.
             self._replicas = [model] + [
@@ -222,6 +421,17 @@ class ParallelTrainer:
             self._executor = ThreadPoolExecutor(
                 max_workers=self.num_ranks,
                 thread_name_prefix="rank",
+            )
+        elif execution == "processes":
+            self._check_parallel_safe(model, execution)
+            self._proc_executor = ProcessRankExecutor(
+                model, loss_fn, self.x, self.y, microbatch, accumulation,
+                self.arena,
+                specialize_kernels=specialize_kernels,
+                timeout=comm_timeout,
+                faults=faults,
+                tracer=comm_tracer,
+                start_method=start_method,
             )
 
     @classmethod
@@ -240,33 +450,36 @@ class ParallelTrainer:
 
         The config supplies the reduction strategy, world size,
         microbatch, seed, and execution strategy
-        (``overlap`` / ``parallel_ranks`` / ``bucket_cap_mb``);
-        remaining trainer keywords (``accumulation``, ``probe``,
-        tracers, ...) pass through ``kwargs``.
+        (``overlap`` / ``execution`` / ``bucket_cap_mb``); remaining
+        trainer keywords (``accumulation``, ``probe``, tracers, ...)
+        pass through ``kwargs``.
         """
         dist_opt = DistributedOptimizer.from_config(model, optimizer_factory, config)
         kwargs.setdefault("seed", config.seed)
         kwargs.setdefault("overlap", config.overlap)
-        kwargs.setdefault("parallel_ranks", config.parallel_ranks)
+        kwargs.setdefault("execution", config.execution)
+        if config.execution == "processes":
+            kwargs.setdefault("comm_timeout", config.timeout)
+            kwargs.setdefault("faults", config.faults)
         if config.bucket_cap_mb is not None:
             kwargs.setdefault("bucket_cap_mb", config.bucket_cap_mb)
         return cls(model, loss_fn, dist_opt, x, y, config.microbatch, **kwargs)
 
     @staticmethod
-    def _check_parallel_safe(model: Module) -> None:
+    def _check_parallel_safe(model: Module, execution: str = "threads") -> None:
         """Reject models whose forward pass has rank-order-dependent effects."""
         if any(True for _ in model.named_buffers()):
             raise ValueError(
-                "parallel_ranks=True requires a model without registered "
+                f'execution="{execution}" requires a model without registered '
                 "buffers: running stats update in rank order under serial "
-                "execution, which threads cannot reproduce"
+                "execution, which concurrent ranks cannot reproduce"
             )
         for mod in model.modules():
             if type(mod).__name__ == "Dropout" and getattr(mod, "p", 0.0) > 0.0:
                 raise ValueError(
-                    "parallel_ranks=True requires inactive dropout (p == 0): "
-                    "serial ranks consume the dropout RNG in rank order, "
-                    "which threads cannot reproduce"
+                    f'execution="{execution}" requires inactive dropout '
+                    "(p == 0): serial ranks consume the dropout RNG in rank "
+                    "order, which concurrent ranks cannot reproduce"
                 )
 
     @property
@@ -275,6 +488,29 @@ class ParallelTrainer:
 
     def steps_per_epoch(self) -> int:
         return self.iterator.steps_per_epoch()
+
+    def close(self) -> None:
+        """Release execution-backend resources (idempotent).
+
+        Thread pools are joined, rank worker processes are shut down,
+        and every shared-memory segment this trainer owns is unlinked —
+        the arena module's atexit sweep is only the last-resort backstop
+        for callers that never get here (aborts, test crashes).
+        """
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        if self._proc_executor is not None:
+            self._proc_executor.close()
+            self._proc_executor = None
+        if isinstance(self.arena, SharedGradientArena):
+            self.arena.unlink()
+
+    def __enter__(self) -> "ParallelTrainer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     def train_epoch(self, epoch: int, max_steps: Optional[int] = None) -> float:
         """One epoch of simulated data-parallel training; returns mean loss."""
@@ -297,7 +533,9 @@ class ParallelTrainer:
     def _train_step(self, rank_indices: Sequence[np.ndarray]) -> float:
         if self._overlap_active and len(rank_indices) == self.num_ranks:
             return self._train_step_overlap(rank_indices)
-        if self.parallel_ranks and len(rank_indices) > 1:
+        if self._proc_executor is not None:
+            losses = self._proc_executor.compute(rank_indices)
+        elif self.parallel_ranks and len(rank_indices) > 1:
             losses = self._compute_parallel(rank_indices)
         else:
             losses = [

@@ -1,0 +1,126 @@
+"""Unit tests for :class:`repro.comm.transport.ProcessTransport`.
+
+The real (non-simulated) transport keeps the :class:`Cluster` contract:
+deadline-bounded collects with diagnostic timeouts, structured
+``rank_errors`` for dead workers and fault-plan kills, exact byte
+accounting of the pickled control frames, and idempotent shutdown that
+can never strand worker processes.
+"""
+
+import time
+
+import pytest
+
+from repro.comm.faults import FaultPlan
+from repro.comm.tracing import CommTracer
+from repro.comm.transport import (
+    CommError,
+    CommTimeoutError,
+    ProcessTransport,
+    default_start_method,
+)
+
+
+def _echo_bootstrap(rank, spec):
+    def handler(msg):
+        return (rank, msg[1])
+    return handler
+
+
+def _sleepy_bootstrap(rank, spec):
+    def handler(msg):
+        if rank == spec["slow_rank"]:
+            time.sleep(msg[1])
+        return rank
+    return handler
+
+
+def _crash_bootstrap(rank, spec):
+    def handler(msg):
+        if rank == spec:
+            raise KeyError("worker blew up")
+        return rank
+    return handler
+
+
+def test_default_start_method_is_valid():
+    import multiprocessing
+
+    assert default_start_method() in multiprocessing.get_all_start_methods()
+
+
+def test_round_trip_in_rank_order():
+    with ProcessTransport(3, _echo_bootstrap, None, timeout=30.0) as t:
+        out = t.call([("x", 10), ("x", 20), ("x", 30)])
+        assert out == [(0, 10), (1, 20), (2, 30)]
+        assert t.alive_ranks() == [0, 1, 2]
+
+
+def test_partial_rank_dispatch():
+    with ProcessTransport(4, _echo_bootstrap, None, timeout=30.0) as t:
+        out = t.call([("x", 1), ("x", 2)], ranks=[1, 3])
+        assert out == [(1, 1), (3, 2)]
+
+
+def test_byte_accounting_and_tracer():
+    tracer = CommTracer()
+    with ProcessTransport(2, _echo_bootstrap, None, timeout=30.0,
+                          tracer=tracer) as t:
+        t.call([("x", 0), ("x", 1)])
+        assert t.bytes_sent > 0
+        assert t.bytes_received > 0
+        assert t.messages_sent == 2
+        sends = [ev for ev in tracer.events if ev.op == "send"]
+        assert sum(ev.nbytes for ev in sends) == t.bytes_sent
+
+
+def test_worker_exception_becomes_structured_comm_error():
+    with ProcessTransport(3, _crash_bootstrap, 1, timeout=30.0) as t:
+        with pytest.raises(CommError) as err:
+            t.call([("x",), ("x",), ("x",)])
+        assert list(err.value.rank_errors) == [1]
+        assert "KeyError" in str(err.value)
+        # Healthy workers survive a peer's python-level failure.
+        assert t.alive_ranks() == [0, 1, 2]
+        assert t.call([("x",)], ranks=[0]) == [0]
+
+
+def test_timeout_names_blocked_rank():
+    with ProcessTransport(2, _sleepy_bootstrap, {"slow_rank": 1},
+                          timeout=0.5) as t:
+        with pytest.raises(CommError) as err:
+            t.call([("go", 0.0), ("go", 30.0)])
+        assert err.value.timeout_ranks == [1]
+        inner = err.value.rank_errors[1]
+        assert isinstance(inner, CommTimeoutError)
+        assert inner.rank == 1 and inner.op == "step"
+
+
+def test_fault_plan_kill_terminates_real_process():
+    plan = FaultPlan().kill_rank(2, after_ops=0)
+    with ProcessTransport(3, _echo_bootstrap, None, timeout=30.0,
+                          faults=plan) as t:
+        with pytest.raises(CommError) as err:
+            t.call([("x", 0), ("x", 1), ("x", 2)])
+        assert err.value.killed_ranks == [2]
+        assert 2 not in t.alive_ranks()
+        # Survivors still serve (the elastic supervisor rebuilds anyway,
+        # but the transport itself stays coherent).
+        assert t.call([("x", 9)], ranks=[0]) == [(0, 9)]
+
+
+def test_shutdown_idempotent_and_rejects_further_calls():
+    t = ProcessTransport(2, _echo_bootstrap, None, timeout=30.0)
+    t.shutdown()
+    t.shutdown()
+    assert t.alive_ranks() == []
+    with pytest.raises(CommError, match="shut down"):
+        t.call([("x", 0)], ranks=[0])
+
+
+def test_bootstrap_failure_reported_before_first_step():
+    def bad_bootstrap(rank, spec):
+        raise RuntimeError("no such segment")
+
+    with pytest.raises(CommError):
+        ProcessTransport(2, bad_bootstrap, None, timeout=10.0)

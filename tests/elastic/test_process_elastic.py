@@ -1,0 +1,114 @@
+"""ElasticTrainer under ``execution="processes"``.
+
+The elastic contract extends to the process backend: failure-free runs
+are bit-identical to serial elastic runs, a kill evicts the dead rank
+and the rebuilt world *respawns* the worker pool over freshly-sized
+shared segments, and no ``/dev/shm`` segment survives any of it.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import RunConfig, leaked_shared_segments
+from repro.core.arena import SharedGradientArena
+from repro.elastic import ElasticSchedule, ElasticTrainer
+from repro.models.mlp import MLP
+from repro.optim import SGD
+
+
+@pytest.fixture(autouse=True)
+def _no_segment_leaks():
+    before = leaked_shared_segments()
+    yield
+    assert leaked_shared_segments() == before
+
+
+def _run(execution, schedule=None, num_ranks=4, max_steps=4):
+    model = MLP((10, 16, 3), rng=np.random.default_rng(5))
+    rng = np.random.default_rng(11)
+    x = rng.standard_normal((96, 10)).astype(np.float32)
+    y = (x @ rng.standard_normal((10, 3))).argmax(axis=1)
+    config = RunConfig(
+        op="adasum", topology="tree_any", num_ranks=num_ranks, microbatch=4,
+        seed=0, execution=execution, faults=schedule,
+    )
+    trainer = ElasticTrainer.from_config(
+        model, nn.CrossEntropyLoss(), lambda ps: SGD(ps, lr=0.1), x, y, config,
+    )
+    try:
+        loss = trainer.train_epoch(0, max_steps=max_steps)
+        params = {n: p.data.copy() for n, p in model.named_parameters()}
+        return loss, params, trainer.membership.size, list(trainer.recoveries)
+    finally:
+        trainer.close()
+
+
+def test_failure_free_matches_serial_elastic():
+    loss_s, params_s, _, _ = _run("serial")
+    loss_p, params_p, _, _ = _run("processes")
+    assert loss_p == loss_s
+    for name in params_s:
+        np.testing.assert_array_equal(
+            params_s[name].view(np.uint8), params_p[name].view(np.uint8),
+            err_msg=f"parameter {name} diverged",
+        )
+
+
+def test_kill_rebuilds_pool_at_new_size_and_matches_serial():
+    loss_p, params_p, size_p, rec_p = _run(
+        "processes", ElasticSchedule().kill(step=1, global_rank=2)
+    )
+    assert size_p == 3
+    assert rec_p and rec_p[0]["kind"] == "kill"
+    loss_s, params_s, size_s, _ = _run(
+        "serial", ElasticSchedule().kill(step=1, global_rank=2)
+    )
+    assert size_s == 3 and loss_p == loss_s
+    for name in params_s:
+        np.testing.assert_array_equal(
+            params_s[name].view(np.uint8), params_p[name].view(np.uint8),
+            err_msg=f"post-recovery parameter {name} diverged",
+        )
+
+
+def test_rebuild_swaps_segments_without_leaking():
+    model = MLP((10, 16, 3), rng=np.random.default_rng(5))
+    rng = np.random.default_rng(11)
+    x = rng.standard_normal((96, 10)).astype(np.float32)
+    y = rng.integers(0, 3, 96)
+    config = RunConfig(
+        op="adasum", topology="tree_any", num_ranks=4, microbatch=4,
+        execution="processes",
+        faults=ElasticSchedule().kill(step=1, global_rank=0),
+    )
+    trainer = ElasticTrainer.from_config(
+        model, nn.CrossEntropyLoss(), lambda ps: SGD(ps, lr=0.1), x, y, config,
+    )
+    try:
+        assert isinstance(trainer.arena, SharedGradientArena)
+        first_arena = trainer.arena
+        first_segments = set(leaked_shared_segments())
+        trainer.train_epoch(0, max_steps=3)
+        assert trainer.membership.size == 3
+        # The rebuilt world runs on NEW segments sized for 3 ranks...
+        assert trainer.arena is not first_arena
+        assert trainer.arena.num_ranks == 3
+        # ...and the 4-rank world's segments are gone already (unlinked
+        # during the rebuild, not deferred to close/atexit).
+        assert first_arena.name not in leaked_shared_segments()
+        assert set(leaked_shared_segments()) != first_segments
+    finally:
+        trainer.close()
+
+
+def test_threads_execution_rejected():
+    model = MLP((10, 16, 3))
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal((32, 10)).astype(np.float32)
+    y = rng.integers(0, 3, 32)
+    with pytest.raises(ValueError, match="serial.*processes|processes.*serial"):
+        ElasticTrainer(
+            model, nn.CrossEntropyLoss(), lambda ps: SGD(ps, lr=0.1),
+            x, y, microbatch=4, num_ranks=2, execution="threads",
+        )
