@@ -198,6 +198,23 @@ def build_ops():
         thunk()  # validate once before timing
         return thunk
 
+    def sched_goodput_setup():
+        # One 30-job bursty trace through the multi-tenant control
+        # plane on an 8-rank pool: admission, rank-loan preemption,
+        # settlement, and the real ElasticTrainer steps each job runs.
+        # Guards the scheduler's end-to-end throughput (jobs/sec of
+        # simulated service, dominated by numeric step + reshard cost).
+        from repro.scheduler import Scheduler, generate_trace
+
+        specs = generate_trace(n_jobs=30, pool_size=8, seed=17)
+
+        def thunk():
+            with Scheduler(pool_size=8, policy="loans") as sched:
+                sched.submit_all(specs)
+                payload = sched.run()
+            assert payload["aggregate"]["loans"]["outstanding"] == 0
+        return thunk
+
     def hier_latency_setup():
         # Analytic 256-rank two-level latency sweep (the Figure-4-style
         # scaling study): prices hierarchical Adasum, hierarchical sum,
@@ -230,6 +247,7 @@ def build_ops():
         ("minibert_step_procs_4", train_step_setup(_minibert_trainer, "procs", 4)),
         ("elastic_step_8r", elastic_step_setup),
         ("elastic_recovery_8to7", elastic_recovery_setup),
+        ("sched_goodput_pool8", sched_goodput_setup),
     ]
 
 

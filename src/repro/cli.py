@@ -128,6 +128,20 @@ def _elastic_recovery(fast: bool) -> str:
     )
 
 
+def _sched_study(fast: bool) -> str:
+    r = experiments.run_sched_study(fast=fast)
+    header = (
+        f"{r.n_jobs} jobs over a {r.pool_size}-rank pool (seed {r.seed})\n"
+        f"goodput gain of loans over kill-and-requeue: "
+        f"{r.loan_goodput_gain * 100:+.1f}%\n"
+    )
+    return header + format_table(
+        ["policy", "done", "makespan", "tier-2 delay", "goodput/s",
+         "wasted", "preempts", "util"],
+        r.rows(),
+    )
+
+
 EXPERIMENTS: Dict[str, Tuple[Callable[[bool], str], str]] = {
     "fig1": (_fig1, "per-layer gradient orthogonality (ResNet + BERT)"),
     "fig2": (_fig2, "error vs exact-Hessian sequential emulation"),
@@ -141,6 +155,8 @@ EXPERIMENTS: Dict[str, Tuple[Callable[[bool], str], str]] = {
     "production": (_production, "§5.5 production LSTM proxy"),
     "elastic_recovery": (_elastic_recovery,
                          "rank failures vs failure-free at equal sample budget"),
+    "sched_study": (_sched_study,
+                    "multi-tenant preemption: rank loans vs kill-and-requeue"),
 }
 
 
@@ -590,10 +606,98 @@ def _overlap_main(argv) -> int:
     return 0
 
 
+def _serve_main(argv) -> int:
+    """``python -m repro serve``: multi-tenant scheduler over a rank pool."""
+    from repro.scheduler import (
+        POLICIES,
+        Scheduler,
+        StepCostModel,
+        generate_trace,
+        write_json,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="Run the training-as-a-service control plane: a seeded "
+                    "trace of job submissions (bursty arrivals, mixed sizes "
+                    "and priorities) multiplexed over a shared rank pool, "
+                    "with preemption via rank loans through the elastic "
+                    "reshard path.  Deterministic: the same seed always "
+                    "produces the same metrics JSON.  See docs/scheduler.md.",
+    )
+    parser.add_argument("--pool", type=int, default=8,
+                        help="shared rank-pool size")
+    parser.add_argument("--jobs", type=int, default=200,
+                        help="number of submissions in the generated trace")
+    parser.add_argument("--policy", choices=POLICIES, default="loans",
+                        help="preemption policy: 'loans' shrinks/pauses "
+                             "victims reversibly, 'kill' requeues them from "
+                             "scratch, 'none' makes arrivals wait")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--mean-interarrival", type=float, default=0.008,
+                        help="mean gap between arrival instants (virtual s)")
+    parser.add_argument("--burst-prob", type=float, default=0.12,
+                        help="probability an arrival instant is a burst")
+    parser.add_argument("--out", default=None,
+                        help="write the sched-trace-v1 metrics JSON here")
+    args = parser.parse_args(argv)
+
+    specs = generate_trace(
+        n_jobs=args.jobs,
+        pool_size=args.pool,
+        seed=args.seed,
+        mean_interarrival=args.mean_interarrival,
+        burst_prob=args.burst_prob,
+    )
+    t0 = time.time()
+    with Scheduler(
+        pool_size=args.pool, policy=args.policy, cost_model=StepCostModel()
+    ) as sched:
+        sched.submit_all(specs)
+        payload = sched.run()
+    wall = time.time() - t0
+    agg = payload["aggregate"]
+    print(f"{args.jobs} jobs over a {args.pool}-rank pool, "
+          f"policy={args.policy}, seed={args.seed} "
+          f"({wall:.1f}s wall, {agg['jobs']['completed']} completed, "
+          f"{agg['jobs']['rejected']} rejected)")
+    tier_rows = [
+        (f"tier {tier}", f"{delay:.4f}")
+        for tier, delay in agg["queue_delay"]["mean_by_tier"].items()
+    ]
+    rows = [
+        ("virtual horizon (s)", f"{payload['meta']['horizon']:.4f}"),
+        ("mean queue delay (s)", f"{agg['queue_delay']['mean']:.4f}"),
+        *[(f"  {name} mean delay (s)", v) for name, v in tier_rows],
+        ("p95 queue delay (s)", f"{agg['queue_delay']['p95']:.4f}"),
+        ("mean makespan (s)", f"{agg['makespan']['mean']:.4f}"),
+        ("goodput (samples/s)", f"{agg['goodput_samples_per_sec']:.0f}"),
+        ("wasted samples", str(agg["wasted_samples"])),
+        ("pool utilization (active)", f"{agg['utilization']['active']:.3f}"),
+        ("pool utilization (allocated)", f"{agg['utilization']['allocated']:.3f}"),
+        ("preemptions", str(agg["preemptions"])),
+        ("loans (shrink / pause)",
+         f"{agg['loans']['shrink']} / {agg['loans']['pause']}"),
+        ("loans returned to lender",
+         str(agg["loans"]["returned_to_lender"])),
+    ]
+    print(format_table(["metric", "value"], rows))
+    if agg["loans"]["outstanding"]:
+        print(f"ERROR: {agg['loans']['outstanding']} loans never settled",
+              file=sys.stderr)
+        return 3
+    if args.out:
+        write_json(args.out, payload)
+        print(f"wrote {args.out}")
+    return 0
+
+
 def main(argv=None) -> int:
     argv = sys.argv[1:] if argv is None else list(argv)
     if argv and argv[0] == "trace":
         return _trace_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return _serve_main(argv[1:])
     if argv and argv[0] == "elastic":
         return _elastic_main(argv[1:])
     if argv and argv[0] == "overlap":
@@ -607,7 +711,7 @@ def main(argv=None) -> int:
     )
     parser.add_argument("experiment",
                         help="experiment id (or 'list' / 'all' / 'trace' / "
-                             "'elastic' / 'overlap' / 'train')")
+                             "'elastic' / 'overlap' / 'train' / 'serve')")
     parser.add_argument("--full", action="store_true",
                         help="run the larger (slower) profile")
     args = parser.parse_args(argv)
@@ -621,6 +725,8 @@ def main(argv=None) -> int:
               "(python -m repro overlap --help)")
         print("  train        execution-backend comparison incl. "
               "--execution processes (python -m repro train --help)")
+        print("  serve        multi-tenant scheduler over a shared rank pool "
+              "(python -m repro serve --help)")
         return 0
 
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]

@@ -195,6 +195,38 @@ class RunConfig:
             gpus_per_node=self.gpus_per_node,
         )
 
+    def validate_for_pool(self, pool_size: int) -> "RunConfig":
+        """Check this per-job config is schedulable on a shared rank pool.
+
+        The multi-tenant scheduler admits jobs onto a fixed pool of
+        ``pool_size`` ranks; a config that demands more than the pool,
+        or whose elastic floor exceeds its own width, can never start.
+        Scheduler jobs run under ``ElasticTrainer``, so its backend and
+        topology restrictions apply here too.  Returns ``self`` so the
+        call chains.
+        """
+        if pool_size < 1:
+            raise ValueError("pool_size must be >= 1")
+        if self.num_ranks > pool_size:
+            raise ValueError(
+                f"job needs {self.num_ranks} ranks but the pool has {pool_size}"
+            )
+        if self.min_ranks > self.num_ranks:
+            raise ValueError(
+                f"min_ranks ({self.min_ranks}) exceeds num_ranks "
+                f"({self.num_ranks}); the job could never admit"
+            )
+        if self.execution == "threads":
+            raise ValueError(
+                "scheduler jobs run under ElasticTrainer; "
+                "execution must be 'serial' or 'processes'"
+            )
+        if self.topology == "rvh":
+            raise ValueError(
+                "the elastic collective does not support the 'rvh' topology"
+            )
+        return self
+
     def replace(self, **changes) -> "RunConfig":
         """A modified copy (re-runs all validation)."""
         return dataclasses.replace(self, **changes)

@@ -11,17 +11,26 @@ global id) well-defined across membership changes.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import Iterable, List, Optional, Sequence
 
 
 class Membership:
-    """The set of live ranks, identified by original global ids."""
+    """The set of live ranks, identified by original global ids.
+
+    Besides *dying* (``remove``, permanent), ranks can be *loaned out*
+    (``lend``/``reclaim``): a voluntary, reversible shrink used by the
+    multi-tenant scheduler's rank loans.  Loaned ranks leave the live
+    world exactly like dead ones — the cluster rebuilds at the smaller
+    size — but their ids are parked on ``loaned`` so the world can grow
+    back when the loan returns.
+    """
 
     def __init__(self, world_size: int):
         if world_size < 1:
             raise ValueError("world_size must be >= 1")
         self.initial_size = world_size
         self.global_ranks: List[int] = list(range(world_size))
+        self.loaned: List[int] = []
 
     # ------------------------------------------------------------------
     @property
@@ -48,13 +57,59 @@ class Membership:
         return self.global_ranks[local_rank]
 
     def remove(self, dead: Iterable[int]) -> List[int]:
-        """Drop ranks from the world; returns the ids actually removed."""
+        """Drop ranks from the world; returns the ids actually removed.
+
+        Dead ids are also purged from the loaned list: a rank that dies
+        while its id is out on loan can never be reclaimed.
+        """
         dead = sorted(set(dead))
         removed = [g for g in dead if g in self.global_ranks]
         if len(removed) >= self.size:
             raise ValueError(f"cannot remove all live ranks ({removed})")
         self.global_ranks = [g for g in self.global_ranks if g not in removed]
+        self.loaned = [g for g in self.loaned if g not in dead]
         return removed
+
+    # ------------------------------------------------------------------
+    # Rank loans (voluntary, reversible shrink)
+    # ------------------------------------------------------------------
+    def lend(self, count: int) -> List[int]:
+        """Park the ``count`` highest live ranks on the loaned list.
+
+        Returns the lent ids (ascending).  The live world shrinks by
+        ``count``; ``reclaim`` undoes it.  At least one rank must stay
+        live — a fully-lent world has no trainer to come back to.
+        """
+        if count < 1:
+            raise ValueError("must lend at least one rank")
+        if count >= self.size:
+            raise ValueError(
+                f"cannot lend {count} of {self.size} live ranks; "
+                "at least one must stay"
+            )
+        lent = self.global_ranks[-count:]
+        self.global_ranks = self.global_ranks[:-count]
+        self.loaned.extend(lent)
+        return lent
+
+    def reclaim(self, count: Optional[int] = None) -> List[int]:
+        """Return loaned ranks to the live world (default: all of them).
+
+        With ``count``, reclaims only that many (lowest loaned ids
+        first) — partial loan returns when a job lent ranks to several
+        borrowers.  Returns the reclaimed ids (ascending).
+        """
+        pool = sorted(self.loaned)
+        take = len(pool) if count is None else int(count)
+        if take < 0 or take > len(pool):
+            raise ValueError(
+                f"cannot reclaim {count} of {len(pool)} loaned ranks"
+            )
+        returned = pool[:take]
+        remaining = set(pool[take:])
+        self.loaned = [g for g in self.loaned if g in remaining]
+        self.global_ranks = sorted(self.global_ranks + returned)
+        return returned
 
     def rank_map_from(self, snapshot_globals: Sequence[int]) -> List[int]:
         """Map each current local rank to its slot in an older world.

@@ -44,7 +44,11 @@ from repro.comm.bucketing import BucketPlan
 from repro.comm.faults import RankKilledError
 from repro.comm.netmodel import NetworkModel
 from repro.comm.transport import Cluster, CommError
-from repro.core.arena import GradientArena, SharedGradientArena
+from repro.core.arena import (
+    GradientArena,
+    SharedGradientArena,
+    leaked_shared_segments,
+)
 from repro.core.config import parse_execution
 from repro.core.distributed_optimizer import DistributedOptimizer, ReduceOpType
 from repro.core.orthogonality import OrthogonalityProbe
@@ -211,6 +215,12 @@ class ElasticTrainer:
         self._dropped: Dict[int, int] = {}   # global rank -> drop steps left
         self._recovering_since: Optional[float] = None
         self._snapshot: Optional[WorldSnapshot] = None
+        # Rank-loan state: optimizer states of loaned-out ranks (post-
+        # optimizer mode keeps per-rank Adam/SGD slots that must survive
+        # the loan), and the paused flag (execution resources released).
+        self._loan_stash: Dict[int, dict] = {}
+        self._paused = False
+        self.loan_events: List[Dict] = []
 
         self._build_world()
         self._take_snapshot()
@@ -281,12 +291,22 @@ class ElasticTrainer:
         the pool at the new size over freshly-sized segments, and the
         old segments must not survive as ``/dev/shm`` leaks.
         """
-        if self._proc_executor is not None:
-            self._proc_executor.close()
-            self._proc_executor = None
+        owned_segments = []
         arena = getattr(self, "arena", None)
         if isinstance(arena, SharedGradientArena):
+            owned_segments.append(arena.name)
+        if self._proc_executor is not None:
+            owned_segments.append(self._proc_executor.param_arena.name)
+            self._proc_executor.close()
+            self._proc_executor = None
+        if isinstance(arena, SharedGradientArena):
             arena.unlink()
+        # Preempted / paused / rebuilt process-backend worlds must never
+        # strand a /dev/shm file: everything this world owned has to be
+        # gone the moment teardown returns, whatever state the step loop
+        # was in when the scheduler pulled the ranks.
+        leaked = set(owned_segments) & set(leaked_shared_segments())
+        assert not leaked, f"world teardown leaked shared segments: {sorted(leaked)}"
 
     def _build_world(self) -> None:
         """(Re)build cluster, optimizer, and arena for the current world."""
@@ -309,6 +329,19 @@ class ElasticTrainer:
             topology=self.topology,
             gpus_per_node=self.gpus_per_node if self.topology == "hierarchical" else None,
         )
+        self._build_execution()
+        self.iterator.reshard(size)
+        self._paused = False
+
+    def _build_execution(self) -> None:
+        """(Re)build the phase-1 compute resources at the current size.
+
+        Split from :meth:`_build_world` so :meth:`resume` can reattach
+        execution resources (worker pool, shared segments) without
+        touching the optimizer or cluster — the pause/resume round trip
+        is then bit-exact by construction.
+        """
+        size = self.membership.size
         if self.execution == "processes":
             self.arena = SharedGradientArena.from_model(self.model, size)
             self._proc_executor = ProcessRankExecutor(
@@ -319,7 +352,6 @@ class ElasticTrainer:
             )
         else:
             self.arena = GradientArena.from_model(self.model, size)
-        self.iterator.reshard(size)
 
     def close(self) -> None:
         """Stop rank workers and unlink shared segments (idempotent)."""
@@ -341,6 +373,160 @@ class ElasticTrainer:
 
     def steps_per_epoch(self) -> int:
         return self.iterator.steps_per_epoch()
+
+    @property
+    def paused(self) -> bool:
+        """True while execution resources are released (see :meth:`pause`)."""
+        return self._paused
+
+    @property
+    def loaned_ranks(self) -> List[int]:
+        """Global ids currently lent out (see :meth:`lend_ranks`)."""
+        return sorted(self.membership.loaned)
+
+    # ------------------------------------------------------------------
+    # Rank loans / pause-resume (the scheduler's preemption hooks)
+    # ------------------------------------------------------------------
+    def _pack_world_state(self) -> Dict:
+        """Optimizer-side state keyed by global id, loan-stash included.
+
+        Everything :meth:`_build_world` would otherwise reset: per-rank
+        (or shared) optimizer slots, the skipped-step counter, and the
+        fp16 dynamic-scaler state.  Loaned-out ranks contribute their
+        stashed states so a later reclaim restores them unchanged.
+        """
+        d = self.dist_opt
+        state: Dict = {
+            "skipped_steps": d.skipped_steps,
+            "scaler": (
+                {
+                    "scale_value": d._scaler.scale_value,
+                    "clean_steps": d._scaler._clean_steps,
+                    "overflow_count": d._scaler.overflow_count,
+                }
+                if d.wire_fp16 else None
+            ),
+        }
+        if d.post_optimizer_mode:
+            per_rank = dict(self._loan_stash)
+            for local, g in enumerate(self.membership):
+                per_rank[g] = pack_optimizer_state(d.rank_optimizers[local])
+            state["per_rank"] = per_rank
+            state["shared"] = None
+        else:
+            state["per_rank"] = None
+            state["shared"] = pack_optimizer_state(d.optimizer)
+        return state
+
+    def _restore_world_state(self, state: Dict) -> None:
+        """Load a :meth:`_pack_world_state` copy onto the rebuilt world."""
+        d = self.dist_opt
+        d.skipped_steps = state["skipped_steps"]
+        if d.wire_fp16 and state["scaler"] is not None:
+            d._scaler.scale_value = state["scaler"]["scale_value"]
+            d._scaler._clean_steps = state["scaler"]["clean_steps"]
+            d._scaler.overflow_count = state["scaler"]["overflow_count"]
+        if state["per_rank"] is not None:
+            for local, g in enumerate(self.membership):
+                restore_optimizer_state(
+                    d.rank_optimizers[local], state["per_rank"][g]
+                )
+            self._loan_stash = {
+                g: s for g, s in state["per_rank"].items()
+                if g not in self.membership
+            }
+        else:
+            restore_optimizer_state(d.optimizer, state["shared"])
+            self._loan_stash = {}
+
+    def lend_ranks(self, count: int) -> List[int]:
+        """Voluntarily shrink the world by ``count`` ranks (a rank loan).
+
+        The scheduler's preemption primitive: at a commit boundary the
+        world reshards from N to ``N - count`` through the same rebuild
+        path a failure takes — the cursor-based iterator re-deals only
+        the not-yet-committed samples over the smaller world, so the
+        exactly-once contract holds across the loan.  Unlike a failure,
+        nothing rolls back (the current step is committed) and the lent
+        ranks' optimizer states are stashed so :meth:`reclaim_ranks`
+        restores them bit-for-bit.  Returns the lent global ids.
+        """
+        if self._paused:
+            raise RuntimeError("cannot lend ranks while paused")
+        if count < 1:
+            raise ValueError("must lend at least one rank")
+        floor = max(1, self.min_ranks)
+        if self.membership.size - count < floor:
+            raise ValueError(
+                f"lending {count} of {self.membership.size} ranks would "
+                f"shrink below min_ranks={floor}"
+            )
+        state = self._pack_world_state()
+        lent = self.membership.lend(count)
+        self._build_world()
+        self._restore_world_state(state)
+        self._take_snapshot()
+        self.loan_events.append(
+            {"step": self.global_step, "kind": "lend", "ranks": lent,
+             "world_size": self.membership.size}
+        )
+        return lent
+
+    def reclaim_ranks(self, count: Optional[int] = None) -> List[int]:
+        """Grow the world back as a loan returns (default: all loans).
+
+        The inverse of :meth:`lend_ranks`: reclaimed ranks rejoin the
+        world with the optimizer states they left with, the iterator
+        re-deals the remaining epoch over the grown world, and a fresh
+        snapshot is taken.  Returns the reclaimed global ids.
+        """
+        if self._paused:
+            raise RuntimeError("cannot reclaim ranks while paused")
+        if not self.membership.loaned:
+            return []
+        state = self._pack_world_state()
+        returned = self.membership.reclaim(count)
+        if not returned:
+            return []
+        self._build_world()
+        self._restore_world_state(state)
+        self._take_snapshot()
+        self.loan_events.append(
+            {"step": self.global_step, "kind": "reclaim", "ranks": returned,
+             "world_size": self.membership.size}
+        )
+        return returned
+
+    def pause(self) -> None:
+        """Release execution resources and refuse to step until resumed.
+
+        The full-preemption half of a rank loan: worker processes stop
+        and every shared-memory segment this world owns is unlinked, but
+        model, optimizer, cluster, and data cursor stay untouched in
+        memory — :meth:`resume` rebuilds only the execution layer, so a
+        pause/resume round trip is bit-identical to never pausing.
+        Idempotent.
+        """
+        if self._paused:
+            return
+        self._teardown_execution()
+        self.arena = None
+        self._paused = True
+        self.loan_events.append(
+            {"step": self.global_step, "kind": "pause",
+             "world_size": self.membership.size}
+        )
+
+    def resume(self) -> None:
+        """Rebuild the execution layer after :meth:`pause` (idempotent)."""
+        if not self._paused:
+            return
+        self._build_execution()
+        self._paused = False
+        self.loan_events.append(
+            {"step": self.global_step, "kind": "resume",
+             "world_size": self.membership.size}
+        )
 
     # ------------------------------------------------------------------
     # Snapshot / rollback
@@ -485,10 +671,7 @@ class ElasticTrainer:
         Survives any number of recoverable failures; each failed step is
         retried over the shrunk world with the same data cursor.
         """
-        self.iterator.begin_epoch(epoch)
-        self.epoch_visited = []
-        self._epoch_losses = []
-        self._take_snapshot()
+        self.begin_epoch(epoch)
         while self.iterator.has_next() and (
             max_steps is None or len(self._epoch_losses) < max_steps
         ):
@@ -496,6 +679,32 @@ class ElasticTrainer:
         return (
             float(np.mean(self._epoch_losses)) if self._epoch_losses else float("nan")
         )
+
+    def begin_epoch(self, epoch: int) -> None:
+        """Reset the cursor onto ``epoch``'s permutation (step-at-a-time API).
+
+        For callers that drive steps individually (:meth:`train_step`)
+        instead of through :meth:`train_epoch` — the multi-tenant
+        scheduler interleaves many jobs' steps, so each job's epoch
+        lifecycle is managed from outside.
+        """
+        self.iterator.begin_epoch(epoch)
+        self.epoch_visited = []
+        self._epoch_losses = []
+        self._take_snapshot()
+
+    def train_step(self) -> float:
+        """One committed elastic step (recoverable); returns its mean loss.
+
+        The single-step half of :meth:`train_epoch`: call
+        :meth:`begin_epoch` first, then step while
+        ``iterator.has_next()``.  Raises ``RuntimeError`` while paused.
+        """
+        if self._paused:
+            raise RuntimeError("trainer is paused; resume() before stepping")
+        if not self.iterator.has_next():
+            raise ValueError("epoch exhausted; call begin_epoch first")
+        return self._step_with_recovery()
 
     def finish_epoch(self, max_steps: Optional[int] = None) -> float:
         """Continue the *current* epoch from the cursor to its end.

@@ -22,9 +22,11 @@ from repro.experiments.table3_bert import run_table3
 from repro.experiments.table4_bert_system import run_table4
 from repro.experiments.production import run_production_proxy
 from repro.experiments.elastic_recovery import run_elastic_recovery
+from repro.experiments.sched_study import run_sched_study
 
 __all__ = [
     "run_elastic_recovery",
+    "run_sched_study",
     "run_fig1",
     "run_fig2",
     "run_fig4",

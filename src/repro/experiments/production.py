@@ -11,17 +11,22 @@ hyperparameter change, within the same wall-clock-equivalent step
 budget.  The reproduced claim is the *ordering*: Adasum-at-4×-data ≥
 baseline accuracy, with scaling that plain Sum at 16 ranks does not
 deliver.
+
+``python -m repro.experiments.production [out.json]`` writes the result
+as JSON (``results/production_proxy.json`` is a checked-in run).
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Tuple
+import json
+import sys
+from typing import Dict, List, Tuple
 
 import numpy as np
 
 from repro import nn
-from repro.core import DistributedOptimizer, ReduceOpType
+from repro.core.config import RunConfig
 from repro.data import make_command_sequences, train_test_split
 from repro.models import TinyLSTMClassifier
 from repro.optim import SGD
@@ -47,17 +52,36 @@ class ProductionResult:
             ("Adasum improvement", f"{self.improvement * 100:.1f}%"),
         ]
 
+    def to_dict(self) -> Dict:
+        """JSON-ready form (floats rounded for byte-stable output)."""
+        return {
+            "schema": "production-proxy-v1",
+            "baseline_accuracy": round(self.baseline_accuracy, 9),
+            "adasum_4x_accuracy": round(self.adasum_4x_accuracy, 9),
+            "sum_4x_accuracy": round(self.sum_4x_accuracy, 9),
+            "improvement": round(self.improvement, 9),
+            "rows": [list(map(str, row)) for row in self.rows()],
+        }
+
+    def write_json(self, path) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
 
 def _train(method: str, ranks: int, lr: float, steps: int, microbatch: int,
            x_tr, y_tr, x_te, y_te, seed: int) -> float:
     model = TinyLSTMClassifier(rng=np.random.default_rng(seed))
-    op = ReduceOpType.SUM if method == "sum" else ReduceOpType.ADASUM
-    dopt = DistributedOptimizer(
-        model, lambda ps: SGD(ps, lr, momentum=0.9), num_ranks=ranks, op=op,
+    config = RunConfig(
+        op="sum" if method == "sum" else "adasum",
         adasum_pre_optimizer=method != "sum",
+        num_ranks=ranks,
+        microbatch=microbatch,
+        seed=seed,
     )
-    trainer = ParallelTrainer(
-        model, nn.CrossEntropyLoss(), dopt, x_tr, y_tr, microbatch=microbatch, seed=seed
+    trainer = ParallelTrainer.from_config(
+        model, nn.CrossEntropyLoss(), lambda ps: SGD(ps, lr, momentum=0.9),
+        x_tr, y_tr, config,
     )
     done = 0
     epoch = 0
@@ -90,3 +114,12 @@ def run_production_proxy(
         adasum_4x_accuracy=adasum4x,
         sum_4x_accuracy=sum4x,
     )
+
+
+if __name__ == "__main__":
+    result = run_production_proxy()
+    if len(sys.argv) > 1:
+        result.write_json(sys.argv[1])
+        print(f"wrote {sys.argv[1]}")
+    else:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))

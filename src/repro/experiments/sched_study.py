@@ -1,0 +1,77 @@
+"""Scheduling-policy study: rank loans vs kill-and-requeue.
+
+Runs the same deterministic submission trace through the multi-tenant
+control plane under three preemption policies and compares completion
+time and sample efficiency:
+
+* ``loans`` — victims shrink through ``ElasticTrainer``'s reshard path
+  (or pause if rigid) and grow back when the borrower finishes; no
+  training progress is ever discarded.
+* ``kill`` — the classic alternative: victims are killed, lose all
+  progress, and rejoin their tier's queue tail.
+* ``none`` — no preemption; high-priority arrivals wait for capacity.
+
+The reproduced claim mirrors the paper's §5.5 deployment story (many
+jobs sharing cluster capacity) combined with the elastic runtime:
+loan-based preemption serves high-priority arrivals as fast as killing
+does, while wasting zero samples — so pool goodput strictly dominates.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Tuple
+
+from repro.scheduler import Scheduler, generate_trace
+
+
+@dataclasses.dataclass
+class SchedStudyResult:
+    pool_size: int
+    n_jobs: int
+    seed: int
+    by_policy: Dict[str, Dict]  # policy -> sched-trace-v1 aggregate
+
+    def rows(self) -> List[Tuple]:
+        out = []
+        for policy, agg in self.by_policy.items():
+            tier_delays = agg["queue_delay"]["mean_by_tier"]
+            out.append((
+                policy,
+                agg["jobs"]["completed"],
+                f"{agg['makespan']['mean']:.3f}",
+                f"{tier_delays.get('2', float('nan')):.3f}",
+                f"{agg['goodput_samples_per_sec']:.0f}",
+                agg["wasted_samples"],
+                agg["preemptions"],
+                f"{agg['utilization']['active']:.3f}",
+            ))
+        return out
+
+    @property
+    def loan_goodput_gain(self) -> float:
+        """Relative goodput of loans over kill-and-requeue."""
+        loans = self.by_policy["loans"]["goodput_samples_per_sec"]
+        kill = self.by_policy["kill"]["goodput_samples_per_sec"]
+        return loans / max(kill, 1e-9) - 1.0
+
+
+def run_sched_study(
+    n_jobs: int = 120,
+    pool_size: int = 8,
+    seed: int = 0,
+    fast: bool = True,
+) -> SchedStudyResult:
+    """The same trace under ``loans`` / ``kill`` / ``none`` preemption."""
+    if not fast:
+        n_jobs *= 4
+    by_policy: Dict[str, Dict] = {}
+    for policy in ("loans", "kill", "none"):
+        specs = generate_trace(n_jobs=n_jobs, pool_size=pool_size, seed=seed)
+        with Scheduler(pool_size=pool_size, policy=policy) as sched:
+            sched.submit_all(specs)
+            payload = sched.run()
+        by_policy[policy] = payload["aggregate"]
+    return SchedStudyResult(
+        pool_size=pool_size, n_jobs=n_jobs, seed=seed, by_policy=by_policy
+    )

@@ -1,0 +1,40 @@
+"""Multi-tenant training-as-a-service control plane.
+
+Runs many concurrent training jobs — each its own frozen
+:class:`~repro.core.config.RunConfig` driving a real
+:class:`~repro.elastic.trainer.ElasticTrainer` — over a fixed shared
+rank pool, with priority admission, preemption via *rank loans*
+(shrink a victim N→M through the elastic reshard path, lend the freed
+ranks, grow it back when the loan returns), a deterministic trace-style
+load generator, and a metrics layer (``sched-trace-v1`` JSON).
+
+See ``docs/scheduler.md`` for the job lifecycle and loan state machine,
+and ``python -m repro serve`` for the CLI entry point.
+"""
+
+from repro.scheduler.job import WORKLOADS, Job, JobPhase, JobSpec, build_workload
+from repro.scheduler.ledger import Loan, RankLedger
+from repro.scheduler.loadgen import generate_trace
+from repro.scheduler.metrics import SCHEMA, aggregate, job_record, percentile, write_json
+from repro.scheduler.queue import AdmissionQueue
+from repro.scheduler.scheduler import POLICIES, Scheduler, StepCostModel
+
+__all__ = [
+    "AdmissionQueue",
+    "Job",
+    "JobPhase",
+    "JobSpec",
+    "Loan",
+    "POLICIES",
+    "RankLedger",
+    "SCHEMA",
+    "Scheduler",
+    "StepCostModel",
+    "WORKLOADS",
+    "aggregate",
+    "build_workload",
+    "generate_trace",
+    "job_record",
+    "percentile",
+    "write_json",
+]

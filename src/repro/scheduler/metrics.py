@@ -1,0 +1,161 @@
+"""Metrics layer for scheduler runs.
+
+Turns finished :class:`~repro.scheduler.job.Job` objects plus the
+:class:`~repro.scheduler.ledger.RankLedger` loan history into a
+deterministic JSON payload (schema ``sched-trace-v1``): one record per
+job, aggregate queueing/makespan/goodput/utilization statistics, and
+loan accounting.  All floats are rounded to 9 decimal places so the
+same run always serializes byte-identically.
+
+Definitions
+-----------
+queueing delay
+    ``first_admit − arrival``: time from submission to first rank grant.
+makespan
+    ``finish − arrival``: submission to completion, queueing included.
+goodput
+    Useful (never-discarded) samples per virtual second across the
+    whole pool; samples a kill-and-requeue policy throws away count
+    against it via ``wasted_samples``.
+utilization
+    ``active``: rank-seconds actually training / pool capacity.
+    ``allocated``: rank-seconds held by any job (incl. paused reserve).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from repro.scheduler.job import Job, JobPhase
+from repro.scheduler.ledger import Loan
+
+SCHEMA = "sched-trace-v1"
+
+
+def _r(x) -> float:
+    """Round for byte-stable JSON."""
+    return round(float(x), 9)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Deterministic linear-interpolation percentile of ``values``."""
+    vals = sorted(float(v) for v in values)
+    if not vals:
+        return float("nan")
+    if len(vals) == 1:
+        return vals[0]
+    pos = (len(vals) - 1) * (q / 100.0)
+    lo = int(pos)
+    hi = min(lo + 1, len(vals) - 1)
+    frac = pos - lo
+    return vals[lo] * (1.0 - frac) + vals[hi] * frac
+
+
+def job_record(job: Job) -> Dict:
+    """One job's metrics row."""
+    spec = job.spec
+    completed = job.phase is JobPhase.COMPLETED
+    queue_delay = (
+        job.first_admit_t - spec.arrival if job.first_admit_t is not None else None
+    )
+    makespan = job.finish_t - spec.arrival if job.finish_t is not None else None
+    return {
+        "name": spec.name,
+        "phase": job.phase.value,
+        "priority": spec.priority,
+        "model": spec.model,
+        "num_ranks": spec.config.num_ranks,
+        "min_ranks": spec.config.min_ranks,
+        "microbatch": spec.config.microbatch,
+        "op": spec.config.op,
+        "n_samples": spec.n_samples,
+        "epochs": spec.epochs,
+        "arrival": _r(spec.arrival),
+        "first_admit": _r(job.first_admit_t) if job.first_admit_t is not None else None,
+        "finish": _r(job.finish_t) if job.finish_t is not None else None,
+        "queue_delay": _r(queue_delay) if queue_delay is not None else None,
+        "makespan": _r(makespan) if makespan is not None else None,
+        "steps": job.steps_done,
+        "samples": job.samples_done,
+        "wasted_samples": job.wasted_samples,
+        "preemptions": job.preemptions,
+        "kills": job.kills,
+        "final_loss": _r(job.final_loss) if completed and job.final_loss is not None else None,
+        "reject_reason": job.reject_reason,
+    }
+
+
+def aggregate(
+    jobs: Sequence[Job],
+    loans: Sequence[Loan],
+    pool_size: int,
+    horizon: float,
+    active_area: float,
+    allocated_area: float,
+) -> Dict:
+    """Pool-level statistics over a finished run."""
+    completed = [j for j in jobs if j.phase is JobPhase.COMPLETED]
+    rejected = [j for j in jobs if j.phase is JobPhase.REJECTED]
+    delays = [
+        j.first_admit_t - j.spec.arrival
+        for j in completed
+        if j.first_admit_t is not None
+    ]
+    makespans = [
+        j.finish_t - j.spec.arrival for j in completed if j.finish_t is not None
+    ]
+    by_tier: Dict[int, List[float]] = {}
+    for j in completed:
+        if j.first_admit_t is not None:
+            by_tier.setdefault(j.spec.priority, []).append(
+                j.first_admit_t - j.spec.arrival
+            )
+    useful = sum(j.samples_done for j in completed)
+    wasted = sum(j.wasted_samples for j in jobs)
+    capacity = pool_size * horizon
+    return {
+        "jobs": {
+            "submitted": len(jobs),
+            "completed": len(completed),
+            "rejected": len(rejected),
+        },
+        "queue_delay": {
+            "mean": _r(sum(delays) / len(delays)) if delays else None,
+            "p50": _r(percentile(delays, 50)) if delays else None,
+            "p95": _r(percentile(delays, 95)) if delays else None,
+            "max": _r(max(delays)) if delays else None,
+            "mean_by_tier": {
+                str(tier): _r(sum(d) / len(d)) for tier, d in sorted(by_tier.items())
+            },
+        },
+        "makespan": {
+            "mean": _r(sum(makespans) / len(makespans)) if makespans else None,
+            "p95": _r(percentile(makespans, 95)) if makespans else None,
+        },
+        "goodput_samples_per_sec": _r(useful / horizon) if horizon > 0 else None,
+        "useful_samples": useful,
+        "wasted_samples": wasted,
+        "utilization": {
+            "active": _r(active_area / capacity) if capacity > 0 else None,
+            "allocated": _r(allocated_area / capacity) if capacity > 0 else None,
+        },
+        "preemptions": sum(j.preemptions for j in jobs),
+        "loans": {
+            "total": len(loans),
+            "shrink": sum(1 for l in loans if l.mode == "shrink"),
+            "pause": sum(1 for l in loans if l.mode == "pause"),
+            "outstanding": sum(1 for l in loans if l.active),
+            "returned_to_lender": sum(
+                1 for l in loans if l.returned_to == "lender"
+            ),
+            "returned_to_pool": sum(1 for l in loans if l.returned_to == "pool"),
+        },
+    }
+
+
+def write_json(path, payload: Dict) -> None:
+    """Serialize a metrics payload byte-stably (sorted keys, 2-space)."""
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")

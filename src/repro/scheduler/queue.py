@@ -1,0 +1,62 @@
+"""Admission queue: strict priority tiers, FIFO within each tier.
+
+Only *tier heads* are admissible — a job can never jump its tier's FIFO
+order — but a blocked head does not block *lower* tiers: the scheduler
+walks heads from the highest tier down and may backfill a smaller
+low-priority job behind a large high-priority one that cannot start yet
+(the high tier still wins every scan, so it runs as soon as capacity or
+preemption frees its ranks).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+
+class AdmissionQueue:
+    """FIFO deques keyed by priority tier (higher tier = more urgent)."""
+
+    def __init__(self):
+        self._tiers: Dict[int, Deque[str]] = {}
+
+    def push(self, name: str, priority: int) -> None:
+        self._tiers.setdefault(priority, deque()).append(name)
+
+    def heads(self) -> List[Tuple[int, str]]:
+        """``(priority, head_job)`` per non-empty tier, highest tier first."""
+        return [
+            (priority, self._tiers[priority][0])
+            for priority in sorted(self._tiers, reverse=True)
+            if self._tiers[priority]
+        ]
+
+    def pop_head(self, priority: int) -> str:
+        tier = self._tiers.get(priority)
+        if not tier:
+            raise KeyError(f"tier {priority} is empty")
+        name = tier.popleft()
+        if not tier:
+            del self._tiers[priority]
+        return name
+
+    def names(self) -> List[str]:
+        """All queued jobs, scan order (tier desc, FIFO within tier)."""
+        out: List[str] = []
+        for priority in sorted(self._tiers, reverse=True):
+            out.extend(self._tiers[priority])
+        return out
+
+    def position(self, name: str) -> Optional[int]:
+        """0-based scan position of ``name`` (None if not queued)."""
+        names = self.names()
+        return names.index(name) if name in names else None
+
+    def __len__(self) -> int:
+        return sum(len(tier) for tier in self._tiers.values())
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    def __contains__(self, name: str) -> bool:
+        return any(name in tier for tier in self._tiers.values())

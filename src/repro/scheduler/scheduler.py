@@ -1,0 +1,406 @@
+"""The training-as-a-service control plane.
+
+:class:`Scheduler` multiplexes many concurrent jobs — each its own
+frozen :class:`~repro.core.config.RunConfig` driving a real
+:class:`~repro.elastic.trainer.ElasticTrainer` — over a fixed shared
+rank pool, as a discrete-event simulation over *virtual* time:
+
+* **Events** live on a heap keyed ``(t, seq)``.  An ``arrival`` event
+  enqueues a job; a ``step`` event fires when one committed training
+  step *finishes* — the numeric step runs lazily at fire time, so a
+  preempted job's in-flight step simply never executes (its generation
+  ``token`` no longer matches) and its data cursor is untouched.
+* **Admission** walks queue heads from the highest priority tier down
+  (FIFO within tier).  A head that fits the free pool starts; a head
+  that does not may trigger **preemption** against strictly
+  lower-priority victims; lower tiers may backfill behind a blocked
+  head.
+* **Preemption via rank loans** (``policy="loans"``): victims —
+  lowest tier first, most recently admitted first — first *shrink*
+  through :meth:`ElasticTrainer.lend_ranks` (they keep training at
+  reduced width, exactly-once data semantics preserved across the
+  reshard), and only if shrinking cannot cover the shortfall are
+  victims *paused* outright (their surplus ranks idle in reserve, so
+  resume is bit-identical to never being preempted).  Each transfer is
+  a :class:`~repro.scheduler.ledger.Loan`; when the borrower finishes,
+  loans settle back to lenders, shrunk victims grow back via
+  :meth:`ElasticTrainer.reclaim_ranks`, and paused victims resume at
+  full width.
+* **Kill-and-requeue** (``policy="kill"``) is the classic alternative
+  the loans study compares against: victims lose all progress and
+  rejoin their tier's queue tail.
+
+Virtual step durations come from :class:`StepCostModel`; wall-clock
+never enters, so a trace run is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.scheduler.job import Job, JobPhase, JobSpec
+from repro.scheduler.ledger import Loan, RankLedger
+from repro.scheduler.metrics import SCHEMA, _r, aggregate, job_record
+from repro.scheduler.queue import AdmissionQueue
+
+POLICIES = ("loans", "kill", "none")
+
+
+class StepCostModel:
+    """Deterministic virtual seconds for one committed step.
+
+    ``overhead + per_sample·microbatch·scale + comm·⌈log₂ w⌉·scale``:
+    per-rank compute is parallel across the world (wider world → fewer
+    steps per epoch, same per-step compute), while the tree collective
+    deepens logarithmically with width.
+    """
+
+    def __init__(
+        self,
+        overhead: float = 1e-3,
+        per_sample: float = 2e-4,
+        comm: float = 5e-4,
+    ):
+        if min(overhead, per_sample, comm) < 0:
+            raise ValueError("cost-model coefficients must be >= 0")
+        self.overhead = overhead
+        self.per_sample = per_sample
+        self.comm = comm
+
+    def step_seconds(self, width: int, microbatch: int, cost_scale: float) -> float:
+        if width < 1:
+            raise ValueError("width must be >= 1")
+        hops = math.ceil(math.log2(width)) if width > 1 else 0
+        return (
+            self.overhead
+            + self.per_sample * microbatch * cost_scale
+            + self.comm * hops * cost_scale
+        )
+
+    def params(self) -> Dict[str, float]:
+        return {
+            "overhead": self.overhead,
+            "per_sample": self.per_sample,
+            "comm": self.comm,
+        }
+
+
+class Scheduler:
+    """Event-driven multi-job control plane over a shared rank pool."""
+
+    def __init__(
+        self,
+        pool_size: int = 8,
+        policy: str = "loans",
+        cost_model: Optional[StepCostModel] = None,
+    ):
+        if policy not in POLICIES:
+            raise ValueError(f"unknown policy {policy!r}; choose from {POLICIES}")
+        self.pool_size = pool_size
+        self.policy = policy
+        self.cost = cost_model or StepCostModel()
+        self.ledger = RankLedger(pool_size)
+        self.queue = AdmissionQueue()
+        self.jobs: Dict[str, Job] = {}
+        self.now = 0.0
+        self._events: List[Tuple[float, int, str, str, int]] = []
+        self._seq = 0
+        self._admit_seq = 0
+        self._last_t = 0.0
+        self._active_area = 0.0
+        self._alloc_area = 0.0
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, spec: JobSpec) -> Job:
+        if spec.name in self.jobs:
+            raise ValueError(f"duplicate job name {spec.name!r}")
+        job = Job(spec)
+        self.jobs[spec.name] = job
+        self._push(spec.arrival, "arrival", spec.name, job.token)
+        return job
+
+    def submit_all(self, specs: Sequence[JobSpec]) -> None:
+        for spec in specs:
+            self.submit(spec)
+
+    # ------------------------------------------------------------------
+    # Event loop
+    # ------------------------------------------------------------------
+    def _push(self, t: float, kind: str, name: str, token: int) -> None:
+        heapq.heappush(self._events, (t, self._seq, kind, name, token))
+        self._seq += 1
+
+    def run(self) -> Dict:
+        """Drain every event; returns the ``sched-trace-v1`` payload."""
+        while self._events:
+            t, _, kind, name, token = heapq.heappop(self._events)
+            self._integrate(t)
+            self.now = t
+            job = self.jobs[name]
+            if kind == "arrival":
+                self._handle_arrival(job)
+            elif token == job.token and job.phase in (
+                JobPhase.RUNNING,
+                JobPhase.SHRUNK,
+            ):
+                self._handle_step(job)
+        return self._finalize()
+
+    def _integrate(self, t: float) -> None:
+        """Accumulate rank-second areas up to ``t`` (utilization metrics)."""
+        dt = t - self._last_t
+        if dt > 0:
+            active = sum(
+                j.width
+                for j in self.jobs.values()
+                if j.phase in (JobPhase.RUNNING, JobPhase.SHRUNK)
+            )
+            self._active_area += active * dt
+            self._alloc_area += (self.pool_size - self.ledger.free_count) * dt
+        self._last_t = t
+
+    def _handle_arrival(self, job: Job) -> None:
+        try:
+            job.spec.config.validate_for_pool(self.pool_size)
+        except ValueError as exc:
+            job.phase = JobPhase.REJECTED
+            job.reject_reason = str(exc)
+            return
+        self.queue.push(job.name, job.spec.priority)
+        self._try_admit()
+
+    def _handle_step(self, job: Job) -> None:
+        job.run_step()
+        if job.done:
+            self._complete(job)
+            self._try_admit()
+        else:
+            self._schedule_step(job)
+
+    def _schedule_step(self, job: Job) -> None:
+        """Queue the completion event of the job's next step."""
+        job.token += 1
+        cost = self.cost.step_seconds(
+            job.width, job.spec.config.microbatch, job.spec.cost_scale
+        )
+        self._push(self.now + cost, "step", job.name, job.token)
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def _try_admit(self) -> None:
+        """Admit queue heads while any can start (capacity or preemption)."""
+        progressed = True
+        while progressed:
+            progressed = False
+            for priority, name in self.queue.heads():
+                job = self.jobs[name]
+                need = job.spec.config.num_ranks
+                if need <= self.ledger.free_count:
+                    self.queue.pop_head(priority)
+                    self._admit(job, [])
+                    progressed = True
+                    break
+                if self.policy != "none":
+                    shortfall = need - self.ledger.free_count
+                    plan = self._plan_preemption(job, shortfall)
+                    if plan is not None:
+                        self.queue.pop_head(priority)
+                        loans = self._execute_preemption(job, plan)
+                        self._admit(job, loans)
+                        progressed = True
+                        break
+                # This head cannot start; scan lower tiers (backfill).
+
+    def _admit(self, job: Job, loans: List[Loan]) -> None:
+        borrowed = sum(len(loan.ranks) for loan in loans)
+        need = job.spec.config.num_ranks - borrowed
+        if need > 0:
+            self.ledger.allocate(job.name, need)
+        job.borrowed.extend(loans)
+        if job.first_admit_t is None:
+            job.first_admit_t = self.now
+        job.admitted_seq = self._admit_seq
+        self._admit_seq += 1
+        job.start()
+        job.phase = JobPhase.RUNNING
+        self.ledger.check()
+        self._schedule_step(job)
+
+    def _complete(self, job: Job) -> None:
+        job.finish_t = self.now
+        job.phase = JobPhase.COMPLETED
+        for loan in list(job.borrowed):
+            self._settle(loan)
+        self.ledger.release_all(job.name)
+        job.close()
+        self.ledger.check()
+
+    # ------------------------------------------------------------------
+    # Preemption
+    # ------------------------------------------------------------------
+    def _victims_for(self, cand: Job) -> List[Job]:
+        """Preemptable jobs: strictly lower tier, not currently borrowing
+        (no loan chains), lowest tier first then most recently admitted."""
+        victims = [
+            j
+            for j in self.jobs.values()
+            if j.phase in (JobPhase.RUNNING, JobPhase.SHRUNK)
+            and j.spec.priority < cand.spec.priority
+            and not j.borrowed
+        ]
+        victims.sort(key=lambda j: (j.spec.priority, -j.admitted_seq, j.name))
+        return victims
+
+    def _plan_preemption(self, cand: Job, shortfall: int):
+        """A feasible victim plan covering ``shortfall`` ranks, or None.
+
+        Loans policy: each victim contributes ``("shrink", k)`` — at
+        most its width minus its ``min_ranks`` floor — and if shrinking
+        every victim still falls short, victims escalate (in order) to
+        ``("pause", k)``, which frees their whole width.  Kill policy:
+        victims contribute their whole width, destructively.
+        """
+        victims = self._victims_for(cand)
+        if not victims:
+            return None
+        remaining = shortfall
+        if self.policy == "kill":
+            plan = []
+            for v in victims:
+                plan.append((v, "kill", v.width))
+                remaining -= v.width
+                if remaining <= 0:
+                    return plan
+            return None
+        contributions: Dict[str, Tuple[Job, str, int]] = {}
+        order: List[str] = []
+        for v in victims:
+            floor = max(1, v.spec.config.min_ranks)
+            k = min(remaining, v.width - floor)
+            if k > 0:
+                contributions[v.name] = (v, "shrink", k)
+                order.append(v.name)
+                remaining -= k
+            if remaining == 0:
+                break
+        if remaining > 0:
+            for v in victims:
+                _, _, k = contributions.get(v.name, (v, "shrink", 0))
+                extra = v.width - k  # pausing frees the rest of its width
+                if extra <= 0:
+                    continue
+                take = min(remaining, extra)
+                if v.name not in contributions:
+                    order.append(v.name)
+                contributions[v.name] = (v, "pause", k + take)
+                remaining -= take
+                if remaining == 0:
+                    break
+        if remaining > 0:
+            return None
+        return [contributions[name] for name in order]
+
+    def _execute_preemption(self, cand: Job, plan) -> List[Loan]:
+        loans: List[Loan] = []
+        for victim, mode, count in plan:
+            victim.preemptions += 1
+            if mode == "kill":
+                victim.kill()
+                self.ledger.release_all(victim.name)
+                victim.phase = JobPhase.QUEUED
+                victim.token += 1  # cancel its in-flight step event
+                self.queue.push(victim.name, victim.spec.priority)
+                continue
+            if mode == "shrink":
+                victim.trainer.lend_ranks(count)
+                loan = self.ledger.lend(
+                    victim.name, cand.name, count, "shrink", self.now
+                )
+                victim.phase = JobPhase.SHRUNK
+                self._schedule_step(victim)  # restart its step at new width
+            else:  # pause
+                victim.trainer.pause()
+                loan = self.ledger.lend(
+                    victim.name, cand.name, count, "pause", self.now
+                )
+                victim.phase = JobPhase.PAUSED
+                victim.token += 1  # cancel its in-flight step event
+            victim.loans_out.append(loan)
+            loans.append(loan)
+        self.ledger.check()
+        return loans
+
+    # ------------------------------------------------------------------
+    # Loan settlement
+    # ------------------------------------------------------------------
+    def _settle(self, loan: Loan) -> None:
+        lender = self.jobs[loan.lender]
+        borrower = self.jobs[loan.borrower]
+        lender_active = lender.phase in (
+            JobPhase.RUNNING,
+            JobPhase.SHRUNK,
+            JobPhase.PAUSED,
+        )
+        self.ledger.settle(loan, self.now, to_lender=lender_active)
+        if loan in lender.loans_out:
+            lender.loans_out.remove(loan)
+        if loan in borrower.borrowed:
+            borrower.borrowed.remove(loan)
+        if not lender_active:
+            return  # lender finished (or was killed) shrunk; ranks → pool
+        if loan.mode == "shrink" and lender.phase is not JobPhase.PAUSED:
+            lender.trainer.reclaim_ranks(len(loan.ranks))
+            if not lender.loans_out:
+                lender.phase = JobPhase.RUNNING
+            self._schedule_step(lender)  # width changed; re-time its step
+        elif lender.phase is JobPhase.PAUSED and not lender.loans_out:
+            # Last loan home: resume, reclaiming any shrink-loan returns
+            # that were deferred while execution was down.
+            lender.trainer.resume()
+            if lender.trainer.membership.loaned:
+                lender.trainer.reclaim_ranks()
+            lender.phase = JobPhase.RUNNING
+            self._schedule_step(lender)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def _finalize(self) -> Dict:
+        self.ledger.check()
+        horizon = self.now
+        jobs = [self.jobs[name] for name in sorted(self.jobs)]
+        payload = {
+            "schema": SCHEMA,
+            "meta": {
+                "pool_size": self.pool_size,
+                "policy": self.policy,
+                "cost_model": {k: _r(v) for k, v in self.cost.params().items()},
+                "horizon": _r(horizon),
+            },
+            "aggregate": aggregate(
+                jobs,
+                self.ledger.loans,
+                self.pool_size,
+                horizon,
+                self._active_area,
+                self._alloc_area,
+            ),
+            "jobs": [job_record(j) for j in jobs],
+        }
+        return payload
+
+    def close(self) -> None:
+        """Tear down any still-live trainers (abandoned runs)."""
+        for job in self.jobs.values():
+            job.close()
+
+    def __enter__(self) -> "Scheduler":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

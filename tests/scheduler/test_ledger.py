@@ -1,0 +1,93 @@
+"""RankLedger conservation, loans, and settlement."""
+
+import pytest
+
+from repro.scheduler import RankLedger
+
+
+class TestAllocation:
+    def test_allocate_lowest_free_first(self):
+        led = RankLedger(8)
+        assert led.allocate("a", 3) == [0, 1, 2]
+        assert led.allocate("b", 2) == [3, 4]
+        assert led.free_count == 3
+        led.check()
+
+    def test_release_returns_to_pool(self):
+        led = RankLedger(4)
+        led.allocate("a", 4)
+        assert led.release_all("a") == [0, 1, 2, 3]
+        assert led.free_count == 4
+        led.check()
+
+    def test_over_allocation_rejected(self):
+        led = RankLedger(2)
+        with pytest.raises(ValueError):
+            led.allocate("a", 3)
+
+    def test_released_ranks_are_reused(self):
+        led = RankLedger(4)
+        led.allocate("a", 4)
+        led.release_all("a")
+        assert led.allocate("b", 2) == [0, 1]
+        led.check()
+
+
+class TestLoans:
+    def test_lend_moves_highest_held(self):
+        led = RankLedger(8)
+        led.allocate("victim", 6)
+        loan = led.lend("victim", "urgent", 2, "shrink", t=1.0)
+        assert loan.ranks == (4, 5)
+        assert led.held("victim") == [0, 1, 2, 3]
+        assert led.held("urgent") == [4, 5]
+        assert loan.active
+        led.check()
+
+    def test_settle_to_lender(self):
+        led = RankLedger(8)
+        led.allocate("victim", 6)
+        loan = led.lend("victim", "urgent", 2, "shrink", t=1.0)
+        assert led.settle(loan, t=2.0, to_lender=True) == [4, 5]
+        assert led.held("victim") == [0, 1, 2, 3, 4, 5]
+        assert led.held("urgent") == []
+        assert not loan.active
+        assert loan.returned_to == "lender"
+        led.check()
+
+    def test_settle_to_pool_when_lender_gone(self):
+        led = RankLedger(8)
+        led.allocate("victim", 6)
+        loan = led.lend("victim", "urgent", 2, "pause", t=1.0)
+        led.release_all("victim")
+        led.settle(loan, t=2.0, to_lender=False)
+        assert loan.returned_to == "pool"
+        assert led.free_count == 8
+        led.check()
+
+    def test_double_settle_rejected(self):
+        led = RankLedger(4)
+        led.allocate("a", 4)
+        loan = led.lend("a", "b", 1, "shrink", t=0.0)
+        led.settle(loan, t=1.0, to_lender=True)
+        with pytest.raises(ValueError):
+            led.settle(loan, t=2.0, to_lender=True)
+
+    def test_cannot_lend_more_than_held(self):
+        led = RankLedger(4)
+        led.allocate("a", 2)
+        with pytest.raises(ValueError):
+            led.lend("a", "b", 3, "shrink", t=0.0)
+
+    def test_unknown_mode_rejected(self):
+        led = RankLedger(4)
+        led.allocate("a", 2)
+        with pytest.raises(ValueError):
+            led.lend("a", "b", 1, "steal", t=0.0)
+
+    def test_check_detects_corruption(self):
+        led = RankLedger(4)
+        led.allocate("a", 2)
+        led._free.append(99)
+        with pytest.raises(RuntimeError):
+            led.check()

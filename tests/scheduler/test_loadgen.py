@@ -1,0 +1,40 @@
+"""Load generator: determinism, admissibility, and mix coverage."""
+
+from repro.scheduler import generate_trace
+
+
+class TestGenerateTrace:
+    def test_same_seed_same_trace(self):
+        a = generate_trace(n_jobs=50, seed=3)
+        b = generate_trace(n_jobs=50, seed=3)
+        assert a == b
+
+    def test_different_seed_different_trace(self):
+        a = generate_trace(n_jobs=50, seed=3)
+        b = generate_trace(n_jobs=50, seed=4)
+        assert a != b
+
+    def test_arrivals_monotone_and_named_uniquely(self):
+        specs = generate_trace(n_jobs=80, seed=0)
+        arrivals = [s.arrival for s in specs]
+        assert arrivals == sorted(arrivals)
+        assert len({s.name for s in specs}) == len(specs)
+
+    def test_every_spec_fits_the_pool(self):
+        pool = 8
+        for spec in generate_trace(n_jobs=100, pool_size=pool, seed=1):
+            spec.config.validate_for_pool(pool)
+
+    def test_mix_covers_priorities_sizes_and_rigidity(self):
+        specs = generate_trace(n_jobs=200, seed=0)
+        priorities = {s.priority for s in specs}
+        widths = {s.config.num_ranks for s in specs}
+        assert len(priorities) >= 2
+        assert len(widths) >= 3
+        assert any(s.config.min_ranks == s.config.num_ranks > 1 for s in specs)
+        assert any(s.config.min_ranks == 1 for s in specs)
+
+    def test_bursts_produce_simultaneous_arrivals(self):
+        specs = generate_trace(n_jobs=300, seed=0, burst_prob=0.5)
+        arrivals = [s.arrival for s in specs]
+        assert len(set(arrivals)) < len(arrivals)

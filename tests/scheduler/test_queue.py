@@ -1,0 +1,45 @@
+"""AdmissionQueue: tier ordering, FIFO-within-tier, head discipline."""
+
+import pytest
+
+from repro.scheduler import AdmissionQueue
+
+
+class TestAdmissionQueue:
+    def test_heads_ordered_highest_tier_first(self):
+        q = AdmissionQueue()
+        q.push("low", 0)
+        q.push("high", 2)
+        q.push("mid", 1)
+        assert q.heads() == [(2, "high"), (1, "mid"), (0, "low")]
+
+    def test_fifo_within_tier(self):
+        q = AdmissionQueue()
+        q.push("first", 1)
+        q.push("second", 1)
+        assert q.heads() == [(1, "first")]
+        assert q.pop_head(1) == "first"
+        assert q.heads() == [(1, "second")]
+
+    def test_scan_order(self):
+        q = AdmissionQueue()
+        for name, tier in (("a", 0), ("b", 2), ("c", 0), ("d", 2)):
+            q.push(name, tier)
+        assert q.names() == ["b", "d", "a", "c"]
+        assert q.position("a") == 2
+        assert q.position("missing") is None
+
+    def test_pop_empty_tier_raises(self):
+        q = AdmissionQueue()
+        with pytest.raises(KeyError):
+            q.pop_head(0)
+
+    def test_len_and_contains(self):
+        q = AdmissionQueue()
+        assert not q
+        q.push("a", 0)
+        q.push("b", 3)
+        assert len(q) == 2
+        assert "a" in q and "b" in q and "c" not in q
+        q.pop_head(3)
+        assert len(q) == 1
