@@ -31,6 +31,16 @@ unless ``--out`` is given explicitly.
 threaded backend by ``--proc-speedup`` (default 1.2x) at 4 ranks on
 LeNet; it auto-skips on single-core hosts, where one OS process per
 rank cannot outrun anything.
+``--reduce-guard`` requires the worker-parallel in-shm tree reduce
+(``reduce_mode="workers"``) to beat the parent-driven reduce by
+``--reduce-speedup`` (default 1.3x) on the 8-rank MiniBERT reduce
+phase; it auto-skips on hosts with fewer than 8 cores, where the
+eight rank workers cannot actually combine concurrently.
+
+Trainer-backed ops additionally report ``compute_s``/``reduce_s`` —
+the per-step mean of each phase, from the trainer's phase timers — so
+a snapshot shows *where* a train-step op spends its time, not just the
+total.
 """
 
 from __future__ import annotations
@@ -73,12 +83,18 @@ _TRAINER_MODES = {
     "parallel": {"execution": "threads"},
     "overlap": {"overlap": True, "bucket_cap_mb": 0.01},
     "procs": {"execution": "processes"},
+    "procs_workers": {"execution": "processes", "reduce_mode": "workers"},
 }
 
 # Trainers whose teardown matters (the process backend owns worker
 # processes and /dev/shm segments) register a close here; main() drains
 # it after each op so pools don't linger and skew later measurements.
 _CLEANUPS = []
+
+# Trainers built for the op being timed; main() reads their phase
+# timers (compute vs reduce split) into the op's result row, then
+# clears the list alongside _CLEANUPS.
+_PHASE_TRAINERS = []
 
 
 def _lenet_trainer(mode: str, num_ranks: int = 4):
@@ -93,6 +109,7 @@ def _lenet_trainer(mode: str, num_ranks: int = 4):
     trainer = ParallelTrainer(model, nn.CrossEntropyLoss(), dopt, x, y,
                               microbatch=8, **_TRAINER_MODES[mode])
     _CLEANUPS.append(trainer.close)
+    _PHASE_TRAINERS.append(trainer)
     indices = next(iter(trainer.iterator.epoch(0)))[1]
     return trainer, indices
 
@@ -109,6 +126,7 @@ def _minibert_trainer(mode: str, num_ranks: int = 4):
     trainer = ParallelTrainer(model, nn.CrossEntropyLoss(), dopt, x, y,
                               microbatch=8, **_TRAINER_MODES[mode])
     _CLEANUPS.append(trainer.close)
+    _PHASE_TRAINERS.append(trainer)
     indices = next(iter(trainer.iterator.epoch(0)))[1]
     return trainer, indices
 
@@ -245,6 +263,13 @@ def build_ops():
         ("minibert_train_step_r4_parallel", train_step_setup(_minibert_trainer, "parallel")),
         ("minibert_train_step_r4_overlap", train_step_setup(_minibert_trainer, "overlap")),
         ("minibert_step_procs_4", train_step_setup(_minibert_trainer, "procs", 4)),
+        # The 8-rank reduce-phase pair: identical compute, identical
+        # model; only who runs the combines differs.  Their reduce_s
+        # sub-timings are what --reduce-guard compares.
+        ("reduce_phase_procs_8r_parent",
+         train_step_setup(_minibert_trainer, "procs", 8)),
+        ("reduce_phase_procs_8r",
+         train_step_setup(_minibert_trainer, "procs_workers", 8)),
         ("elastic_step_8r", elastic_step_setup),
         ("elastic_recovery_8to7", elastic_recovery_setup),
         ("sched_goodput_pool8", sched_goodput_setup),
@@ -299,13 +324,24 @@ def main(argv=None) -> int:
                         help="required threads/procs mean ratio for "
                              "--proc-guard (1.2 = procs at least 1.2x "
                              "faster than threads)")
+    parser.add_argument("--reduce-guard", action="store_true",
+                        help="require the worker-parallel reduce to beat the "
+                             "parent-driven reduce by --reduce-speedup on the "
+                             "8-rank MiniBERT reduce phase; auto-skipped on "
+                             "hosts with fewer than 8 cores, where 8 rank "
+                             "workers cannot combine concurrently")
+    parser.add_argument("--reduce-speedup", type=float, default=1.3,
+                        help="required parent/workers reduce_s ratio for "
+                             "--reduce-guard (1.3 = workers at least 1.3x "
+                             "faster than the parent reduce)")
     args = parser.parse_args(argv)
 
     root = pathlib.Path(__file__).resolve().parent.parent
     out_path = pathlib.Path(args.out) if args.out else root / "results" / "BENCH_PR2.json"
     # Guard-only invocations (compare / proc-guard) are read-only unless
     # an output path is asked for explicitly.
-    write_output = ((args.compare is None and not args.proc_guard)
+    write_output = ((args.compare is None and not args.proc_guard
+                     and not args.reduce_guard)
                     or args.out is not None)
 
     try:  # hot-loop temporaries should not churn mmap (see docs/performance.md)
@@ -333,7 +369,17 @@ def main(argv=None) -> int:
         mean, stddev, n = bench_op(thunk, per_op_budget)
         results[name] = {"mean_ms": round(mean, 4), "stddev_ms": round(stddev, 4),
                          "rounds": n}
-        print(f"  {name}: {mean:.3f} ms ± {stddev:.3f} ({n} rounds)")
+        phase_line = ""
+        while _PHASE_TRAINERS:
+            trainer = _PHASE_TRAINERS.pop()
+            steps = getattr(trainer, "phase_steps", 0)
+            if steps:  # overlap owns its own step loop and is untimed
+                phases = trainer.phase_seconds
+                results[name]["compute_s"] = round(phases["compute"] / steps, 6)
+                results[name]["reduce_s"] = round(phases["reduce"] / steps, 6)
+                phase_line = (f" [compute {results[name]['compute_s'] * 1e3:.3f}"
+                              f" / reduce {results[name]['reduce_s'] * 1e3:.3f} ms]")
+        print(f"  {name}: {mean:.3f} ms ± {stddev:.3f} ({n} rounds){phase_line}")
         while _CLEANUPS:  # tear down worker pools / shm before the next op
             _CLEANUPS.pop()()
 
@@ -411,6 +457,35 @@ def main(argv=None) -> int:
                 print(f"FAIL: process backend only {ratio:.2f}x vs threads "
                       f"at 4 ranks (required {args.proc_speedup:.2f}x)",
                       file=sys.stderr)
+                return 1
+
+    if args.reduce_guard:
+        cpus = os.cpu_count() or 1
+        if cpus < 8:
+            print(f"reduce guard SKIPPED: only {cpus} CPU(s) visible — the "
+                  "8 rank workers cannot run pair combines concurrently "
+                  "without 8 cores (guard enforces on multicore CI runners)")
+        else:
+            parent_op = "reduce_phase_procs_8r_parent"
+            workers_op = "reduce_phase_procs_8r"
+            missing = [op for op in (parent_op, workers_op)
+                       if "reduce_s" not in results.get(op, {})]
+            if missing:
+                print(f"reduce guard: missing reduce_s for {missing} (add "
+                      "them via --ops or run the full suite)", file=sys.stderr)
+                return 2
+            parent_s = results[parent_op]["reduce_s"]
+            workers_s = results[workers_op]["reduce_s"]
+            ratio = parent_s / workers_s
+            verdict = "ok" if ratio >= args.reduce_speedup else "FAIL"
+            print(f"reduce guard ({cpus} CPUs, 8 ranks, MiniBERT): parent "
+                  f"reduce {parent_s * 1e3:.3f} ms / workers "
+                  f"{workers_s * 1e3:.3f} ms = {ratio:.2f}x "
+                  f"(need >= {args.reduce_speedup:.2f}x) {verdict}")
+            if ratio < args.reduce_speedup:
+                print(f"FAIL: worker-parallel reduce only {ratio:.2f}x vs "
+                      f"the parent reduce at 8 ranks (required "
+                      f"{args.reduce_speedup:.2f}x)", file=sys.stderr)
                 return 1
     return 0
 

@@ -909,7 +909,13 @@ class ProcessTransport:
             proc.join(timeout=5.0)
 
     # ------------------------------------------------------------------
-    def call(self, payloads: Sequence[Any], ranks: Optional[Sequence[int]] = None) -> List[Any]:
+    def call(
+        self,
+        payloads: Sequence[Any],
+        ranks: Optional[Sequence[int]] = None,
+        op: str = "step",
+        consult: Optional[Sequence[int]] = None,
+    ) -> List[Any]:
         """One parallel round: dispatch ``payloads[i]`` to ``ranks[i]``,
         collect every reply in rank order under a shared deadline.
 
@@ -917,6 +923,18 @@ class ProcessTransport:
         terminates that worker's OS process first, so the round fails
         exactly the way a real dead rank would — the collect raises
         :class:`CommError` with structured ``rank_errors``.
+
+        ``op`` labels the round for fault accounting and error messages
+        (the worker-parallel reduce uses ``"combine"``); the fault
+        plan's per-rank op counter advances regardless of the label, so
+        a kill scheduled ``after_ops=k`` lands on a rank's ``k``-th
+        round whether that round is a compute step or a combine level.
+        ``consult`` lists additional participant ranks that receive no
+        payload this round (e.g. the passive source side of an in-place
+        pair combine) but still advance their fault counters — a due
+        kill there also terminates the worker and fails the round, so
+        "rank died while its peer read its row" surfaces as the same
+        structured error as any other dead rank.
         """
         if self._closed:
             raise CommError("ProcessTransport is shut down")
@@ -924,11 +942,22 @@ class ProcessTransport:
         if len(ranks) != len(payloads):
             raise ValueError(f"{len(payloads)} payloads for {len(ranks)} ranks")
         killed: Dict[int, BaseException] = {}
+        targets = set(ranks)
+        for rank in consult or ():
+            if rank in targets or self.faults is None:
+                continue
+            self._ops_dispatched[rank] += 1
+            try:
+                self.faults.on_op(rank, op, 0.0)
+            except RankKilledError as exc:
+                exc.rank = rank
+                self._kill_worker(rank)
+                killed[rank] = exc
         for rank, payload in zip(ranks, payloads):
             if self.faults is not None:
                 self._ops_dispatched[rank] += 1
                 try:
-                    self.faults.on_op(rank, "dispatch", 0.0)
+                    self.faults.on_op(rank, op, 0.0)
                 except RankKilledError as exc:
                     exc.rank = rank
                     self._kill_worker(rank)
@@ -943,7 +972,7 @@ class ProcessTransport:
                 results.append(None)
                 continue
             try:
-                results.append(self._collect_one(rank, deadline))
+                results.append(self._collect_one(rank, deadline, op=op))
             except CommError as exc:
                 errors.update(exc.rank_errors or {rank: exc})
                 results.append(None)

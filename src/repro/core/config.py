@@ -114,6 +114,7 @@ class RunConfig:
     overlap: bool = False
     parallel_ranks: bool = False
     execution: str = "serial"
+    reduce_mode: str = "parent"
     num_ranks: int = 1
     microbatch: int = 1
     seed: int = 0
@@ -169,6 +170,29 @@ class RunConfig:
         # Keep the legacy field readable: True exactly when the resolved
         # backend is the threaded one, so old call sites see the truth.
         object.__setattr__(self, "parallel_ranks", execution == "threads")
+        if self.reduce_mode not in ("parent", "workers"):
+            raise ValueError(
+                f"reduce_mode must be 'parent' or 'workers', got "
+                f"{self.reduce_mode!r}"
+            )
+        if self.reduce_mode == "workers":
+            if execution != "processes":
+                raise ValueError(
+                    "reduce_mode='workers' requires execution='processes': "
+                    "only worker processes can run pair combines in "
+                    "parallel over shared memory"
+                )
+            if self.topology == "rvh":
+                raise ValueError(
+                    "the 'rvh' topology has no pair-combine schedule "
+                    "(it distributes partial dot products); use "
+                    "reduce_mode='parent'"
+                )
+            if self.fp16:
+                raise ValueError(
+                    "reduce_mode='workers' is incompatible with the legacy "
+                    "fp16 dict codec (fp16=True); use wire_dtype='fp16'"
+                )
 
     # -- derived views -------------------------------------------------
     @property

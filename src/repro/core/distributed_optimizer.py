@@ -235,7 +235,7 @@ class DistributedOptimizer:
         else:
             self._step_pre_optimizer(grad_dicts)
 
-    def step_arena(self, arena) -> None:
+    def step_arena(self, arena, reduce_fn=None) -> None:
         """Apply one distributed update from a filled :class:`GradientArena`.
 
         The flat-buffer equivalent of :meth:`step`: per-rank gradients
@@ -243,12 +243,24 @@ class DistributedOptimizer:
         kernels over them — bit-identical results, no per-layer dict
         temporaries.  The fp16 wire format still flows through the dict
         codec, so that mode falls back to per-layer views.
+
+        ``reduce_fn(arena) -> flat buffer`` swaps out *who reduces* the
+        prepared rows (the process backend's worker-parallel tree reduce
+        plugs in here) while the wire rewrite and apply halves stay
+        identical — the skip/fp16/post-optimizer bookkeeping is shared
+        whatever runs phase 2.  The fp16 dict fallback would silently
+        bypass a custom reducer, so it is rejected.
         """
         if arena.num_ranks != self.num_ranks:
             raise ValueError(
                 f"expected a {self.num_ranks}-rank arena, got {arena.num_ranks}"
             )
         if self.fp16:
+            if reduce_fn is not None:
+                raise ValueError(
+                    "fp16=True falls back to the dict codec path, which "
+                    "cannot honor a custom reduce_fn; use wire_dtype='fp16'"
+                )
             # Views are zero-copy; the codec allocates fresh encoded
             # tensors anyway, so nothing is lost falling back here.
             self.step([arena.views(r) for r in range(self.num_ranks)])
@@ -256,7 +268,10 @@ class DistributedOptimizer:
         ctx = self.prepare_wire_arena(arena)
         if ctx["skip"]:
             return
-        combined = self.reducer.reduce_arena(arena)
+        if reduce_fn is None:
+            combined = self.reducer.reduce_arena(arena)
+        else:
+            combined = reduce_fn(arena)
         self.apply_reduced_flat(combined, arena, ctx)
 
     def _communicate(self, dicts):

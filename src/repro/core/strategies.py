@@ -28,9 +28,12 @@ property-tested in ``tests/core/test_strategies.py``):
 * every pairwise Adasum result rounds through the storage dtype before
   the next level re-widens it, and all dots/norms accumulate in
   float64 (:mod:`repro.core.operator`);
-* single-element layers re-sum from a contiguous copy so NumPy's
-  pairwise summation matches the dict stacking order
-  (:func:`_flat_sum`);
+* ``sum`` / ``average`` run the same power-of-two-block pairwise tree
+  as Adasum (:func:`pair_schedule`), with each pair combined by a
+  correctly-rounded storage-dtype add — so a level-by-level replay of
+  ``combine_pair`` over arena rows (the worker-parallel reduce of the
+  process backend) reproduces ``combine_flat`` byte for byte for every
+  op (property-tested in ``tests/core/test_pairwise_properties.py``);
 * ``ring`` is the distributed execution of the same left fold as
   ``linear`` — in-process the two cells share one kernel;
 * ``rvh`` distributes the per-layer dot products (partial dots finished
@@ -43,6 +46,7 @@ file and calling :func:`register_strategy` — see docs/architecture.md.
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
@@ -82,23 +86,70 @@ def _check_consistent(grad_dicts: Sequence[Mapping[str, np.ndarray]]) -> List[st
     return names
 
 
-def _flat_sum(data: np.ndarray, boundaries: Sequence[int] = None) -> np.ndarray:
-    """Float64 axis-0 sum of flat rows, bit-exact with the dict path.
+#: Cache of tree-combine schedules; n is small (world sizes) and the
+#: schedule for a given n never changes.
+_TREE_LEVELS_CACHE: Dict[int, Tuple[Tuple[Tuple[int, int], ...], ...]] = {}
 
-    One subtlety: for a single-element layer the dict path sums a
-    contiguous ``(ranks, 1)`` stack, where NumPy applies pairwise
-    summation instead of the row-sequential order used for wider
-    layers.  Those columns are re-summed from a contiguous copy so the
-    association matches exactly.
+
+def pair_schedule(n: int) -> List[List[Tuple[int, int]]]:
+    """The power-of-two-block tree combine schedule over ``n`` positions.
+
+    Returns a list of *levels*; each level is a list of independent
+    ``(dst, src)`` pairs meaning "position ``dst`` absorbs position
+    ``src``".  Pairs within a level touch disjoint positions, so they
+    can run concurrently (the worker-parallel reduce of the process
+    backend); levels are barriers.  After the last level, position 0
+    holds the combined result.
+
+    The shape mirrors :func:`~repro.core.operator.adasum_tree_any`:
+    power-of-two spans pair adjacent survivors level by level, and a
+    non-power-of-two span splits at the largest power of two below
+    ``n``, combining the two block roots once both blocks finish.  For
+    example ``n=8`` gives ``[(0,1),(2,3),(4,5),(6,7)] / [(0,2),(4,6)] /
+    [(0,4)]`` and ``n=6`` gives ``[(0,1),(2,3),(4,5)] / [(0,2)] /
+    [(0,4)]``.
     """
-    total = np.sum(data, axis=0, dtype=np.float64)
-    if boundaries is not None:
-        for lo, hi in zip(boundaries[:-1], boundaries[1:]):
-            if hi - lo == 1:
-                total[lo] = np.sum(
-                    np.ascontiguousarray(data[:, lo]), dtype=np.float64
-                )
-    return total
+    if n < 1:
+        raise ValueError(f"need at least one position, got {n}")
+    cached = _TREE_LEVELS_CACHE.get(n)
+    if cached is None:
+        levels: List[List[Tuple[int, int]]] = []
+
+        def rec(lo: int, span: int) -> int:
+            if span == 1:
+                return 0
+            p = largest_pow2_below(span)  # = span // 2 for powers of two
+            depth = max(rec(lo, p), rec(lo + p, span - p))
+            while len(levels) <= depth:
+                levels.append([])
+            levels[depth].append((lo, lo + p))
+            return depth + 1
+
+        rec(0, n)
+        cached = tuple(tuple(level) for level in levels)
+        _TREE_LEVELS_CACHE[n] = cached
+    return [list(level) for level in cached]
+
+
+def _flat_sum(data: np.ndarray, boundaries: Sequence[int] = None) -> np.ndarray:
+    """Pairwise-tree axis-0 sum of flat rows, in the storage dtype.
+
+    Replays :func:`pair_schedule` with one correctly-rounded
+    storage-dtype add per pair — exactly the arithmetic a worker's
+    ``combine_pair`` performs on its peer's arena row, so the parent
+    kernel and the worker-parallel tree reduce agree byte for byte.
+    ``boundaries`` is accepted for signature compatibility but ignored:
+    the kernel is elementwise, so per-layer and whole-model sums are
+    identical.
+    """
+    del boundaries  # elementwise: layer structure cannot matter
+    if data.shape[0] == 1:
+        return data[0].copy()
+    work = data.copy()
+    for level in pair_schedule(data.shape[0]):
+        for dst, src in level:
+            np.add(work[dst], work[src], out=work[dst])
+    return work[0]
 
 
 # ----------------------------------------------------------------------
@@ -186,6 +237,43 @@ class ReduceStrategy:
             f"strategy ({self.op!r}, {self.topology!r}) has no cluster-"
             f"collective form"
         )
+
+    # -- worker-parallel schedule form ---------------------------------
+    def pair_schedule(self, n: int) -> Optional[List[List[Tuple[int, int, str]]]]:
+        """The level-ordered pair-combine schedule over ``n`` positions.
+
+        Returns levels of ``(dst, src, kind)`` triples such that
+        replaying them with :meth:`pair_combine` (then
+        :meth:`finalize_pair` on position 0) reproduces
+        :meth:`combine_flat` byte for byte, or ``None`` when this cell
+        has no schedule form (``rvh`` distributes partial dot products
+        and cannot be expressed as independent pair combines).  ``kind``
+        selects the per-pair arithmetic for mixed-op topologies
+        (``hierarchical``: intra-node ``"local"`` sums feeding
+        cross-node ``"pair"`` Adasum); uniform cells use ``"pair"``.
+        """
+        return None
+
+    def pair_combine(
+        self,
+        kind: str,
+        acc: np.ndarray,
+        other: np.ndarray,
+        boundaries: Sequence[int] = None,
+        out: np.ndarray = None,
+    ) -> np.ndarray:
+        """One scheduled hop of ``kind``; defaults to :meth:`combine_pair`."""
+        del kind
+        return self.combine_pair(acc, other, boundaries, out=out)
+
+    def finalize_pair(self, acc: np.ndarray, n: int) -> np.ndarray:
+        """Post-schedule fixup on the root row (in place when possible).
+
+        Intermediate ``average`` hops are partial sums; the root divides
+        by the participant count here.  Every other op is a no-op.
+        """
+        del n
+        return acc
 
     # -- parameterization ----------------------------------------------
     def bind(self, **params) -> "ReduceStrategy":
@@ -289,8 +377,16 @@ def reduce_dicts(
 # Concrete strategies
 # ----------------------------------------------------------------------
 class _SumStrategy(ReduceStrategy):
-    """Plain float64-accumulated sum; elementwise, so every topology
-    produces identical bits and all five cells share this kernel."""
+    """Pairwise-tree sum; elementwise, so every topology produces
+    identical bits and all five cells share this kernel.
+
+    Each pair combines with one storage-dtype add.  Widening a single
+    add to float64 and rounding back is the identical bit pattern (the
+    double-rounding bound: 53 >= 2*24 + 2), so the kernel loses nothing
+    vs float64 pair accumulation while staying replayable as
+    independent in-place ``combine_pair`` hops by the process backend's
+    worker-parallel reduce.
+    """
 
     op = "sum"
 
@@ -306,19 +402,27 @@ class _SumStrategy(ReduceStrategy):
         np.add(acc, other, out=out)
         return out
 
+    def pair_schedule(self, n):
+        return [[(d, s, "pair") for d, s in lvl] for lvl in pair_schedule(n)]
 
-class _AverageStrategy(ReduceStrategy):
-    """Mean across ranks (Sum with an implicit 1/N learning-rate factor)."""
+
+class _AverageStrategy(_SumStrategy):
+    """Mean across ranks (Sum with an implicit 1/N learning-rate factor).
+
+    Scheduled hops are partial *sums*; the root divides once at
+    :meth:`finalize_pair`, so the tree replay and ``combine_flat``
+    round identically.
+    """
 
     op = "average"
 
-    def __init__(self, topology: str):
-        self.topology = topology
-
     def combine_flat(self, data, boundaries=None):
-        total = _flat_sum(data, boundaries)
-        total /= data.shape[0]
-        return total.astype(data.dtype)
+        total = _flat_sum(data, boundaries).astype(data.dtype)
+        return self.finalize_pair(total, data.shape[0])
+
+    def finalize_pair(self, acc, n):
+        acc[...] = (acc.astype(np.float64) / n).astype(acc.dtype)
+        return acc
 
 
 class _AdasumTreeStrategy(ReduceStrategy):
@@ -338,6 +442,11 @@ class _AdasumTreeStrategy(ReduceStrategy):
 
     def combine_pair(self, acc, other, boundaries=None, out=None):
         return adasum_flat(acc, other, boundaries, out=out)
+
+    def pair_schedule(self, n):
+        if n & (n - 1):
+            return None  # strict tree is power-of-two only
+        return [[(d, s, "pair") for d, s in lvl] for lvl in pair_schedule(n)]
 
 
 class _AdasumTreeAnyStrategy(ReduceStrategy):
@@ -365,6 +474,9 @@ class _AdasumTreeAnyStrategy(ReduceStrategy):
     def combine_pair(self, acc, other, boundaries=None, out=None):
         return adasum_flat(acc, other, boundaries, out=out)
 
+    def pair_schedule(self, n):
+        return [[(d, s, "pair") for d, s in lvl] for lvl in pair_schedule(n)]
+
 
 class _AdasumLinearStrategy(ReduceStrategy):
     """Linear (left-fold) Adasum — the arithmetic of the §4.2.3 ring."""
@@ -378,6 +490,10 @@ class _AdasumLinearStrategy(ReduceStrategy):
 
     def combine_pair(self, acc, other, boundaries=None, out=None):
         return adasum_flat(acc, other, boundaries, out=out)
+
+    def pair_schedule(self, n):
+        # The left fold is inherently sequential: one pair per level.
+        return [[(0, k, "pair")] for k in range(1, n)]
 
 
 class _AdasumRingStrategy(_AdasumLinearStrategy):
@@ -537,6 +653,40 @@ class _HierarchicalAdasumStrategy(_HierarchicalMixin, ReduceStrategy):
     def combine_pair(self, acc, other, boundaries=None, out=None):
         return adasum_flat(acc, other, boundaries, out=out)
 
+    def pair_schedule(self, n):
+        g = self.gpus_per_node
+        if g <= 1 or n % g or n == g:
+            if n == g and n > 1:
+                # Single node: the whole reduction is the local sum.
+                return [
+                    [(d, s, "local") for d, s in lvl] for lvl in pair_schedule(n)
+                ]
+            return [[(d, s, "pair") for d, s in lvl] for lvl in pair_schedule(n)]
+        levels: List[List[Tuple[int, int, str]]] = []
+        # Intra-node phase: every node runs the same tree sum over its
+        # block, concurrently; the node leader (position k*g) ends up
+        # holding the node sum, mirroring combine_flat's node_rows.
+        for lvl in pair_schedule(g):
+            levels.append(
+                [
+                    (k * g + d, k * g + s, "local")
+                    for k in range(n // g)
+                    for d, s in lvl
+                ]
+            )
+        # Cross-node phase: tree_any Adasum over the node leaders.
+        for lvl in pair_schedule(n // g):
+            levels.append([(d * g, s * g, "pair") for d, s in lvl])
+        return levels
+
+    def pair_combine(self, kind, acc, other, boundaries=None, out=None):
+        if kind == "local":
+            # The same storage-dtype add _flat_sum replays per pair.
+            out = acc if out is None else out
+            np.add(acc, other, out=out)
+            return out
+        return adasum_flat(acc, other, boundaries, out=out)
+
     def combine_comm(self, comm, row, boundaries=None):
         from repro.comm.hierarchical import hierarchical_adasum_allreduce
 
@@ -555,6 +705,37 @@ register_strategy(_AdasumRVHStrategy())
 register_strategy(_HierarchicalSumStrategy())
 register_strategy(_HierarchicalAverageStrategy())
 register_strategy(_HierarchicalAdasumStrategy())
+
+
+# ----------------------------------------------------------------------
+# Worker-side combine spec
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class CombineSpec:
+    """Picklable recipe for one reduction cell, for out-of-process use.
+
+    A worker process cannot hold the parent's reducer object (it closes
+    over the model and optimizer state); it holds this spec instead and
+    resolves the registry cell locally.  ``schedule(n)`` yields the
+    level-ordered ``(dst, src, kind)`` pair schedule whose replay via
+    ``pair_combine`` + ``finalize_pair`` is byte-identical to the
+    parent's ``reduce_flat`` — the contract the worker-parallel tree
+    reduce of the process backend is built on.
+    """
+
+    op: str
+    topology: str
+    per_layer: bool = True
+    gpus_per_node: int = 1
+
+    def resolve(self) -> ReduceStrategy:
+        strategy = get_strategy(self.op, self.topology, "flat")
+        if self.gpus_per_node != 1:
+            strategy = strategy.bind(gpus_per_node=self.gpus_per_node)
+        return strategy
+
+    def schedule(self, n: int) -> Optional[List[List[Tuple[int, int, str]]]]:
+        return self.resolve().pair_schedule(n)
 
 
 # ----------------------------------------------------------------------
@@ -650,6 +831,15 @@ class StrategyReducer(GradientReducer):
     def reduce_flat(self, data, boundaries=None):
         bounds = boundaries if self.per_layer else None
         return self.strategy.combine_flat(data, bounds)
+
+    def combine_spec(self) -> CombineSpec:
+        """The picklable :class:`CombineSpec` matching this reducer."""
+        return CombineSpec(
+            op=self.op,
+            topology=self.topology,
+            per_layer=self.per_layer,
+            gpus_per_node=self.gpus_per_node,
+        )
 
     def __repr__(self) -> str:
         extra = (

@@ -114,6 +114,18 @@ class ElasticTrainer:
         :class:`~repro.core.arena.SharedGradientArena`; bit-identical).
         Every N→M rebuild tears down the worker pool and its shared
         segments and respawns both at the new size.
+    reduce_mode:
+        Who runs phase 2 under ``execution="processes"`` —
+        ``"parent"`` (default: the reduction runs as a collective on the
+        simulated cluster) or ``"workers"`` (the worker processes replay
+        the strategy's pair-combine schedule in parallel over shared
+        memory; see
+        :meth:`~repro.train.trainer.ProcessRankExecutor.worker_reduce`).
+        Bit-identical results; non-power-of-two survivor worlds
+        decompose through the same ``tree_any`` power-of-two blocks the
+        cluster collective uses.  Scheduled kills bite at combine
+        dispatch, so a rank dying mid-combine rolls the step back with
+        the model untouched, exactly like a failed collective.
     bucket_cap_mb:
         Opt-in bucketed reduction: phase 2 runs one collective per
         tensor-aligned bucket of the arena (reverse layer order) instead
@@ -154,6 +166,7 @@ class ElasticTrainer:
         wire_dtype: str = "fp32",
         bucket_cap_mb: Optional[float] = None,
         execution: str = "serial",
+        reduce_mode: str = "parent",
     ):
         if microbatch < 1:
             raise ValueError("microbatch must be >= 1")
@@ -164,6 +177,14 @@ class ElasticTrainer:
             raise ValueError(
                 "ElasticTrainer supports execution='serial' or 'processes'; "
                 "its phase-1 compute has no thread pool"
+            )
+        if reduce_mode not in ("parent", "workers"):
+            raise ValueError(
+                f"reduce_mode must be 'parent' or 'workers', got {reduce_mode!r}"
+            )
+        if reduce_mode == "workers" and execution != "processes":
+            raise ValueError(
+                "reduce_mode='workers' requires execution='processes'"
             )
         tune_allocator()
         self.model = model
@@ -196,6 +217,7 @@ class ElasticTrainer:
         self.probe = probe
         self.specialize_kernels = specialize_kernels
         self.execution = execution
+        self.reduce_mode = reduce_mode
         self._proc_executor: Optional[ProcessRankExecutor] = None
         if execution == "processes":
             ParallelTrainer._check_parallel_safe(model, execution)
@@ -276,6 +298,7 @@ class ElasticTrainer:
             wire_dtype=config.wire_dtype,
             bucket_cap_mb=config.bucket_cap_mb,
             execution=kwargs.pop("execution", config.execution),
+            reduce_mode=kwargs.pop("reduce_mode", config.reduce_mode),
             **kwargs,
         )
 
@@ -295,12 +318,18 @@ class ElasticTrainer:
         arena = getattr(self, "arena", None)
         if isinstance(arena, SharedGradientArena):
             owned_segments.append(arena.name)
-        if self._proc_executor is not None:
-            owned_segments.append(self._proc_executor.param_arena.name)
-            self._proc_executor.close()
-            self._proc_executor = None
-        if isinstance(arena, SharedGradientArena):
-            arena.unlink()
+        try:
+            if self._proc_executor is not None:
+                owned_segments.append(self._proc_executor.param_arena.name)
+                self._proc_executor.close()
+                self._proc_executor = None
+        finally:
+            # Unlink the gradient segment even when the executor
+            # shutdown raises (a worker killed mid-combine can surface
+            # here): whatever state the step was in, this world's
+            # segments must be gone when teardown returns.
+            if isinstance(arena, SharedGradientArena):
+                arena.unlink()
         # Preempted / paused / rebuilt process-backend worlds must never
         # strand a /dev/shm file: everything this world owned has to be
         # gone the moment teardown returns, whatever state the step loop
@@ -343,12 +372,23 @@ class ElasticTrainer:
         """
         size = self.membership.size
         if self.execution == "processes":
+            combine_spec = None
+            if self.reduce_mode == "workers":
+                combine_spec = self.dist_opt.reducer.combine_spec()
+                if combine_spec.schedule(size) is None:
+                    raise ValueError(
+                        f"strategy ({combine_spec.op!r}, "
+                        f"{combine_spec.topology!r}) has no pair-combine "
+                        "schedule; use reduce_mode='parent'"
+                    )
             self.arena = SharedGradientArena.from_model(self.model, size)
             self._proc_executor = ProcessRankExecutor(
                 self.model, self.loss_fn, self.x, self.y, self.microbatch, 1,
                 self.arena,
                 specialize_kernels=self.specialize_kernels,
                 timeout=self.timeout,
+                reduce_mode=self.reduce_mode,
+                combine_spec=combine_spec,
             )
         else:
             self.arena = GradientArena.from_model(self.model, size)
@@ -777,25 +817,48 @@ class ElasticTrainer:
 
         participants = self._participants(active)
 
-        # Phase 2 — wire + collective: local delta rewrite / fp16
-        # encode, then the reduction on the cluster (where faults bite).
+        # Phase 2 — wire + reduce: local delta rewrite / fp16 encode,
+        # then either the collective on the simulated cluster or the
+        # worker-parallel in-shm tree reduce (where faults bite either
+        # way).
         ctx = self.dist_opt.prepare_wire_arena(self.arena, ranks=participants)
         if not ctx["skip"]:
             plan = (
                 self.schedule.plan_for(step_id, self.membership)
                 if self.schedule is not None else None
             )
-            self.cluster.faults = plan
-            event_counts = {
-                r: len(self.cluster.tracer.per_rank(r)) for r in range(size)
-            }
-            wire_scale = ctx.get("wire_scale")
-            try:
-                combined = self._run_collective(participants, wire_scale)
-            finally:
-                self.cluster.faults = None
-            if self.schedule is not None:
-                self.schedule.consume(step_id)
+            if self._proc_executor is not None and self.reduce_mode == "workers":
+                # Scheduled kills attach to the real transport for the
+                # duration of the combine rounds: a due kill terminates
+                # the worker's OS process at (or between) combine
+                # dispatches and the round fails with structured
+                # rank_errors — recovery below is identical to a failed
+                # cluster collective.  No simulated clock advances here
+                # (the reduce is real wall-clock work), and straggler
+                # detection needs cluster traces, so both are cluster-
+                # path only.
+                transport = self._proc_executor.transport
+                transport.faults = plan
+                try:
+                    combined = self._proc_executor.worker_reduce(participants)
+                finally:
+                    transport.faults = None
+                if self.schedule is not None:
+                    self.schedule.consume(step_id)
+            else:
+                self.cluster.faults = plan
+                event_counts = {
+                    r: len(self.cluster.tracer.per_rank(r)) for r in range(size)
+                }
+                wire_scale = ctx.get("wire_scale")
+                try:
+                    combined = self._run_collective(participants, wire_scale)
+                finally:
+                    self.cluster.faults = None
+                if self.schedule is not None:
+                    self.schedule.consume(step_id)
+                self.sim_time += self.cluster.max_clock()
+                self._update_stragglers(event_counts)
             # Drop-and-renormalize: Adasum and Average renormalize by
             # construction (they combine, not accumulate); a partial SUM
             # must be scaled back up to the full world's magnitude.
@@ -805,8 +868,6 @@ class ElasticTrainer:
                 )
             # Phase 3 — apply centrally.
             self.dist_opt.apply_reduced_flat(combined, self.arena, ctx)
-            self.sim_time += self.cluster.max_clock()
-            self._update_stragglers(event_counts)
 
         # Commit: only now do the step's samples count as visited.
         self.iterator.commit()

@@ -14,6 +14,7 @@ Figure 1, loss meters) plug in without touching the training loop.
 from __future__ import annotations
 
 import copy
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -88,6 +89,15 @@ class _ProcessRankWorker:
     is the gradient destination) and to a one-row parameter arena the
     parent refreshes before every dispatch, so model replicas stay
     byte-identical across processes without any per-step serialization.
+
+    Besides ``("step", indices)`` the worker serves ``("combine", src,
+    kind, final, n)`` — one scheduled hop of the worker-parallel tree
+    reduce: combine this rank's arena row with rank ``src``'s row in
+    place via the registry strategy named by the spec's
+    :class:`~repro.core.strategies.CombineSpec`, applying
+    ``finalize_pair`` when this is the schedule's root hop.  The
+    strategy resolves lazily (first combine) from the local registry, so
+    nothing of the parent's reducer ever crosses the pipe.
     """
 
     def __init__(self, rank: int, spec: Dict):
@@ -107,11 +117,35 @@ class _ProcessRankWorker:
         self.y = spec["y"]
         self.microbatch = spec["microbatch"]
         self.accumulation = spec["accumulation"]
+        self.combine = spec.get("combine_spec")
+        self._strategy = None
+        self._boundaries = None
         # Match the parent's train_step-scoped specialization setting so
         # both sides run the exact same kernels (bit-exactness contract).
         _set_spec(spec["specialize_kernels"])
 
+    def _combine(self, src: int, kind: str, final: bool, n: int) -> int:
+        if self._strategy is None:
+            if self.combine is None:
+                raise ValueError(
+                    f"rank {self.rank}: no combine spec configured for "
+                    "worker-parallel reduce"
+                )
+            self._strategy = self.combine.resolve()
+            self._boundaries = (
+                self.grads.layout.boundaries() if self.combine.per_layer else None
+            )
+        acc = self.grads.row(self.rank)
+        other = self.grads.row(src)
+        self._strategy.pair_combine(kind, acc, other, self._boundaries, out=acc)
+        if final:
+            self._strategy.finalize_pair(acc, n)
+        self.grads.bump_progress(self.rank)
+        return int(self.grads.progress[self.rank])
+
     def __call__(self, msg) -> float:
+        if msg[0] == "combine":
+            return self._combine(*msg[1:])
         if msg[0] != "step":
             raise ValueError(f"unknown control message {msg[0]!r}")
         idx = msg[1]
@@ -157,9 +191,19 @@ class ProcessRankExecutor:
     out, ``("step", indices)`` per rank, loss floats back — gradient
     payloads never serialize.
 
+    With ``reduce_mode="workers"`` the executor also owns phase 2: the
+    parent stops reducing and instead drives the strategy's level-by-
+    level pair schedule over the pipes (:meth:`worker_reduce`) — at each
+    tree level the surviving worker of every pair combines its peer's
+    arena row into its own, in shared memory, in place.  The parent only
+    sequences levels and collects acks, so the ``log2(world)`` combines
+    of a level run concurrently across worker processes.
+
     Parameters mirror the slice of :class:`ParallelTrainer` state the
     workers need; ``faults``/``tracer``/``timeout``/``start_method``
-    forward to the transport.
+    forward to the transport.  ``combine_spec`` (a picklable
+    :class:`~repro.core.strategies.CombineSpec`) names the reduction
+    cell the workers replay; required when ``reduce_mode="workers"``.
     """
 
     def __init__(
@@ -176,12 +220,22 @@ class ProcessRankExecutor:
         faults=None,
         tracer: Optional[CommTracer] = None,
         start_method: Optional[str] = None,
+        reduce_mode: str = "parent",
+        combine_spec=None,
     ):
         if not isinstance(arena, SharedGradientArena):
             raise TypeError(
                 "ProcessRankExecutor needs a SharedGradientArena; got "
                 f"{type(arena).__name__}"
             )
+        if reduce_mode not in ("parent", "workers"):
+            raise ValueError(
+                f"reduce_mode must be 'parent' or 'workers', got {reduce_mode!r}"
+            )
+        if reduce_mode == "workers" and combine_spec is None:
+            raise ValueError("reduce_mode='workers' needs a combine_spec")
+        self.reduce_mode = reduce_mode
+        self.combine_spec = combine_spec
         self.model = model
         self.arena = arena
         dtypes = {p.data.dtype for _, p in model.named_parameters()}
@@ -208,6 +262,7 @@ class ProcessRankExecutor:
             "microbatch": microbatch,
             "accumulation": accumulation,
             "specialize_kernels": specialize_kernels,
+            "combine_spec": combine_spec,
         }
         self.transport = ProcessTransport(
             arena.num_ranks,
@@ -238,10 +293,67 @@ class ProcessRankExecutor:
         ranks = list(range(len(payloads))) if ranks is None else list(ranks)
         return self.transport.call(payloads, ranks=ranks)
 
+    def worker_reduce(self, participants: Optional[Sequence[int]] = None) -> np.ndarray:
+        """Drive one worker-parallel tree reduce over the arena rows.
+
+        Replays the combine spec's level-ordered pair schedule: at each
+        level every ``(dst, src)`` pair's *dst* worker combines *src*'s
+        row into its own in place, and the level's remaining
+        participants are listed as ``consult`` ranks so an injected kill
+        of a passive peer still fails the round with structured
+        ``rank_errors``.  Levels are separated by a full ack barrier
+        (the pipe reply), which is what makes a row safe to read at the
+        next level.  ``participants`` selects the rows taking part
+        (default all, in rank order); schedule position ``i`` maps to
+        ``participants[i]``, so non-power-of-two subsets decompose
+        through the strategy's own ``tree_any`` blocks.
+
+        Returns the combined flat buffer — ``participants[0]``'s row,
+        rewritten in place, byte-identical to
+        ``reducer.reduce_arena(arena)`` on the same rows.  A failure at
+        any level raises before anything is applied to the model, so a
+        failed combine leaves training state untouched.
+        """
+        if self.combine_spec is None:
+            raise ValueError("worker_reduce needs a combine_spec")
+        parts = (
+            list(range(self.arena.num_ranks)) if participants is None
+            else list(participants)
+        )
+        n = len(parts)
+        root = self.arena.row(parts[0])
+        if n == 1:
+            return root
+        levels = self.combine_spec.schedule(n)
+        if levels is None:
+            raise ValueError(
+                f"strategy ({self.combine_spec.op!r}, "
+                f"{self.combine_spec.topology!r}) has no pair schedule; "
+                "use reduce_mode='parent'"
+            )
+        self.arena.reset_progress()
+        last = len(levels) - 1
+        for depth, level in enumerate(levels):
+            ranks = [parts[dst] for dst, _src, _kind in level]
+            payloads = [
+                ("combine", parts[src], kind, depth == last and dst == 0, n)
+                for dst, src, kind in level
+            ]
+            passive = [r for r in parts if r not in set(ranks)]
+            self.transport.call(payloads, ranks=ranks, op="combine", consult=passive)
+        return root
+
     def close(self) -> None:
-        """Stop the workers and unlink the parameter segment (idempotent)."""
-        self.transport.shutdown()
-        self.param_arena.unlink()
+        """Stop the workers and unlink the parameter segment (idempotent).
+
+        The unlink runs even when the shutdown raises (e.g. collecting a
+        worker that died mid-combine): the parameter segment must never
+        outlive the executor however the step ended.
+        """
+        try:
+            self.transport.shutdown()
+        finally:
+            self.param_arena.unlink()
 
     def __enter__(self) -> "ProcessRankExecutor":
         return self
@@ -305,6 +417,17 @@ class ParallelTrainer:
         start method (default fork where available), per-round collect
         deadline, fault plan whose kills terminate real worker
         processes, and a wall-clock tracer of control-plane traffic.
+    reduce_mode:
+        Who runs phase 2 under ``execution="processes"`` —
+        ``"parent"`` (default: the parent reduces the arena rows
+        single-threaded) or ``"workers"`` (the worker processes run the
+        strategy's pair-combine schedule in parallel over shared
+        memory; see :meth:`ProcessRankExecutor.worker_reduce`).  The two
+        modes are bit-identical; ``"workers"`` wins on multicore hosts
+        once the model is large enough (see docs/performance.md).
+        Requires the processes backend, a strategy with a pair schedule
+        (every registered cell except Adasum-RVH), and no legacy
+        ``fp16`` dict codec.
     specialize_kernels:
         Allow validated single-GEMM conv kernels inside ``train_step``
         (on by default; scoped to the step and restored after).  The
@@ -357,6 +480,7 @@ class ParallelTrainer:
         comm_timeout: float = 60.0,
         faults=None,
         comm_tracer: Optional[CommTracer] = None,
+        reduce_mode: str = "parent",
     ):
         if accumulation < 1:
             raise ValueError("accumulation must be >= 1")
@@ -366,6 +490,30 @@ class ParallelTrainer:
             execution = "threads"
         execution = validate_execution_strategy(overlap, execution)
         self.execution = execution
+        if reduce_mode not in ("parent", "workers"):
+            raise ValueError(
+                f"reduce_mode must be 'parent' or 'workers', got {reduce_mode!r}"
+            )
+        combine_spec = None
+        if reduce_mode == "workers":
+            if execution != "processes":
+                raise ValueError(
+                    "reduce_mode='workers' needs execution='processes' "
+                    f"(got {execution!r}): only worker processes can run "
+                    "pair combines in parallel over shared memory"
+                )
+            if getattr(dist_opt, "fp16", False):
+                raise ValueError(
+                    "reduce_mode='workers' is incompatible with the legacy "
+                    "fp16 dict codec (fp16=True); use wire_dtype='fp16'"
+                )
+            combine_spec = dist_opt.reducer.combine_spec()
+            if combine_spec.schedule(dist_opt.num_ranks) is None:
+                raise ValueError(
+                    f"strategy ({combine_spec.op!r}, {combine_spec.topology!r}) "
+                    "has no pair-combine schedule; use reduce_mode='parent'"
+                )
+        self.reduce_mode = reduce_mode
         tune_allocator()
         self.model = model
         self.loss_fn = loss_fn
@@ -382,6 +530,11 @@ class ParallelTrainer:
         self.tracer = tracer
         self.time_model = time_model
         self.sim_time = 0.0
+        # Wall-clock phase accounting (compute vs reduce) for the bench
+        # snapshot's per-phase sub-timings; phased steps only (the
+        # overlap path interleaves the two phases by design).
+        self.phase_seconds: Dict[str, float] = {"compute": 0.0, "reduce": 0.0}
+        self.phase_steps = 0
         # Flat-buffer gradient pipeline: every rank's gradients live in
         # one preallocated contiguous row; reduction runs flat kernels.
         # The process backend places the rows in OS shared memory so
@@ -432,6 +585,8 @@ class ParallelTrainer:
                 faults=faults,
                 tracer=comm_tracer,
                 start_method=start_method,
+                reduce_mode=reduce_mode,
+                combine_spec=combine_spec,
             )
 
     @classmethod
@@ -461,6 +616,7 @@ class ParallelTrainer:
         if config.execution == "processes":
             kwargs.setdefault("comm_timeout", config.timeout)
             kwargs.setdefault("faults", config.faults)
+            kwargs.setdefault("reduce_mode", config.reduce_mode)
         if config.bucket_cap_mb is not None:
             kwargs.setdefault("bucket_cap_mb", config.bucket_cap_mb)
         return cls(model, loss_fn, dist_opt, x, y, config.microbatch, **kwargs)
@@ -500,11 +656,16 @@ class ParallelTrainer:
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
-        if self._proc_executor is not None:
-            self._proc_executor.close()
-            self._proc_executor = None
-        if isinstance(self.arena, SharedGradientArena):
-            self.arena.unlink()
+        try:
+            if self._proc_executor is not None:
+                self._proc_executor.close()
+                self._proc_executor = None
+        finally:
+            # Must run even when the executor shutdown raises — a worker
+            # crash mid-combine cannot be allowed to strand the gradient
+            # segment in /dev/shm.
+            if isinstance(self.arena, SharedGradientArena):
+                self.arena.unlink()
 
     def __enter__(self) -> "ParallelTrainer":
         return self
@@ -533,6 +694,7 @@ class ParallelTrainer:
     def _train_step(self, rank_indices: Sequence[np.ndarray]) -> float:
         if self._overlap_active and len(rank_indices) == self.num_ranks:
             return self._train_step_overlap(rank_indices)
+        t0 = time.perf_counter()
         if self._proc_executor is not None:
             losses = self._proc_executor.compute(rank_indices)
         elif self.parallel_ranks and len(rank_indices) > 1:
@@ -542,6 +704,7 @@ class ParallelTrainer:
                 self._rank_gradient(rank, idx, self.model)
                 for rank, idx in enumerate(rank_indices)
             ]
+        t1 = time.perf_counter()
         # Zero-copy per-rank views for instrumentation; the reduction
         # itself runs flat over the arena rows.
         grad_dicts = [self.arena.views(rank) for rank in range(len(rank_indices))]
@@ -549,10 +712,24 @@ class ParallelTrainer:
             self.probe.record(grad_dicts, step=self.global_step)
         if self.tracer is not None:
             self._trace_step(grad_dicts)
+        t2 = time.perf_counter()
         if self._use_arena_step and len(rank_indices) == self.num_ranks:
-            self.dist_opt.step_arena(self.arena)
+            if self.reduce_mode == "workers":
+                self.dist_opt.step_arena(
+                    self.arena,
+                    reduce_fn=lambda arena: self._proc_executor.worker_reduce(),
+                )
+            else:
+                self.dist_opt.step_arena(self.arena)
         else:
+            # Partial-world steps fall back to the parent dict path;
+            # the elastic supervisor drives its own worker reduce over
+            # the participant subset.
             self.dist_opt.step(grad_dicts)
+        t3 = time.perf_counter()
+        self.phase_seconds["compute"] += t1 - t0
+        self.phase_seconds["reduce"] += t3 - t2
+        self.phase_steps += 1
         self.global_step += 1
         mean_loss = float(np.mean(losses))
         self.loss_meter.update(mean_loss)

@@ -29,8 +29,7 @@ from repro.core.strategies import (
 
 POW2_SIZES = (2, 4, 8)
 ALL_SIZES = (2, 3, 4, 5, 6, 7, 8)
-# Includes a width-1 layer: the flat sum has a dedicated re-sum path for
-# single-column slices, which parity must cover.
+# Includes a width-1 layer so parity covers single-column slices.
 SIZES = ((6,), (1,), (3, 4), (10,))
 
 
@@ -192,6 +191,11 @@ class TestReferenceEquivalence:
     @pytest.mark.parametrize("ranks", ALL_SIZES)
     @pytest.mark.parametrize("op", ("sum", "average"))
     def test_sum_average_reference(self, op, ranks):
+        # The kernel is the power-of-two-block pairwise tree (so the
+        # worker-parallel reduce can replay it as independent pair
+        # combines), not a float64 fold — it matches the float64
+        # reference to storage-dtype rounding per tree level, hence the
+        # absolute term for near-cancelling elements.
         data, _ = _rows(_dicts(seed=70 + ranks, ranks=ranks))
         ref = np.sum(data.astype(np.float64), axis=0)
         if op == "average":
@@ -200,6 +204,7 @@ class TestReferenceEquivalence:
             reduce_flat(data, op=op, topology="tree"),
             ref.astype(np.float32),
             rtol=1e-6,
+            atol=1e-5,
         )
 
     @pytest.mark.parametrize("op", ("sum", "average"))
