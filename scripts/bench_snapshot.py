@@ -36,11 +36,16 @@ rank cannot outrun anything.
 ``--reduce-speedup`` (default 1.3x) on the 8-rank MiniBERT reduce
 phase; it auto-skips on hosts with fewer than 8 cores, where the
 eight rank workers cannot actually combine concurrently.
+``--wire-guard`` requires the lossy codec stack (fp16+int8+topk:0.01)
+to ship at most ``--wire-ratio`` (default 0.5) of the fp16-only
+encoded bytes per step on the 8-rank MiniBERT wire pair; the bytes are
+modeled (not timed), so this guard is deterministic and never skips.
 
 Trainer-backed ops additionally report ``compute_s``/``reduce_s`` —
 the per-step mean of each phase, from the trainer's phase timers — so
 a snapshot shows *where* a train-step op spends its time, not just the
-total.
+total — and ``wire_bytes``, the modeled encoded bytes shipped per step
+(raw fp32 row bytes when no codec stack is active).
 """
 
 from __future__ import annotations
@@ -114,14 +119,14 @@ def _lenet_trainer(mode: str, num_ranks: int = 4):
     return trainer, indices
 
 
-def _minibert_trainer(mode: str, num_ranks: int = 4):
+def _minibert_trainer(mode: str, num_ranks: int = 4, wire_codecs=()):
     rng = np.random.default_rng(0)
     model = MiniBERT(rng=rng)
     x = rng.integers(0, 64, (128, 32))
     y = rng.integers(0, 64, (128, 32))
     dopt = DistributedOptimizer(
         model, lambda ps: Adam(ps, 1e-3),
-        num_ranks=num_ranks, op=ReduceOpType.ADASUM,
+        num_ranks=num_ranks, op=ReduceOpType.ADASUM, wire_codecs=wire_codecs,
     )
     trainer = ParallelTrainer(model, nn.CrossEntropyLoss(), dopt, x, y,
                               microbatch=8, **_TRAINER_MODES[mode])
@@ -270,6 +275,19 @@ def build_ops():
          train_step_setup(_minibert_trainer, "procs", 8)),
         ("reduce_phase_procs_8r",
          train_step_setup(_minibert_trainer, "procs_workers", 8)),
+        # The 8-rank wire-codec pair: identical model and step; only the
+        # codec stack on the flat wire differs.  Their modeled
+        # wire_bytes are what --wire-guard compares (and the timings
+        # show what the encode/decode round-trip costs per step).
+        ("minibert_wire_fp16",
+         train_step_setup(
+             lambda mode, n: _minibert_trainer(mode, n, wire_codecs=("fp16",)),
+             "serial", 8)),
+        ("minibert_wire_topk",
+         train_step_setup(
+             lambda mode, n: _minibert_trainer(
+                 mode, n, wire_codecs=("fp16", "int8", "topk:0.01")),
+             "serial", 8)),
         ("elastic_step_8r", elastic_step_setup),
         ("elastic_recovery_8to7", elastic_recovery_setup),
         ("sched_goodput_pool8", sched_goodput_setup),
@@ -334,6 +352,16 @@ def main(argv=None) -> int:
                         help="required parent/workers reduce_s ratio for "
                              "--reduce-guard (1.3 = workers at least 1.3x "
                              "faster than the parent reduce)")
+    parser.add_argument("--wire-guard", action="store_true",
+                        help="require the lossy codec stack "
+                             "(fp16+int8+topk:0.01) to ship at most "
+                             "--wire-ratio of the fp16-only encoded bytes per "
+                             "step on the 8-rank MiniBERT wire pair; modeled "
+                             "bytes, so deterministic on any host")
+    parser.add_argument("--wire-ratio", type=float, default=0.5,
+                        help="maximum topk/fp16 wire_bytes ratio for "
+                             "--wire-guard (0.5 = at least 50%% fewer "
+                             "encoded bytes)")
     args = parser.parse_args(argv)
 
     root = pathlib.Path(__file__).resolve().parent.parent
@@ -341,7 +369,7 @@ def main(argv=None) -> int:
     # Guard-only invocations (compare / proc-guard) are read-only unless
     # an output path is asked for explicitly.
     write_output = ((args.compare is None and not args.proc_guard
-                     and not args.reduce_guard)
+                     and not args.reduce_guard and not args.wire_guard)
                     or args.out is not None)
 
     try:  # hot-loop temporaries should not churn mmap (see docs/performance.md)
@@ -379,6 +407,14 @@ def main(argv=None) -> int:
                 results[name]["reduce_s"] = round(phases["reduce"] / steps, 6)
                 phase_line = (f" [compute {results[name]['compute_s'] * 1e3:.3f}"
                               f" / reduce {results[name]['reduce_s'] * 1e3:.3f} ms]")
+                dopt = getattr(trainer, "dist_opt", None)
+                if dopt is not None and getattr(dopt, "wire_bytes_total", 0):
+                    # Modeled encoded bytes per step (all rank rows) —
+                    # deterministic, so usable as an absolute guard.
+                    results[name]["wire_bytes"] = round(
+                        dopt.wire_bytes_total / steps
+                    )
+                    phase_line += f" [wire {results[name]['wire_bytes']:,} B]"
         print(f"  {name}: {mean:.3f} ms ± {stddev:.3f} ({n} rounds){phase_line}")
         while _CLEANUPS:  # tear down worker pools / shm before the next op
             _CLEANUPS.pop()()
@@ -487,6 +523,27 @@ def main(argv=None) -> int:
                       f"the parent reduce at 8 ranks (required "
                       f"{args.reduce_speedup:.2f}x)", file=sys.stderr)
                 return 1
+
+    if args.wire_guard:
+        fp16_op, topk_op = "minibert_wire_fp16", "minibert_wire_topk"
+        missing = [op for op in (fp16_op, topk_op)
+                   if "wire_bytes" not in results.get(op, {})]
+        if missing:
+            print(f"wire guard: missing wire_bytes for {missing} (add them "
+                  "via --ops or run the full suite)", file=sys.stderr)
+            return 2
+        fp16_bytes = results[fp16_op]["wire_bytes"]
+        topk_bytes = results[topk_op]["wire_bytes"]
+        ratio = topk_bytes / max(fp16_bytes, 1)
+        verdict = "ok" if ratio <= args.wire_ratio else "FAIL"
+        print(f"wire guard (8 ranks, MiniBERT): fp16 {fp16_bytes:,} B/step / "
+              f"fp16+int8+topk:0.01 {topk_bytes:,} B/step = {ratio:.3f} "
+              f"(need <= {args.wire_ratio:.2f}) {verdict}")
+        if ratio > args.wire_ratio:
+            print(f"FAIL: lossy stack ships {ratio:.0%} of the fp16-only "
+                  f"encoded bytes (required <= {args.wire_ratio:.0%})",
+                  file=sys.stderr)
+            return 1
     return 0
 
 

@@ -10,9 +10,14 @@ same boundary holds for the wire-level hierarchical collective: its
 ring-schedule internals (chunk-bound arithmetic, local reduce-scatter /
 allgather stages, the cross-node tree fallback) are private to
 ``src/repro/comm`` — everything else calls the public
-``hierarchical_*_allreduce`` entry points.  This grep-level check keeps
-both boundaries from eroding: a private name that leaks into another
-package turns the next kernel refactor into a cross-package breakage.
+``hierarchical_*_allreduce`` entry points.  A third boundary guards
+the wire-codec stack: ``wire_dtype`` string comparisons may appear
+only in ``repro.core.config`` and ``repro.comm.codec`` — every other
+layer consumes the normalized ``wire_codecs`` tuple (or
+``codecs_from_wire_dtype``), so the deprecated alias has exactly one
+decoder.  This grep-level check keeps the boundaries from eroding: a
+private name that leaks into another package turns the next kernel
+refactor into a cross-package breakage.
 
 Usage::
 
@@ -69,6 +74,25 @@ RULES = (
         ),
         (REPO / "src" / "repro" / "comm",),
     ),
+    # The legacy wire_dtype string may only be *interpreted* in two
+    # places: RunConfig's fold onto wire_codecs and the codec module's
+    # codecs_from_wire_dtype.  Everywhere else must consume the
+    # normalized wire_codecs tuple / CodecPipeline — a direct string
+    # comparison reintroduces the six-file ad-hoc plumbing the codec
+    # stack replaced.
+    (
+        (
+            "wire_dtype ==",
+            "wire_dtype==",
+            "wire_dtype !=",
+            "wire_dtype!=",
+            'wire_dtype in (',
+        ),
+        (
+            REPO / "src" / "repro" / "core" / "config.py",
+            REPO / "src" / "repro" / "comm" / "codec.py",
+        ),
+    ),
 )
 
 # Everything under these roots is scanned (tests may exercise privates).
@@ -109,7 +133,9 @@ def main() -> int:
             "\nroute through repro.core.strategies.get_strategy(...), "
             "repro.core.make_reducer(...), repro.comm.cluster_allreduce(...), "
             "or the public repro.comm.hierarchical_*_allreduce entry points "
-            "instead."
+            "instead.  For wire_dtype string checks, consume the normalized "
+            "RunConfig.wire_codecs tuple or "
+            "repro.comm.codec.codecs_from_wire_dtype(...)."
         )
         return 1
     print("lint_private_imports: no private kernel names outside their package")

@@ -59,6 +59,14 @@ class AsyncSGDSimulator:
     dc_lambda:
         DC-ASGD compensation strength; ``None`` disables compensation
         (plain async SGD).
+    compressor:
+        Optional gradient compressor with the
+        :class:`~repro.baselines.compression.NoCompression` interface
+        (``roundtrip(name, grad)`` with per-tensor error feedback).
+        Worker gradients pass through it at dispatch time — the wire to
+        the parameter server — so the combination "stale *and* lossy"
+        can be measured; ``wire_bytes_total`` accumulates the modeled
+        compressed sizes.
     """
 
     def __init__(
@@ -67,6 +75,7 @@ class AsyncSGDSimulator:
         optimizer: Optimizer,
         n_workers: int,
         dc_lambda: Optional[float] = None,
+        compressor=None,
     ):
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
@@ -74,6 +83,8 @@ class AsyncSGDSimulator:
         self.optimizer = optimizer
         self.n_workers = n_workers
         self.dc_lambda = dc_lambda
+        self.compressor = compressor
+        self.wire_bytes_total = 0
         self.params = dict(model.named_parameters())
         # Snapshots of the weights each in-flight gradient was computed on.
         self._snapshots: deque = deque()
@@ -98,6 +109,17 @@ class AsyncSGDSimulator:
         # Dispatch: the worker reads the CURRENT weights.
         w_read = self._snapshot()
         grad = compute_grad(self.model)
+        if self.compressor is not None:
+            # The worker->server hop is the wire: compress with error
+            # feedback, decode immediately (the server sees the decoded
+            # gradient), and account the compressed bytes.
+            grad = {
+                n: self.compressor.roundtrip(n, g) for n, g in grad.items()
+            }
+            self.wire_bytes_total += sum(
+                self.compressor.compressed_bytes(np.asarray(g))
+                for g in grad.values()
+            )
         self._snapshots.append((w_read, grad))
         if len(self._snapshots) < self.n_workers:
             return  # pipeline still filling

@@ -14,6 +14,14 @@ large-batch methods reduce communication *frequency*:
 All follow a common interface: ``compress(name, grad) -> payload`` and
 ``decompress(payload) -> grad`` with per-tensor error memory, so they
 drop into a reduction pipeline before the allreduce.
+
+Since the wire-codec stack landed (:mod:`repro.comm.codec`) these
+classes are thin adapters over the same per-tensor primitives the
+codecs use (:func:`~repro.comm.codec.onebit_stats`,
+:func:`~repro.comm.codec.topk_select`) — one implementation of each
+quantizer, two calling conventions: the codecs run per flat layer
+block inside the arena paths, the baselines keep the per-named-tensor
+dict interface (and payload formats) this module always had.
 """
 
 from __future__ import annotations
@@ -21,6 +29,8 @@ from __future__ import annotations
 from typing import Dict, Tuple
 
 import numpy as np
+
+from repro.comm.codec import onebit_stats, topk_select
 
 
 class NoCompression:
@@ -44,7 +54,9 @@ class OneBitCompressor(NoCompression):
 
     Each tensor is sent as its sign pattern plus the mean magnitude of
     positive and negative parts; the quantization residual is added to
-    the next gradient for the same tensor.
+    the next gradient for the same tensor.  The statistics come from
+    :func:`~repro.comm.codec.onebit_stats` — the same kernel the
+    ``onebit`` wire codec runs per layer block.
     """
 
     def __init__(self):
@@ -53,9 +65,7 @@ class OneBitCompressor(NoCompression):
     def compress(self, name: str, grad: np.ndarray) -> Tuple:
         grad = np.asarray(grad, dtype=np.float32)
         adjusted = grad + self._error.get(name, 0.0)
-        pos = adjusted > 0
-        pos_mean = float(adjusted[pos].mean()) if pos.any() else 0.0
-        neg_mean = float(adjusted[~pos].mean()) if (~pos).any() else 0.0
+        pos, pos_mean, neg_mean = onebit_stats(adjusted)
         reconstructed = np.where(pos, pos_mean, neg_mean).astype(np.float32)
         self._error[name] = adjusted - reconstructed
         return pos, pos_mean, neg_mean
@@ -69,7 +79,11 @@ class OneBitCompressor(NoCompression):
 
 
 class TopKCompressor(NoCompression):
-    """Keep the k largest-magnitude elements, error-feed the rest."""
+    """Keep the k largest-magnitude elements, error-feed the rest.
+
+    Selection comes from :func:`~repro.comm.codec.topk_select` — the
+    same kernel the ``topk`` wire codec runs per layer block.
+    """
 
     def __init__(self, ratio: float = 0.05):
         if not 0 < ratio <= 1:
@@ -80,9 +94,7 @@ class TopKCompressor(NoCompression):
     def compress(self, name: str, grad: np.ndarray) -> Tuple:
         grad = np.asarray(grad, dtype=np.float32)
         adjusted = (grad + self._error.get(name, 0.0)).reshape(-1)
-        k = max(int(round(adjusted.size * self.ratio)), 1)
-        idx = np.argpartition(np.abs(adjusted), -k)[-k:]
-        values = adjusted[idx]
+        idx, values = topk_select(adjusted, self.ratio)
         sparse = np.zeros_like(adjusted)
         sparse[idx] = values
         self._error[name] = (adjusted - sparse).reshape(grad.shape)

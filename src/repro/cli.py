@@ -128,6 +128,25 @@ def _elastic_recovery(fast: bool) -> str:
     )
 
 
+def _codec_ablation(fast: bool) -> str:
+    r = experiments.run_codec_ablation(fast=fast)
+    header = (
+        f"LeNet-5, {r.ranks} ranks x {r.epochs} epoch(s), "
+        f"microbatch {r.microbatch} (equal sample budget per cell)\n"
+        + "".join(
+            f"{op}: lossy stack ships {r.reduction_vs_fp16(op) * 100:.1f}% "
+            f"fewer encoded bytes than fp16-only; "
+            f"loss gap vs fp32 wire {r.loss_gap(op):+.4f}\n"
+            for op in ("sum", "adasum")
+        )
+    )
+    return header + format_table(
+        ["op", "wire codecs", "final loss", "test acc", "wire bytes",
+         "skipped"],
+        r.rows(),
+    )
+
+
 def _sched_study(fast: bool) -> str:
     r = experiments.run_sched_study(fast=fast)
     header = (
@@ -157,6 +176,8 @@ EXPERIMENTS: Dict[str, Tuple[Callable[[bool], str], str]] = {
                          "rank failures vs failure-free at equal sample budget"),
     "sched_study": (_sched_study,
                     "multi-tenant preemption: rank loans vs kill-and-requeue"),
+    "codec_ablation": (_codec_ablation,
+                       "wire-codec stacks (fp32/fp16/lossy EF) on fig6 LeNet"),
 }
 
 
@@ -313,8 +334,11 @@ def _elastic_main(argv) -> int:
     parser.add_argument("--fp16", action="store_true",
                         help="fp16 wire format with dynamic loss scaling")
     parser.add_argument("--wire-dtype", choices=("fp32", "fp16"), default="fp32",
-                        help="wire dtype for the collective (fp16 halves bytes "
-                             "on the simulated transport, losslessly)")
+                        help="deprecated alias for --wire-codecs fp16")
+    parser.add_argument("--wire-codecs", default=None, metavar="STACK",
+                        help="comma-separated wire-codec stack for the "
+                             "collective, e.g. 'fp16' or 'fp16,int8,topk:0.01' "
+                             "(lossy codecs carry error-feedback residuals)")
     parser.add_argument("--bucket-cap-mb", type=float, default=None,
                         help="run the phase-2 collective per bucket of at most "
                              "this many MB (default: one whole-row collective)")
@@ -372,7 +396,9 @@ def _elastic_main(argv) -> int:
     config = RunConfig(
         op=args.op, topology=args.topology, gpus_per_node=args.gpus_per_node,
         fp16=args.fp16,
-        wire_dtype=args.wire_dtype, bucket_cap_mb=args.bucket_cap_mb,
+        wire_dtype=args.wire_dtype,
+        wire_codecs=args.wire_codecs or (),
+        bucket_cap_mb=args.bucket_cap_mb,
         num_ranks=args.ranks, microbatch=args.microbatch, seed=args.seed,
         faults=schedule if have_faults else None,
         network=network, timeout=args.timeout, min_ranks=args.min_ranks,
@@ -545,8 +571,12 @@ def _overlap_main(argv) -> int:
                         help="overlap bucket size cap in MB")
     parser.add_argument("--wire-dtype", choices=("fp32", "fp16"),
                         default="fp32",
-                        help="wire dtype for bucket payloads (fp16 halves "
-                             "bytes; results then differ from fp32 by design)")
+                        help="deprecated alias for --wire-codecs fp16")
+    parser.add_argument("--wire-codecs", default=None, metavar="STACK",
+                        help="comma-separated wire-codec stack for bucket "
+                             "payloads, e.g. 'fp16' or 'fp16,int8,topk:0.01' "
+                             "(results then differ from the raw-fp32 run by "
+                             "design)")
     parser.add_argument("--out", default=None,
                         help="write the overlap run's compute/comm lanes as a "
                              "Chrome-trace JSON here")
@@ -561,6 +591,7 @@ def _overlap_main(argv) -> int:
     config = RunConfig(
         op=args.op, topology=args.topology, gpus_per_node=args.gpus_per_node,
         wire_dtype=args.wire_dtype,
+        wire_codecs=args.wire_codecs or (),
         bucket_cap_mb=args.bucket_cap_mb, num_ranks=args.ranks,
         microbatch=args.microbatch, seed=args.seed,
     )
@@ -590,8 +621,9 @@ def _overlap_main(argv) -> int:
             m_phased.named_parameters(), m_overlap.named_parameters()
         )
     )
+    wire_desc = ",".join(config.wire_codecs) if config.wire_codecs else "fp32"
     print(f"{args.steps} steps x {args.ranks} ranks, op={args.op}, "
-          f"bucket cap {args.bucket_cap_mb} MB, wire {args.wire_dtype}")
+          f"bucket cap {args.bucket_cap_mb} MB, wire {wire_desc}")
     print(f"phased  : {t_phased * 1e3:8.3f} ms/step")
     print(f"overlap : {t_overlap * 1e3:8.3f} ms/step")
     print(f"bit-identical parameters: {identical}")
@@ -599,7 +631,7 @@ def _overlap_main(argv) -> int:
         tracer.save_chrome_trace(args.out)
         print(f"wrote {len(tracer.events)} events to {args.out} "
               f"(compute lane 0, per-bucket comm lane 1)")
-    if args.wire_dtype == "fp32" and not identical:
+    if not config.wire_codecs and not identical:
         print("ERROR: overlap diverged from the phased path at fp32",
               file=sys.stderr)
         return 3

@@ -56,6 +56,13 @@ from repro.comm.collectives import (
 )
 from repro.comm.fusion import FusionBuffer, FusedTensorLayout
 from repro.comm.bucketing import Bucket, BucketPlan
+from repro.comm.codec import (
+    CodecPipeline,
+    WireCodec,
+    build_codec,
+    build_pipeline,
+    parse_wire_codecs,
+)
 
 __all__ = [
     "NetworkModel",
@@ -82,6 +89,11 @@ __all__ = [
     "allreduce_group",
     "FusionBuffer",
     "FusedTensorLayout",
+    "CodecPipeline",
+    "WireCodec",
+    "build_codec",
+    "build_pipeline",
+    "parse_wire_codecs",
     "Bucket",
     "BucketPlan",
     "ring_allreduce_cost",

@@ -76,19 +76,35 @@ def parse_execution(value) -> str:
     return execution
 
 
-def validate_execution_strategy(overlap: bool, execution) -> str:
+def validate_execution_strategy(
+    overlap: bool, execution, reduce_mode: str = "parent", fp16: bool = False
+) -> str:
     """The one home of the overlap/threads/processes exclusion rules.
 
     ``execution`` may be a backend name or a legacy ``parallel_ranks``
     bool.  Returns the normalized backend name.  Overlap reorders the
     backward pass around communication and owns the step loop, so it is
     mutually exclusive with every concurrent-rank backend.
+
+    ``reduce_mode``/``fp16`` extend the rule set to the worker-parallel
+    in-shm reduce: wire codecs (``wire_codecs``) compose with it freely
+    — the parent round-trips the arena rows in shared memory *before*
+    the workers combine them — but the legacy ``fp16=True`` dict codec
+    bypasses the arena entirely, so that pair fails fast here rather
+    than silently falling back.
     """
     execution = parse_execution(execution)
     if overlap and execution != "serial":
         raise ValueError(
             f"overlap and execution={execution!r} are mutually exclusive "
             "execution strategies; choose one"
+        )
+    if reduce_mode == "workers" and fp16:
+        raise ValueError(
+            "reduce_mode='workers' is incompatible with the legacy "
+            "fp16 dict codec (fp16=True): the dict path bypasses the "
+            "shared-memory arena the workers reduce; use "
+            "wire_codecs=('fp16',) instead"
         )
     return execution
 
@@ -110,6 +126,7 @@ class RunConfig:
     adasum_pre_optimizer: bool = False
     fp16: bool = False
     wire_dtype: str = "fp32"
+    wire_codecs: Tuple[str, ...] = ()
     bucket_cap_mb: Optional[float] = None
     overlap: bool = False
     parallel_ranks: bool = False
@@ -128,10 +145,25 @@ class RunConfig:
         object.__setattr__(self, "topology", parse_topology(self.topology))
         # Fail fast if the cell is not registered.
         get_strategy(self.op, self.topology, "flat")
-        if self.wire_dtype not in ("fp32", "fp16"):
-            raise ValueError(
-                f"wire_dtype must be 'fp32' or 'fp16', got {self.wire_dtype!r}"
-            )
+        # Wire codecs: parse/validate the stack exactly once; the legacy
+        # wire_dtype string folds onto it (warn-once) so every consumer
+        # downstream sees only the normalized wire_codecs tuple.
+        from repro.comm.codec import codecs_from_wire_dtype, parse_wire_codecs
+
+        legacy_codecs = codecs_from_wire_dtype(self.wire_dtype)  # validates string
+        wire_codecs = parse_wire_codecs(self.wire_codecs)
+        if legacy_codecs:
+            from repro.core.deprecation import warn_deprecated
+
+            warn_deprecated('wire_dtype="fp16"', 'wire_codecs=("fp16",)')
+            if not wire_codecs:
+                wire_codecs = legacy_codecs
+            elif "fp16" not in wire_codecs:
+                raise ValueError(
+                    'wire_dtype="fp16" conflicts with wire_codecs='
+                    f"{wire_codecs!r}; declare the stack once via wire_codecs"
+                )
+        object.__setattr__(self, "wire_codecs", wire_codecs)
         if self.num_ranks < 1:
             raise ValueError("num_ranks must be >= 1")
         if self.gpus_per_node < 1:
@@ -165,7 +197,9 @@ class RunConfig:
 
             warn_deprecated("parallel_ranks=True", 'execution="threads"')
             execution = "threads"
-        execution = validate_execution_strategy(self.overlap, execution)
+        execution = validate_execution_strategy(
+            self.overlap, execution, reduce_mode=self.reduce_mode, fp16=self.fp16
+        )
         object.__setattr__(self, "execution", execution)
         # Keep the legacy field readable: True exactly when the resolved
         # backend is the threaded one, so old call sites see the truth.
@@ -187,11 +221,6 @@ class RunConfig:
                     "the 'rvh' topology has no pair-combine schedule "
                     "(it distributes partial dot products); use "
                     "reduce_mode='parent'"
-                )
-            if self.fp16:
-                raise ValueError(
-                    "reduce_mode='workers' is incompatible with the legacy "
-                    "fp16 dict codec (fp16=True); use wire_dtype='fp16'"
                 )
 
     # -- derived views -------------------------------------------------

@@ -31,6 +31,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
+from repro.comm.codec import build_pipeline, codecs_from_wire_dtype, parse_wire_codecs
 from repro.core.precision import DynamicScaler, Float16Codec
 from repro.core.strategies import GradientReducer, StrategyReducer
 from repro.nn.module import Module
@@ -114,14 +115,20 @@ class DistributedOptimizer:
         contribution is scaled, cast to fp16 and checked for overflow
         before reduction; an overflow backs the scale off and skips the
         step, exactly as the Horovod implementation does.
+    wire_codecs:
+        Declarative wire-codec stack for the *flat* arena paths
+        (``step_arena``, ``prepare_wire_arena`` and the overlap
+        scheduler), e.g. ``("fp16",)`` or ``("fp16", "int8",
+        "topk:0.01")`` — see :mod:`repro.comm.codec`.  Each step the
+        participating rows are round-tripped through the stack in place
+        at the wire boundary, so reduction arithmetic (Adasum dot
+        products included) stays in full precision over exactly the
+        values a receiver would decode.  Bounded-error codecs carry
+        per-row error-feedback residuals; an fp16 stage keeps the
+        dynamic scaler's one-verdict-per-step behaviour (§4.4.1).
     wire_dtype:
-        Wire format of the *flat* arena paths (``step_arena``,
-        ``prepare_wire_arena`` and the overlap scheduler): ``"fp32"``
-        (default) sends gradients as-is; ``"fp16"`` applies the same
-        dynamic-scaling fp16 round-trip as ``fp16=True`` to the flat
-        rows, halving wire bytes while reduction arithmetic (Adasum dot
-        products included) stays in full precision.  Unlike ``fp16``
-        it does not force the legacy dict codec path.
+        Deprecated alias: ``"fp16"`` means ``wire_codecs=("fp16",)``
+        (warn-once); ``"fp32"`` means no codecs.
     """
 
     def __init__(
@@ -138,6 +145,7 @@ class DistributedOptimizer:
         wire_dtype: str = "fp32",
         topology: str = None,
         gpus_per_node: int = None,
+        wire_codecs=None,
     ):
         if num_ranks < 1:
             raise ValueError("num_ranks must be >= 1")
@@ -162,14 +170,43 @@ class DistributedOptimizer:
         self.adasum_pre_optimizer = adasum_pre_optimizer
         self._param_names = [name for name, _ in model.named_parameters()]
         self._params = dict(model.named_parameters())
-        if wire_dtype not in ("fp32", "fp16"):
-            raise ValueError(f"wire_dtype must be 'fp32' or 'fp16', got {wire_dtype!r}")
+        specs = parse_wire_codecs(wire_codecs)
+        legacy = codecs_from_wire_dtype(wire_dtype)  # validates the string
+        if legacy:
+            from repro.core.deprecation import warn_deprecated
+
+            warn_deprecated('wire_dtype="fp16"', 'wire_codecs=("fp16",)')
+            if not specs:
+                specs = legacy
+            elif "fp16" not in specs:
+                raise ValueError(
+                    'wire_dtype="fp16" conflicts with wire_codecs='
+                    f"{specs!r}; declare the stack once via wire_codecs"
+                )
+        if fp16 and specs:
+            raise ValueError(
+                "fp16=True (legacy dict codec) cannot combine with "
+                "wire_codecs; declare the stack as wire_codecs=('fp16', ...)"
+            )
         self.fp16 = fp16
         self.wire_dtype = wire_dtype
-        #: fp16 wire format active on the flat arena paths.
-        self.wire_fp16 = fp16 or wire_dtype == "fp16"
+        #: Normalized codec stack active on the flat arena paths.
+        self.wire_codecs = specs
+        #: An fp16 wire stage (dynamic scaler) is active somewhere.
+        self.wire_fp16 = fp16 or "fp16" in specs
         self._codec = Float16Codec() if self.wire_fp16 else None
         self._scaler = DynamicScaler() if self.wire_fp16 else None
+        # The pipeline drives the flat wire boundary.  fp16=True keeps
+        # the dict codec for step()/step_arena() but the overlap
+        # scheduler still encodes flat rows, so it gets a pipeline too
+        # (sharing self._scaler either way: one state trajectory).
+        self.wire_pipeline = build_pipeline(
+            specs if specs else (("fp16",) if fp16 else ()), scaler=self._scaler
+        )
+        #: Modeled encoded wire bytes (all participating rows) for the
+        #: last prepared step, and accumulated over the run.
+        self.last_wire_bytes = 0
+        self.wire_bytes_total = 0
         self.skipped_steps = 0
         self.post_optimizer_mode = op is ReduceOpType.ADASUM and not adasum_pre_optimizer
         if self.post_optimizer_mode:
@@ -202,6 +239,10 @@ class DistributedOptimizer:
         topology = config.topology
         if allow_non_pow2 and topology == "tree":
             topology = "tree_any"
+        wire_codecs = getattr(config, "wire_codecs", None)
+        if wire_codecs is None:
+            # Duck-typed legacy config objects: fold the old field.
+            wire_codecs = codecs_from_wire_dtype(getattr(config, "wire_dtype", "fp32"))
         return cls(
             model,
             optimizer_factory,
@@ -210,7 +251,7 @@ class DistributedOptimizer:
             adasum_pre_optimizer=config.adasum_pre_optimizer,
             per_layer=config.per_layer,
             fp16=config.fp16,
-            wire_dtype=config.wire_dtype,
+            wire_codecs=wire_codecs,
             topology=topology,
             gpus_per_node=getattr(config, "gpus_per_node", None),
         )
@@ -259,7 +300,7 @@ class DistributedOptimizer:
             if reduce_fn is not None:
                 raise ValueError(
                     "fp16=True falls back to the dict codec path, which "
-                    "cannot honor a custom reduce_fn; use wire_dtype='fp16'"
+                    "cannot honor a custom reduce_fn; use wire_codecs=('fp16',)"
                 )
             # Views are zero-copy; the codec allocates fresh encoded
             # tensors anyway, so nothing is lost falling back here.
@@ -307,14 +348,17 @@ class DistributedOptimizer:
         For post-optimizer Adasum (Figure 3) each participating rank's
         row is rewritten in place from its local gradient to its
         post-optimizer model delta (the model is restored to the shared
-        starting point afterwards).  With ``fp16`` the rows then pass
-        through the dynamic-scaling wire format in place; an overflow
-        backs the scale off and marks the step skipped.
+        starting point afterwards).  With a codec stack the rows then
+        round-trip through the pipeline in place; an fp16 overflow
+        backs the scale off and marks the step skipped (one scaler
+        verdict per step).
 
         ``ranks`` selects which arena rows participate (default: all) —
         the hook the straggler drop policy uses.  The returned context
-        carries ``skip`` and, in post-optimizer mode, the starting
-        parameter values needed by :meth:`apply_reduced_flat`.
+        carries ``skip``, the post-optimizer starting parameters, and —
+        when a stack is active — ``wire_scale`` (fp16 stage present),
+        ``wire_format`` (transport-level re-encode of the now
+        grid-resident rows) and ``wire_bytes`` (modeled encoded bytes).
         """
         if ranks is None:
             ranks = list(range(arena.num_ranks))
@@ -323,16 +367,47 @@ class DistributedOptimizer:
         ctx: Dict = {"ranks": ranks, "starts": None, "skip": False}
         if self.post_optimizer_mode:
             ctx["starts"] = self._rewrite_rows_to_deltas(arena, ranks)
-        if self.wire_fp16:
-            scale_used = self._scaler.scale_value
-            if self._encode_wire_rows(arena, ranks):
+        pipe = self.wire_pipeline
+        if pipe is not None:
+            pipe.bind(
+                arena.num_ranks, arena.layout.total_size, arena.layout.boundaries()
+            )
+            scale_used = (
+                self._scaler.scale_value if self._scaler is not None else None
+            )
+            pipe.begin_step()
+            overflow = pipe.encode_block(arena.data, ranks)
+            if pipe.end_step(overflow):
+                self.skipped_steps += 1
                 ctx["skip"] = True
                 self.model.zero_grad()
             else:
-                # Rows are now on the fp16 grid at this (power-of-two)
-                # scale; transports can compress them losslessly.
-                ctx["wire_scale"] = scale_used
+                if scale_used is not None:
+                    # Rows are now on the fp16 grid at this
+                    # (power-of-two) scale; transports can compress
+                    # them losslessly.
+                    ctx["wire_scale"] = scale_used
+                ctx["wire_format"] = pipe.leaf_format()
+                nbytes = pipe.wire_nbytes() * len(ranks)
+                ctx["wire_bytes"] = nbytes
+                self.last_wire_bytes = nbytes
+                self.wire_bytes_total += nbytes
+        else:
+            nbytes = arena.layout.total_size * arena.dtype.itemsize * len(ranks)
+            self.last_wire_bytes = nbytes
+            self.wire_bytes_total += nbytes
         return ctx
+
+    def wire_row_nbytes(self, arena) -> int:
+        """Modeled per-row wire bytes for one step over ``arena``
+        (encoded size when a codec stack is active, raw fp32 otherwise).
+        """
+        if self.wire_pipeline is None:
+            return arena.layout.total_size * arena.dtype.itemsize
+        self.wire_pipeline.bind(
+            arena.num_ranks, arena.layout.total_size, arena.layout.boundaries()
+        )
+        return self.wire_pipeline.wire_nbytes()
 
     def apply_reduced_flat(self, combined: np.ndarray, arena, ctx: Optional[Dict] = None) -> None:
         """Apply a reduced flat buffer produced from prepared arena rows."""
@@ -374,30 +449,6 @@ class DistributedOptimizer:
             np.copyto(p.data, starts[name])
         self.model.zero_grad()
         return starts
-
-    def _encode_wire_rows(self, arena, ranks: Sequence[int]) -> bool:
-        """fp16 wire format in place on flat rows; returns True to skip.
-
-        Elementwise identical to the dict codec path (scale → fp16 cast
-        → overflow check → decode): scaling a contiguous row is the same
-        float32-times-scalar multiply the per-layer views would see.
-        """
-        scale_used = self._scaler.scale_value
-        overflow = False
-        encoded = []
-        with np.errstate(over="ignore"):
-            for r in ranks:
-                enc = (arena.row(r) * scale_used).astype(np.float16)
-                if not np.isfinite(enc).all():
-                    overflow = True
-                encoded.append(enc)
-        if self._scaler.update(overflow):
-            self.skipped_steps += 1
-            return True
-        inv = 1.0 / scale_used
-        for r, enc in zip(ranks, encoded):
-            np.multiply(enc.astype(np.float32), inv, out=arena.row(r))
-        return False
 
     # ------------------------------------------------------------------
     def _step_pre_optimizer(self, grad_dicts) -> None:

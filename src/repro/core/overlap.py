@@ -27,9 +27,13 @@ is structural, not approximate:
   per-rank optimizers' exact update arithmetic (same expressions, same
   dtypes, same rounding points), so the wire tensors are bit-identical
   to ``_rewrite_rows_to_deltas``;
-* the fp16 wire format applies per bucket with the step's scale fixed
-  up front, and the dynamic scaler sees one aggregated overflow verdict
-  per step — the same state trajectory as the phased encode.
+* the wire codec stack (:mod:`repro.comm.codec`) applies per bucket:
+  an fp16 stage runs with the step's scale fixed up front and the
+  dynamic scaler sees one aggregated overflow verdict per step — the
+  same state trajectory as the phased encode — while non-elementwise
+  stages (int8, top-k) compute their statistics per *layer block*, and
+  buckets are tensor-aligned, so the encoded values are identical to
+  the phased path whatever the bucket cap.
 
 On this simulator compute and communication share one process, so the
 speedup comes from the cheaper fused compute engines and the flat
@@ -292,6 +296,7 @@ class OverlapScheduler:
         self._futures: List[Future] = []
         self._overflow = False
         self._scale = 1.0
+        self._wire_bytes = 0
         self._t_base = 0.0
 
     # ------------------------------------------------------------------
@@ -312,9 +317,18 @@ class OverlapScheduler:
             self._launched = [False] * self.plan.num_buckets
             self._futures = []
             self._overflow = False
+            self._wire_bytes = 0
             self._t_base = perf_counter()
         if self.mirror is not None:
             self.mirror.begin_step()
+        pipe = dist_opt.wire_pipeline
+        if pipe is not None:
+            pipe.bind(
+                self.arena.num_ranks,
+                self.arena.layout.total_size,
+                self.arena.layout.boundaries(),
+            )
+            pipe.begin_step()  # fixes the fp16 scale for every bucket
         if dist_opt.wire_fp16:
             self._scale = dist_opt._scaler.scale_value
 
@@ -327,10 +341,18 @@ class OverlapScheduler:
             fut.result()  # propagate comm-worker exceptions
 
         skip = False
-        if dist_opt.wire_fp16:
-            skip = dist_opt._scaler.update(self._overflow)
+        if pipe is not None:
+            # One aggregated overflow verdict per step, as in the
+            # phased encode; a skip also rolls back EF residuals.
+            skip = pipe.end_step(self._overflow)
             if skip:
                 dist_opt.skipped_steps += 1
+            else:
+                dist_opt.last_wire_bytes = self._wire_bytes
+                dist_opt.wire_bytes_total += self._wire_bytes
+        else:
+            dist_opt.last_wire_bytes = self._wire_bytes
+            dist_opt.wire_bytes_total += self._wire_bytes
         if self.tracer is not None:
             # One span covers all ranks' fused forward/backward.
             self.tracer.record(0, "compute", 0.0, t_compute, label="ranks-fwd-bwd")
@@ -379,11 +401,16 @@ class OverlapScheduler:
         if self.mirror is not None:
             self.mirror.rewrite(lo, hi)
         rows = self.arena.data[:, lo:hi]
-        wire_itemsize = self.arena.dtype.itemsize
-        if dist_opt.wire_fp16:
-            if self._encode_rows(rows, self._scale):
+        nbytes = rows.nbytes
+        pipe = dist_opt.wire_pipeline
+        if pipe is not None:
+            if pipe.encode_block(
+                self.arena.data, range(self.arena.num_ranks), lo, hi
+            ):
                 self._overflow = True
-            wire_itemsize = 2
+            nbytes = pipe.wire_nbytes(lo, hi) * rows.shape[0]
+        with self._lock:
+            self._wire_bytes += nbytes
         self._combined[lo:hi] = dist_opt.reducer.reduce_flat(
             rows, bucket.rel_boundaries()
         )
@@ -393,7 +420,7 @@ class OverlapScheduler:
                 "allreduce",
                 t0,
                 perf_counter() - self._t_base,
-                nbytes=rows.shape[0] * bucket.size * wire_itemsize,
+                nbytes=nbytes,
                 label=f"bucket-{bucket.index}",
             )
 

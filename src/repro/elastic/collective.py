@@ -23,16 +23,20 @@ Bit-exactness contract (tested in ``tests/elastic/test_collective.py``):
 Only the subgroup root ends up with the combined row (the supervisor
 applies it centrally); a broadcast would only add simulated latency.
 
-fp16 wire compression (``wire_scale``): when the supervisor has already
-passed the rows through the dynamic-scaling fp16 wire format
-(``wire_dtype="fp16"``), every element is on the fp16 grid at that
-power-of-two scale, so a rank's *original* contribution can be sent as
-scaled fp16 and decoded exactly — half the bytes on the wire (and half
-the simulated transmission cost) with zero precision loss, keeping the
-bit-exactness contract intact.  Combined partials at interior tree hops
-are *not* on the grid, so they stay fp32: compression applies to leaf
-hops only (every send in gather mode, the bottom level in tree mode),
-mirroring fp16-wire/fp32-accumulate mixed precision (§4.4.1).
+Wire compression (``wire_format``): when the supervisor has already
+round-tripped the rows through the wire codec stack
+(``wire_codecs``, :mod:`repro.comm.codec`), every element is exactly
+what a receiver would decode, so a rank's *original* contribution can
+be sent in encoded form and decoded exactly — fewer bytes on the wire
+(and proportionally less simulated transmission cost) with zero extra
+precision loss.  The codec-backed format *verifies* the round trip and
+falls back to raw float32 when the row is off-grid, so the
+bit-exactness contract holds by construction.  Combined partials at
+interior tree hops are never grid-resident, so they stay fp32:
+compression applies to leaf hops only (every send in gather mode, the
+bottom level in tree mode), mirroring fp16-wire/fp32-accumulate mixed
+precision (§4.4.1).  The legacy ``wire_scale`` float is still accepted
+and maps onto the equivalent fp16 format.
 """
 
 from __future__ import annotations
@@ -41,35 +45,32 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.comm.codec import Fp16WireFormat
 from repro.comm.transport import Cluster, GroupComm
 from repro.core.deprecation import warn_deprecated
 from repro.core.operator import largest_pow2_below
 from repro.core.strategies import GradientReducer, get_strategy
 
 
-def _wire_encode(row: np.ndarray, wire_scale: Optional[float]) -> np.ndarray:
-    """Scaled-fp16 wire form of an original (grid-resident) contribution."""
-    if wire_scale is None:
-        return row
-    return (row * wire_scale).astype(np.float16)
+def _send_encoded(sub, row: np.ndarray, dst: int, wire, bounds) -> None:
+    """Send an original (grid-resident) contribution, compressed when a
+    wire format is active; the costed size is the encoded payload's."""
+    if wire is None:
+        sub.send(row, dst)
+        return
+    payload, nbytes = wire.encode(row, bounds)
+    sub.send(payload, dst, nbytes=nbytes)
 
 
-def _wire_decode(payload: np.ndarray, wire_scale: Optional[float]) -> np.ndarray:
-    """Invert :func:`_wire_encode`; fp32 payloads pass through untouched.
-
-    The decode arithmetic matches
-    ``DistributedOptimizer._encode_wire_rows`` exactly (fp32 cast, then
-    multiply by the float ``1/scale``); with a power-of-two scale the
-    round trip is lossless for grid-resident rows.
-    """
-    if wire_scale is None or payload.dtype != np.float16:
-        return payload
-    return payload.astype(np.float32) * (1.0 / wire_scale)
+def _recv_decoded(sub, src: int, wire) -> np.ndarray:
+    """Receive and decode a contribution; raw fp32 passes through."""
+    payload = sub.recv(src)
+    return payload if wire is None else wire.decode(payload)
 
 
 def _tree_combine(
     sub, acc: np.ndarray, bounds, lo: int, hi: int,
-    wire_scale: Optional[float] = None,
+    wire=None, wire_bounds=None,
 ) -> np.ndarray:
     """Divide-and-conquer Adasum over subgroup ranks [lo, hi).
 
@@ -85,19 +86,21 @@ def _tree_combine(
     p = n // 2 if n & (n - 1) == 0 else largest_pow2_below(n)
     pairwise = get_strategy("adasum", "tree_any").combine_pair
     if sub.rank < lo + p:
-        acc = _tree_combine(sub, acc, bounds, lo, lo + p, wire_scale)
+        acc = _tree_combine(sub, acc, bounds, lo, lo + p, wire, wire_bounds)
         if sub.rank == lo:
-            other = _wire_decode(sub.recv(lo + p), wire_scale)
+            other = _recv_decoded(sub, lo + p, wire)
             sub.compute(acc.nbytes, label="adasum")
             pairwise(acc, other, bounds, out=acc)
     else:
-        acc = _tree_combine(sub, acc, bounds, lo + p, hi, wire_scale)
+        acc = _tree_combine(sub, acc, bounds, lo + p, hi, wire, wire_bounds)
         if sub.rank == lo + p:
             # Leaf hop (single-rank subtree): the payload is this rank's
-            # original row, exactly representable in scaled fp16.
+            # original row, exactly representable in encoded form.
             # Interior hops carry combined partials and stay fp32.
-            payload = _wire_encode(acc, wire_scale) if hi - (lo + p) == 1 else acc
-            sub.send(payload, lo)
+            if hi - (lo + p) == 1:
+                _send_encoded(sub, acc, lo, wire, wire_bounds)
+            else:
+                sub.send(acc, lo)
     return acc
 
 
@@ -108,6 +111,7 @@ def cluster_reduce(
     reducer: GradientReducer,
     participants: Optional[Sequence[int]] = None,
     wire_scale: Optional[float] = None,
+    wire_format=None,
 ) -> np.ndarray:
     """Reduce ``data`` rows over ``cluster``; returns the combined row.
 
@@ -118,10 +122,15 @@ def cluster_reduce(
     collective propagate as the :class:`CommError` of
     :meth:`Cluster.run` for the supervisor to classify.
 
-    ``wire_scale`` enables lossless fp16 compression of original-row
-    sends (see module docstring): pass the dynamic-scaler scale that
-    the rows were already wire-encoded with, or ``None`` for fp32.
+    ``wire_format`` enables lossless compression of original-row sends
+    (see module docstring): pass the wire format of the codec stack the
+    rows were already round-tripped through
+    (:meth:`CodecPipeline.leaf_format`), or ``None`` for raw fp32.
+    ``wire_scale`` is the legacy fp16-only form: a dynamic-scaler scale
+    that maps onto :class:`~repro.comm.codec.Fp16WireFormat`.
     """
+    if wire_format is None and wire_scale is not None:
+        wire_format = Fp16WireFormat(wire_scale)
     if data.shape[0] != cluster.size:
         raise ValueError(
             f"data has {data.shape[0]} rows for a {cluster.size}-rank cluster"
@@ -146,7 +155,9 @@ def cluster_reduce(
             return acc
         sub = GroupComm(comm, participants)
         if adasum_tree_mode:
-            acc = _tree_combine(sub, acc, bounds, 0, sub.size, wire_scale)
+            acc = _tree_combine(
+                sub, acc, bounds, 0, sub.size, wire_format, boundaries
+            )
             return acc if sub.rank == 0 else None
         # Gather rows to the subgroup root, reduce with the in-process
         # kernel (rank order matches the row-stack order exactly).
@@ -155,10 +166,10 @@ def cluster_reduce(
         if sub.rank == 0:
             rows: List[np.ndarray] = [acc]
             for src in range(1, sub.size):
-                rows.append(_wire_decode(sub.recv(src), wire_scale))
+                rows.append(_recv_decoded(sub, src, wire_format))
             sub.compute(acc.nbytes * (sub.size - 1), label=reducer.name)
             return reducer.reduce_flat(np.stack(rows), boundaries)
-        sub.send(_wire_encode(acc, wire_scale), 0)
+        _send_encoded(sub, acc, 0, wire_format, boundaries)
         return None
 
     results = cluster.run(fn)
@@ -174,6 +185,7 @@ def elastic_reduce(
     reducer: GradientReducer,
     participants: Optional[Sequence[int]] = None,
     wire_scale: Optional[float] = None,
+    wire_format=None,
 ) -> np.ndarray:
     """Reduce ``data`` rows over ``cluster``.
 
@@ -185,4 +197,5 @@ def elastic_reduce(
     return cluster_reduce(
         cluster, data, boundaries, reducer,
         participants=participants, wire_scale=wire_scale,
+        wire_format=wire_format,
     )

@@ -102,12 +102,20 @@ class ElasticTrainer:
         Optional on-disk checkpointing cadence (committed steps).
     min_ranks:
         Abort (re-raise) if recovery would shrink the world below this.
+    wire_codecs:
+        Declarative wire-codec stack (see :mod:`repro.comm.codec`),
+        e.g. ``("fp16",)`` or ``("fp16", "int8", "topk:0.01")``.  Each
+        step the arena rows round-trip through the stack in place
+        *and* original-row sends on the simulated transport ship in
+        encoded form at the encoded byte cost (leaf hops only; see
+        :mod:`repro.elastic.collective`).  Error-feedback residuals
+        live in the per-world pipeline: an N→M rebuild resets them to
+        zero (a safe EF state — pending error mass is dropped, never
+        double-applied), and a failed collective rolls the whole step
+        back before any residual-consuming update is applied.
     wire_dtype:
-        ``"fp16"`` applies the dynamic-scaling fp16 wire format to the
-        arena rows *and* compresses original-row sends on the simulated
-        transport to scaled fp16 — half the wire bytes and simulated
-        transmission cost, losslessly (see
-        :mod:`repro.elastic.collective`).
+        Deprecated alias: ``"fp16"`` means ``wire_codecs=("fp16",)``
+        (warn-once); ``"fp32"`` means no codecs.
     execution:
         Phase-1 compute backend: ``"serial"`` (default) or
         ``"processes"`` (one worker process per rank writing into a
@@ -164,6 +172,7 @@ class ElasticTrainer:
         probe: Optional[OrthogonalityProbe] = None,
         specialize_kernels: bool = True,
         wire_dtype: str = "fp32",
+        wire_codecs=None,
         bucket_cap_mb: Optional[float] = None,
         execution: str = "serial",
         reduce_mode: str = "parent",
@@ -204,6 +213,7 @@ class ElasticTrainer:
         self.gpus_per_node = int(gpus_per_node)
         self.fp16 = fp16
         self.wire_dtype = wire_dtype
+        self.wire_codecs = wire_codecs
         self.bucket_cap_mb = bucket_cap_mb
         self.seed = seed
         self.schedule = schedule
@@ -295,7 +305,7 @@ class ElasticTrainer:
             network=config.network,
             timeout=config.timeout,
             min_ranks=config.min_ranks,
-            wire_dtype=config.wire_dtype,
+            wire_codecs=config.wire_codecs,
             bucket_cap_mb=config.bucket_cap_mb,
             execution=kwargs.pop("execution", config.execution),
             reduce_mode=kwargs.pop("reduce_mode", config.reduce_mode),
@@ -355,6 +365,7 @@ class ElasticTrainer:
             fp16=self.fp16,
             allow_non_pow2=True,
             wire_dtype=self.wire_dtype,
+            wire_codecs=self.wire_codecs,
             topology=self.topology,
             gpus_per_node=self.gpus_per_node if self.topology == "hierarchical" else None,
         )
@@ -850,9 +861,9 @@ class ElasticTrainer:
                 event_counts = {
                     r: len(self.cluster.tracer.per_rank(r)) for r in range(size)
                 }
-                wire_scale = ctx.get("wire_scale")
+                wire_format = ctx.get("wire_format")
                 try:
-                    combined = self._run_collective(participants, wire_scale)
+                    combined = self._run_collective(participants, wire_format)
                 finally:
                     self.cluster.faults = None
                 if self.schedule is not None:
@@ -892,7 +903,7 @@ class ElasticTrainer:
         return mean_loss
 
     def _run_collective(
-        self, participants: Sequence[int], wire_scale: Optional[float]
+        self, participants: Sequence[int], wire_format=None
     ) -> np.ndarray:
         """Phase-2 reduction on the cluster: whole-row, or per bucket.
 
@@ -914,7 +925,7 @@ class ElasticTrainer:
                 self.arena.layout.boundaries(),
                 reducer,
                 participants,
-                wire_scale=wire_scale,
+                wire_format=wire_format,
             )
         plan = BucketPlan.for_layout(
             self.arena.layout,
@@ -929,7 +940,7 @@ class ElasticTrainer:
                 bucket.rel_boundaries(),
                 reducer,
                 participants,
-                wire_scale=wire_scale,
+                wire_format=wire_format,
             )
         return combined
 

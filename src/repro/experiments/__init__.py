@@ -7,6 +7,7 @@ CI-scale profile; ``fast=False`` enlarges models/datasets/worker counts
 toward the paper's shape (still CPU-tractable).
 """
 
+from repro.experiments.codec_ablation import run_codec_ablation
 from repro.experiments.fig1_orthogonality import run_fig1
 from repro.experiments.fig2_hessian import run_fig2
 from repro.experiments.fig4_latency import (
@@ -25,6 +26,7 @@ from repro.experiments.elastic_recovery import run_elastic_recovery
 from repro.experiments.sched_study import run_sched_study
 
 __all__ = [
+    "run_codec_ablation",
     "run_elastic_recovery",
     "run_sched_study",
     "run_fig1",

@@ -488,7 +488,10 @@ class ParallelTrainer:
         if parallel_ranks and execution == "serial":
             warn_deprecated("parallel_ranks=True", 'execution="threads"')
             execution = "threads"
-        execution = validate_execution_strategy(overlap, execution)
+        execution = validate_execution_strategy(
+            overlap, execution, reduce_mode=reduce_mode,
+            fp16=bool(getattr(dist_opt, "fp16", False)),
+        )
         self.execution = execution
         if reduce_mode not in ("parent", "workers"):
             raise ValueError(
@@ -501,11 +504,6 @@ class ParallelTrainer:
                     "reduce_mode='workers' needs execution='processes' "
                     f"(got {execution!r}): only worker processes can run "
                     "pair combines in parallel over shared memory"
-                )
-            if getattr(dist_opt, "fp16", False):
-                raise ValueError(
-                    "reduce_mode='workers' is incompatible with the legacy "
-                    "fp16 dict codec (fp16=True); use wire_dtype='fp16'"
                 )
             combine_spec = dist_opt.reducer.combine_spec()
             if combine_spec.schedule(dist_opt.num_ranks) is None:
@@ -834,7 +832,10 @@ class ParallelTrainer:
         """Record one compute + one allreduce event per simulated rank.
 
         All ranks are synchronous, so they share the step's simulated
-        timeline; durations come from ``time_model`` when present.
+        timeline; durations come from ``time_model`` when present.  The
+        allreduce event carries the *encoded* per-rank bytes when a
+        wire-codec stack is active — what actually crosses the wire —
+        while the compute event keeps the raw gradient size.
         """
         tm = self.time_model
         compute_s = (
@@ -845,11 +846,12 @@ class ParallelTrainer:
         t0 = self.sim_time
         t1 = t0 + compute_s
         t2 = t1 + comm_s
+        wire_bytes = self.dist_opt.wire_row_nbytes(self.arena)
         for rank, grads in enumerate(grad_dicts):
             grad_bytes = sum(int(g.nbytes) for g in grads.values())
             self.tracer.record(rank, "compute", t0, t1, grad_bytes,
                                label=f"step-{self.global_step}")
-            self.tracer.record(rank, "allreduce", t1, t2, grad_bytes,
+            self.tracer.record(rank, "allreduce", t1, t2, wire_bytes,
                                label=self.dist_opt.op.value)
         self.sim_time = t2
 

@@ -86,6 +86,68 @@ class TestBucketedCollective:
         _assert_bit_identical(m_whole, m_bucketed)
 
 
+class TestCodecStack:
+    def test_fp16_stack_matches_wire_dtype(self):
+        """wire_codecs=("fp16",) pins the legacy wire_dtype="fp16"
+        behaviour bit for bit through the elastic collective."""
+        x, y = _data()
+        old, m_old = _trainer(x, y, wire_dtype="fp16")
+        new, m_new = _trainer(x, y, wire_codecs=("fp16",))
+        old.train_epoch(0, max_steps=4)
+        new.train_epoch(0, max_steps=4)
+        _assert_bit_identical(m_old, m_new)
+        assert old.cluster.total_bytes() == new.cluster.total_bytes()
+
+    def test_lossy_stack_cuts_leaf_bytes_below_fp16(self):
+        """fp16+int8+topk ships far fewer leaf-hop bytes than fp16
+        alone; the interior partials still travel fp32 either way."""
+        x, y = _data()
+        t16, _ = _trainer(x, y, wire_codecs=("fp16",))
+        lossy, m = _trainer(x, y, wire_codecs=("fp16", "int8", "topk:0.01"))
+        t16.train_epoch(0, max_steps=4)
+        lossy.train_epoch(0, max_steps=4)
+        assert lossy.cluster.total_bytes() < t16.cluster.total_bytes()
+        for p in m.parameters():
+            assert np.isfinite(p.data).all()
+
+    def test_lossy_stack_bucketed_matches_whole_row(self):
+        """Per-layer-block statistics make the lossy encode structurally
+        identical across whole-row and bucketed collectives."""
+        x, y = _data()
+        whole, m_whole = _trainer(x, y, wire_codecs=("fp16", "topk:0.05"))
+        bucketed, m_bucketed = _trainer(
+            x, y, wire_codecs=("fp16", "topk:0.05"), bucket_cap_mb=0.0005
+        )
+        whole.train_epoch(0, max_steps=3)
+        bucketed.train_epoch(0, max_steps=3)
+        _assert_bit_identical(m_whole, m_bucketed)
+
+    def test_kill_mid_bucket_under_lossy_stack(self):
+        """A rank killed mid-bucket under an error-feedback stack: the
+        step rolls back with the model untouched (apply happens only
+        after all buckets) and the retry commits on the shrunk world
+        with finite parameters — residuals restart clean in the rebuilt
+        world, never double-consumed."""
+        x, y = _data()
+        sched = ElasticSchedule().kill(0, 3)
+        trainer, model = _trainer(
+            x, y, wire_codecs=("fp16", "int8", "topk:0.05"),
+            bucket_cap_mb=0.0005, schedule=sched,
+        )
+        before = {n: p.data.copy() for n, p in model.named_parameters()}
+        trainer.train_epoch(0, max_steps=3)
+        assert trainer.num_ranks == RANKS - 1
+        assert trainer.commits == 3
+        assert len(trainer.recoveries) == 1
+        moved = any(
+            not np.array_equal(before[n], p.data)
+            for n, p in model.named_parameters()
+        )
+        assert moved  # the retried step did commit
+        for p in model.parameters():
+            assert np.isfinite(p.data).all()
+
+
 class TestKillMidBucket:
     def test_kill_mid_bucket_rolls_back_cleanly(self):
         """A rank killed during a bucketed reduction: the step aborts

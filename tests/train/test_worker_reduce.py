@@ -32,7 +32,7 @@ def _no_segment_leaks():
 
 def _run(reduce_mode, op="adasum", num_ranks=4, topology="tree_any", steps=2,
          gpus_per_node=1, execution="processes", wire_dtype="fp32",
-         **trainer_kwargs):
+         wire_codecs=(), **trainer_kwargs):
     """Train a few steps; return (losses, params, trainer phase stats)."""
     rng = np.random.default_rng(7)
     x = rng.standard_normal((128, 12)).astype(np.float32)
@@ -42,6 +42,7 @@ def _run(reduce_mode, op="adasum", num_ranks=4, topology="tree_any", steps=2,
         op=op, topology=topology, gpus_per_node=gpus_per_node,
         num_ranks=num_ranks, microbatch=2, seed=0, execution=execution,
         reduce_mode=reduce_mode, wire_dtype=wire_dtype,
+        wire_codecs=wire_codecs,
     )
     trainer = ParallelTrainer.from_config(
         model, nn.CrossEntropyLoss(), lambda ps: SGD(ps, lr=0.1),
@@ -101,6 +102,17 @@ class TestBitExactness:
         _, ref_params, _ = _run("parent", **kw)
         _, params, _ = _run("workers", **kw)
         _assert_bit_identical(ref_params, params, "workers/fp16-wire")
+
+    def test_workers_with_codec_stack(self):
+        # Any codec stack composes with the worker-parallel reduce: the
+        # parent round-trips the shared-memory rows before the workers
+        # combine them, so parent and workers see identical bytes even
+        # under a lossy error-feedback stack.
+        kw = dict(op="adasum", num_ranks=4,
+                  wire_codecs=("fp16", "int8", "topk:0.25"))
+        _, ref_params, _ = _run("parent", **kw)
+        _, params, _ = _run("workers", **kw)
+        _assert_bit_identical(ref_params, params, "workers/codec-stack")
 
     def test_phase_timers_populated(self):
         _, _, (phases, steps) = _run("workers", num_ranks=2, steps=3)
